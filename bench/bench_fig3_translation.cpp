@@ -1,0 +1,65 @@
+// Figure 3 reproduction: the ECU implementation model (CSPm script)
+// automatically generated from the application code of the simulated CAN
+// network — the paper's headline artifact.
+//
+// Regenerates the script for both nodes of the demonstration network,
+// prints it, then *closes the loop* the paper could not yet close: the
+// generated script is parsed back through the CSPm front end and its
+// process definitions are compiled and checked.
+#include <cstdio>
+
+#include "capl/parser.hpp"
+#include "cspm/eval.hpp"
+#include "ota/ota.hpp"
+#include "translate/extractor.hpp"
+
+using namespace ecucsp;
+
+int main() {
+  const can::DbcDatabase db = can::parse_dbc(std::string(ota::ota_dbc_text()));
+  const capl::CaplProgram ecu_prog =
+      capl::parse_capl(std::string(ota::ecu_capl_source()));
+
+  translate::ExtractorOptions opt;
+  opt.node_name = "ECU";
+  opt.tx_channel = "rec";
+  opt.rx_channel = "send";
+  opt.db = &db;
+  const translate::ExtractionResult r = translate::extract_model(ecu_prog, opt);
+
+  std::printf("FIGURE 3: ECU IMPLEMENTATION MODEL (CSPm script)\n");
+  std::printf("automatically generated from CAPL application code\n");
+  std::printf("====================================================\n%s"
+              "====================================================\n\n",
+              r.cspm.c_str());
+
+  std::printf("extraction summary: %zu message constructors, %zu timers, "
+              "%zu abstraction notes\n",
+              r.messages.size(), r.timers.size(), r.warnings.size());
+  for (const std::string& w : r.warnings) std::printf("  note: %s\n", w.c_str());
+
+  // Round trip: parse + evaluate + sanity-check the generated model.
+  Context ctx;
+  cspm::Evaluator ev(ctx);
+  ev.load_source(r.cspm);
+  const ProcessRef ecu = ev.process("ECU");
+  const Lts lts = compile_lts(ctx, ecu);
+  const CheckResult div = check_divergence_free(ctx, ecu);
+  std::printf("\nround trip: generated script parses; ECU compiles to %zu "
+              "states / %zu transitions; divergence free: %s\n",
+              lts.state_count(), lts.transition_count(),
+              div.passed ? "yes" : "NO");
+
+  // The model must accept every inventory request with a report (R02 view).
+  ev.load_source(
+      "SPEC = send.SwInventoryReq -> rec.SwReport -> SPEC\n"
+      "kept = {send.SwInventoryReq, rec.SwReport}\n"
+      "assert SPEC [T= ECU \\ diff({| send, rec |}, kept)\n");
+  bool ok = div.passed;
+  for (const auto& a : ev.check_assertions()) {
+    std::printf("assert %s : %s\n", a.description.c_str(),
+                a.result.passed ? "passed" : "FAILED");
+    ok &= a.result.passed;
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,175 @@
+// Refinement-checker scaling (added experiment S2).
+//
+// The paper leans on FDR's ability to handle "the scale needed for the
+// sophisticated ECUs now seen in vehicles" (Section VII-A); this bench
+// quantifies our engine on two classic state-space families and reports
+// the states/second the checker sustains, plus the relative cost of the
+// three semantic models — the ablation DESIGN.md calls out.
+//
+//   * Chain(n):  a sequential counter, n states, linear growth.
+//   * Toggles(n): n interleaved two-state components, 2^n states.
+#include <benchmark/benchmark.h>
+
+#include "refine/check.hpp"
+#include "refine/minimize.hpp"
+
+using namespace ecucsp;
+
+namespace {
+
+/// A linear counter process: tick.0 -> tick.1 -> ... -> STOP.
+ProcessRef chain(Context& ctx, int n) {
+  std::vector<Value> domain;
+  for (int i = 0; i < n; ++i) domain.push_back(Value::integer(i));
+  const ChannelId tick = ctx.channel("tick", {domain});
+  ProcessRef p = ctx.stop();
+  for (int i = n - 1; i >= 0; --i) {
+    p = ctx.prefix(ctx.event(tick, {Value::integer(i)}), p);
+  }
+  return p;
+}
+
+/// n independent two-state toggles: state space 2^n.
+ProcessRef toggles(Context& ctx, int n) {
+  std::vector<Value> domain;
+  for (int i = 0; i < n; ++i) domain.push_back(Value::integer(i));
+  const std::vector<Value> phase{Value::integer(0), Value::integer(1)};
+  const ChannelId flip = ctx.channel("flip", {domain});
+  ProcessRef out = nullptr;
+  for (int i = 0; i < n; ++i) {
+    const std::string name = "TGL" + std::to_string(i);
+    const EventId e = ctx.event(flip, {Value::integer(i)});
+    ctx.define(name,
+               [e, s = ctx.sym(name)](Context& cx, std::span<const Value> args) {
+                 const std::int64_t ph = args[0].as_int();
+                 return cx.prefix(e, cx.var(s, {Value::integer(1 - ph)}));
+               });
+    const ProcessRef cell = ctx.var(name, {Value::integer(0)});
+    out = out ? ctx.interleave(out, cell) : cell;
+  }
+  return out;
+}
+
+void ChainSelfRefinement(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::size_t states = 0;
+  for (auto _ : state) {
+    Context ctx;
+    const ProcessRef p = chain(ctx, n);
+    const CheckResult r = check_refinement(ctx, p, p, Model::Traces);
+    if (!r.passed) state.SkipWithError("self-refinement failed");
+    states = r.stats.impl_states;
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(ChainSelfRefinement)->RangeMultiplier(4)->Range(64, 16384);
+
+void TogglesDeadlockFreedom(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::size_t states = 0;
+  for (auto _ : state) {
+    Context ctx;
+    const CheckResult r = check_deadlock_free(ctx, toggles(ctx, n));
+    if (!r.passed) state.SkipWithError("unexpected deadlock");
+    states = r.stats.impl_states;
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(TogglesDeadlockFreedom)->DenseRange(6, 16, 2);
+
+void SemanticModelCost(benchmark::State& state) {
+  // Same check in T / F / FD — the per-model overhead ablation.
+  const Model model = static_cast<Model>(state.range(0));
+  const int n = 10;
+  for (auto _ : state) {
+    Context ctx;
+    const ProcessRef p = toggles(ctx, n);
+    const CheckResult r = check_refinement(ctx, p, p, model);
+    if (!r.passed) state.SkipWithError("self-refinement failed");
+  }
+  state.SetLabel("[" + to_string(model) + "= on 2^10 states");
+}
+BENCHMARK(SemanticModelCost)
+    ->Arg(static_cast<int>(Model::Traces))
+    ->Arg(static_cast<int>(Model::Failures))
+    ->Arg(static_cast<int>(Model::FailuresDivergences));
+
+void NormalisationCost(benchmark::State& state) {
+  // Spec normalisation (the FDR pre-step) in isolation.
+  const int n = static_cast<int>(state.range(0));
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    Context ctx;
+    const Lts lts = compile_lts(ctx, toggles(ctx, n));
+    const NormLts norm = normalize(lts, /*with_divergence=*/true);
+    nodes = norm.nodes.size();
+    benchmark::DoNotOptimize(norm);
+  }
+  state.counters["norm_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(NormalisationCost)->DenseRange(6, 12, 2);
+
+/// A k-state cycle on one event; every state is bisimilar, so sbisim
+/// collapses the component to a single state.
+ProcessRef cycle(Context& ctx, int copy, int k) {
+  const EventId e = ctx.event(ctx.channel("cyc" + std::to_string(copy)));
+  const std::string name = "CYC" + std::to_string(copy);
+  const Symbol s = ctx.sym(name);
+  ctx.define(name, [e, k, s](Context& cx, std::span<const Value> args) {
+    const std::int64_t j = args[0].as_int();
+    return cx.prefix(e, cx.var(s, {Value::integer((j + 1) % k)}));
+  });
+  return ctx.var(name, {Value::integer(0)});
+}
+
+void CompressionAblation(benchmark::State& state) {
+  // FDR-style *compositional* compression: minimise each component before
+  // composing. Raw composition of m k-state cycles has k^m states; the
+  // compressed components have one state each.
+  const bool compressed = state.range(0) == 1;
+  const int m = 3;
+  const int k = 8;
+  std::size_t states = 0;
+  int fresh = 0;
+  for (auto _ : state) {
+    Context ctx;
+    ProcessRef sys = nullptr;
+    for (int i = 0; i < m; ++i) {
+      ProcessRef component = cycle(ctx, i, k);
+      if (compressed) {
+        component =
+            compress(ctx, component, "_SBISIM" + std::to_string(fresh++));
+      }
+      sys = sys ? ctx.interleave(sys, component) : component;
+    }
+    const CheckResult r = check_deadlock_free(ctx, sys);
+    if (!r.passed) state.SkipWithError("unexpected deadlock");
+    states = r.stats.impl_states;
+  }
+  state.counters["checked_states"] = static_cast<double>(states);
+  state.SetLabel(compressed ? "components compressed (sbisim)" : "raw");
+}
+BENCHMARK(CompressionAblation)->Arg(0)->Arg(1);
+
+void MinimizationCost(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::size_t before = 0, after = 0;
+  for (auto _ : state) {
+    Context ctx;
+    const Lts lts = compile_lts(ctx, toggles(ctx, n));
+    const MinimizeResult min = minimize_strong(lts);
+    before = lts.state_count();
+    after = min.lts.state_count();
+  }
+  state.counters["states_before"] = static_cast<double>(before);
+  state.counters["states_after"] = static_cast<double>(after);
+}
+BENCHMARK(MinimizationCost)->DenseRange(6, 12, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Table II reproduction: X.1373 message types used in the case study.
+//
+// Prints the table and verifies, against the composed CSP model, that each
+// message actually flows in the stated direction: VMG-originated ids occur
+// on channel 'send' and ECU-originated ids on channel 'rec', in the traces
+// of SYSTEM.
+#include <algorithm>
+#include <cstdio>
+
+#include "ota/ota.hpp"
+#include "refine/check.hpp"
+
+using namespace ecucsp;
+
+int main() {
+  auto model = ota::build_ota_model();
+  Context& ctx = model->ctx;
+
+  // Collect the genuine-message events reachable in the plain system.
+  // One full update cycle is five visible events (the install event sits
+  // between reqApp and rptUpd).
+  const auto traces = enumerate_traces(ctx, model->system_plain, 5);
+  std::vector<EventId> seen;
+  for (const auto& t : traces) {
+    for (const EventId e : t) seen.push_back(e);
+  }
+  const auto occurs = [&](const std::string& name) {
+    return std::any_of(seen.begin(), seen.end(), [&](EventId e) {
+      return ctx.event_name(e) == name;
+    });
+  };
+
+  std::printf("TABLE II: MESSAGE TYPES AND MESSAGES USED (ITU-T X.1373)\n\n");
+  std::printf("%-9s| %-7s| %-5s| %-4s| %-36s| %s\n", "Type", "Id", "From",
+              "To", "Description", "in SYSTEM traces?");
+  std::printf("---------+--------+------+-----+---------------------------"
+              "----------+------------------\n");
+  bool all_ok = true;
+  for (const ota::MessageTypeRow& row : ota::message_table()) {
+    // VMG->ECU traffic rides 'send'; ECU->VMG rides 'rec'.
+    const std::string event_name =
+        (row.from == "VMG" ? "send." : "rec.") + row.id + ".genuine";
+    const bool ok = occurs(event_name);
+    all_ok &= ok;
+    std::printf("%-9s| %-7s| %-5s| %-4s| %-36.36s| %s (%s)\n",
+                row.type.c_str(), row.id.c_str(), row.from.c_str(),
+                row.to.c_str(), row.description.c_str(), ok ? "yes" : "NO",
+                event_name.c_str());
+  }
+  std::printf("\n%s\n",
+              all_ok ? "all four Table II messages are exercised by the "
+                       "composed model"
+                     : "SOME MESSAGES NEVER OCCUR");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Table III reproduction: the secure-update requirements R01-R05, each
+// formalised as a CSP specification and discharged by the refinement
+// engine, plus the negative control (the unprotected ECU violating the
+// integrity property with the forged-reqApp counterexample).
+#include <cstdio>
+
+#include "ota/ota.hpp"
+#include "security/properties.hpp"
+
+using namespace ecucsp;
+
+int main() {
+  auto model = ota::build_ota_model();
+  Context& ctx = model->ctx;
+
+  std::printf("TABLE III: SECURE UPDATE SYSTEM REQUIREMENTS (X.1373)\n\n");
+  std::printf("%-4s| %-64s| %-8s| %s\n", "ID", "Requirement", "verdict",
+              "states");
+  std::printf("----+-----------------------------------------------------"
+              "------------+---------+-------\n");
+  bool all_ok = true;
+  for (const ota::Requirement& r : ota::requirements()) {
+    const CheckResult result = ota::check_requirement(*model, r.id);
+    all_ok &= result.passed;
+    std::printf("%-4s| %-64.64s| %-8s| %zu\n", r.id.c_str(), r.text.c_str(),
+                result.passed ? "holds" : "FAILS",
+                result.stats.product_states ? result.stats.product_states
+                                            : result.stats.impl_states);
+  }
+
+  std::printf("\nnegative control: drop R05 (no MAC verification) and "
+              "re-check integrity under attack\n");
+  const CheckResult broken = security::check_precedence_witness(
+      ctx, model->system_unprotected, model->send_reqApp, model->install);
+  std::printf("  unprotected ECU: %s\n",
+              broken.passed ? "unexpectedly holds" : "violated, as expected");
+  if (!broken.passed) {
+    std::printf("  counterexample: %s\n",
+                broken.counterexample->describe(ctx).c_str());
+  }
+  const bool control_ok = !broken.passed;
+  std::printf("\n%s\n", all_ok && control_ok
+                            ? "R01-R05 hold on the secured model; dropping "
+                              "R05 is detected"
+                            : "UNEXPECTED VERDICTS");
+  return all_ok && control_ok ? 0 : 1;
+}

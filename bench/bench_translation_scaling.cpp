@@ -1,0 +1,80 @@
+// Model-extractor throughput (added experiment S3).
+//
+// Synthesises CAPL programs of growing size (message handlers with output
+// bursts, timers, control flow) and measures the full translation pipeline
+// — CAPL lexing + parsing + extraction + template rendering — in source
+// lines per second, plus the cost of re-parsing the generated CSPm.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "capl/parser.hpp"
+#include "cspm/parser.hpp"
+#include "translate/extractor.hpp"
+
+using namespace ecucsp;
+
+namespace {
+
+std::string synthetic_capl(int handlers, int outputs_per_handler) {
+  std::string src = "variables {\n";
+  for (int h = 0; h < handlers; ++h) {
+    src += "  message " + std::to_string(0x100 + h) + " msg" +
+           std::to_string(h) + ";\n";
+  }
+  src += "  msTimer tMain;\n  int counter = 0;\n}\n";
+  src += "on start { output(msg0); setTimer(tMain, 10); }\n";
+  src += "on timer tMain { counter = counter + 1; output(msg0); }\n";
+  for (int h = 0; h < handlers; ++h) {
+    src += "on message " + std::to_string(0x100 + h) + " {\n";
+    src += "  if (this.byte(0) > 0) {\n";
+    for (int o = 0; o < outputs_per_handler; ++o) {
+      src += "    output(msg" + std::to_string((h + o + 1) % handlers) + ");\n";
+    }
+    src += "  } else { counter = counter - 1; }\n}\n";
+  }
+  return src;
+}
+
+std::size_t count_lines(const std::string& s) {
+  std::size_t n = 1;
+  for (const char c : s) n += c == '\n';
+  return n;
+}
+
+void TranslatePipeline(benchmark::State& state) {
+  const int handlers = static_cast<int>(state.range(0));
+  const std::string src = synthetic_capl(handlers, 3);
+  const std::size_t lines = count_lines(src);
+  std::size_t cspm_bytes = 0;
+  for (auto _ : state) {
+    const capl::CaplProgram prog = capl::parse_capl(src);
+    translate::ExtractorOptions opt;
+    opt.node_name = "NODE";
+    const translate::ExtractionResult r = translate::extract_model(prog, opt);
+    cspm_bytes = r.cspm.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["capl_lines"] = static_cast<double>(lines);
+  state.counters["lines_per_sec"] = benchmark::Counter(
+      static_cast<double>(lines), benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["cspm_bytes"] = static_cast<double>(cspm_bytes);
+}
+BENCHMARK(TranslatePipeline)->RangeMultiplier(4)->Range(4, 256);
+
+void ReparseGeneratedCspm(benchmark::State& state) {
+  const int handlers = static_cast<int>(state.range(0));
+  const capl::CaplProgram prog = capl::parse_capl(synthetic_capl(handlers, 3));
+  translate::ExtractorOptions opt;
+  opt.node_name = "NODE";
+  const translate::ExtractionResult r = translate::extract_model(prog, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cspm::parse_cspm(r.cspm));
+  }
+  state.counters["cspm_bytes"] = static_cast<double>(r.cspm.size());
+}
+BENCHMARK(ReparseGeneratedCspm)->RangeMultiplier(4)->Range(4, 256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

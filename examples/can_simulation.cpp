@@ -1,0 +1,64 @@
+// Run the reference CAPL VMG/ECU programs on the simulated CAN bus — the
+// "simulated CANbus network ... implemented in CANoe" of the paper's
+// Section VI, here executed by the library's CAPL interpreter and
+// discrete-event scheduler. Prints the bus trace and the nodes' write() log.
+//
+//   $ ./can_simulation
+#include <cstdio>
+
+#include "can/asc.hpp"
+#include "capl/interp.hpp"
+#include "capl/parser.hpp"
+#include "ota/ota.hpp"
+#include "security/mac.hpp"
+
+using namespace ecucsp;
+
+int main() {
+  const can::DbcDatabase db = can::parse_dbc(std::string(ota::ota_dbc_text()));
+  const capl::CaplProgram vmg_prog =
+      capl::parse_capl(std::string(ota::vmg_capl_source()));
+  const capl::CaplProgram ecu_prog =
+      capl::parse_capl(std::string(ota::ecu_capl_source()));
+
+  sim::Environment env(/*bus_window_us=*/100);
+  capl::CaplNode vmg("VMG", vmg_prog, &db);
+  capl::CaplNode ecu("TargetECU", ecu_prog, &db);
+  env.attach(vmg);
+  env.attach(ecu);
+
+  std::printf("starting measurement (CANoe substitute)...\n\n");
+  env.run(/*until_us=*/2'000'000);
+
+  std::printf("%-10s %-10s %s\n", "time [us]", "msg", "frame");
+  std::printf("---------- ---------- -------------------------------\n");
+  for (const can::CanFrame& f : env.bus().trace()) {
+    const can::DbcMessage* m = db.find_message(f.id);
+    std::printf("%-10llu %-10s %s\n",
+                static_cast<unsigned long long>(f.timestamp_us),
+                m ? m->name.c_str() : "?", f.to_string().c_str());
+  }
+
+  std::printf("\nnode log (CAPL write()):\n");
+  for (const sim::LogLine& l : env.log()) {
+    std::printf("  [%8llu us] %-9s %s\n",
+                static_cast<unsigned long long>(l.time_us), l.node.c_str(),
+                l.text.c_str());
+  }
+
+  std::printf("\nECU installed %lld update module(s)\n",
+              static_cast<long long>(ecu.global("installs")->i));
+
+  // Write the measurement as a Vector ASC log, the CANoe artifact format.
+  std::printf("\n--- measurement as .asc log ---\n%s",
+              can::write_asc(env.bus().trace()).c_str());
+
+  // Demonstrate the C++-level toy MAC used by richer simulations.
+  const std::vector<std::uint8_t> payload{0x01, 0x02, 0x03};
+  const security::MacTag tag = security::compute_mac(0xA5, payload);
+  std::printf("\ntoy MAC demo: tag(key=0xA5, payload 01 02 03) = %08X, "
+              "verify=%s, tamper-verify=%s\n",
+              tag, security::verify_mac(0xA5, payload, tag) ? "ok" : "fail",
+              security::verify_mac(0xA5, payload, tag ^ 1) ? "ok" : "fail");
+  return 0;
+}

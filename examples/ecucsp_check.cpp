@@ -1,0 +1,66 @@
+// ecucsp_check: a command-line refinement checker for CSPm scripts — the
+// library's stand-in for invoking FDR on a .csp file.
+//
+//   $ ./ecucsp_check model.csp [more.csp ...]
+//
+// Loads each script into one shared Context (so an extracted implementation
+// model and a hand-written specification file can be checked together) and
+// runs every 'assert'. Exit code 0 iff all assertions pass.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cspm/eval.hpp"
+
+using namespace ecucsp;
+
+namespace {
+
+std::string slurp(const char* path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error(std::string("cannot open ") + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <script.csp> [script2.csp ...]\n"
+                 "Runs every 'assert' in the given CSPm scripts.\n",
+                 argv[0]);
+    return 2;
+  }
+  Context ctx;
+  cspm::Evaluator ev(ctx);
+  try {
+    for (int i = 1; i < argc; ++i) {
+      ev.load_source(slurp(argv[i]));
+      std::printf("loaded %s\n", argv[i]);
+    }
+    const auto results = ev.check_assertions();
+    if (results.empty()) {
+      std::printf("no assertions found\n");
+      return 0;
+    }
+    int failures = 0;
+    for (const cspm::AssertionResult& r : results) {
+      std::printf("assert %-58.58s ", r.description.c_str());
+      if (r.result.passed) {
+        std::printf("passed  (%zu states)\n", r.result.stats.impl_states);
+      } else {
+        ++failures;
+        std::printf("FAILED\n  %s\n",
+                    r.result.counterexample->describe(ctx).c_str());
+      }
+    }
+    std::printf("%zu assertion(s), %d failure(s)\n", results.size(), failures);
+    return failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,143 @@
+// ecucsp_extract: the model extractor as a command-line tool — the
+// counterpart of ecucsp_check, together covering the paper's Figure 1
+// toolchain from the shell:
+//
+//   $ ./ecucsp_extract --dbc net.dbc VMG:send:rec=vmg.can ECU:rec:send=ecu.can > model.csp
+//   $ ./ecucsp_check model.csp specs.csp
+//
+// Each node argument is NAME:TX:RX=FILE (the channels the node transmits and
+// receives on). One node emits a standalone model; several emit a composed
+// SYSTEM. '--assert LINE' appends assertion (or any other) lines verbatim.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "capl/parser.hpp"
+#include "translate/dbc_to_cspm.hpp"
+#include "translate/extractor.hpp"
+
+using namespace ecucsp;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct NodeArg {
+  std::string name = "NODE";
+  std::string tx = "send";
+  std::string rx = "rec";
+  std::string file;
+};
+
+NodeArg parse_node_arg(const std::string& arg) {
+  NodeArg out;
+  const std::size_t eq = arg.find('=');
+  if (eq == std::string::npos) {
+    out.file = arg;
+    return out;
+  }
+  out.file = arg.substr(eq + 1);
+  std::string head = arg.substr(0, eq);
+  const std::size_t c1 = head.find(':');
+  if (c1 == std::string::npos) {
+    out.name = head;
+    return out;
+  }
+  out.name = head.substr(0, c1);
+  const std::size_t c2 = head.find(':', c1 + 1);
+  if (c2 == std::string::npos) {
+    throw std::runtime_error("node spec needs NAME:TX:RX=FILE, got " + arg);
+  }
+  out.tx = head.substr(c1 + 1, c2 - c1 - 1);
+  out.rx = head.substr(c2 + 1);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<NodeArg> nodes;
+  std::vector<std::string> extra_lines;
+  std::string dbc_path;
+  bool emit_dbc_decls = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dbc") == 0 && i + 1 < argc) {
+      dbc_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--assert") == 0 && i + 1 < argc) {
+      extra_lines.push_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dbc-decls") == 0) {
+      emit_dbc_decls = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: %s [--dbc FILE] [--dbc-decls] [--assert LINE]... "
+          "NAME:TX:RX=FILE...\n",
+          argv[0]);
+      return 0;
+    } else {
+      try {
+        nodes.push_back(parse_node_arg(argv[i]));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+    }
+  }
+  if (nodes.empty()) {
+    std::fprintf(stderr, "error: no CAPL input files (try --help)\n");
+    return 2;
+  }
+
+  try {
+    can::DbcDatabase db;
+    if (!dbc_path.empty()) db = can::parse_dbc(slurp(dbc_path));
+
+    std::vector<capl::CaplProgram> programs;
+    programs.reserve(nodes.size());
+    for (const NodeArg& n : nodes) programs.push_back(capl::parse_capl(slurp(n.file)));
+
+    translate::ExtractionResult result;
+    if (nodes.size() == 1) {
+      translate::ExtractorOptions opt;
+      opt.node_name = nodes[0].name;
+      opt.tx_channel = nodes[0].tx;
+      opt.rx_channel = nodes[0].rx;
+      if (!dbc_path.empty()) opt.db = &db;
+      result = translate::extract_model(programs[0], opt);
+      for (const std::string& l : extra_lines) result.cspm += l + "\n";
+    } else {
+      std::vector<translate::SystemNode> sys;
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        translate::SystemNode sn;
+        sn.program = &programs[i];
+        sn.options.node_name = nodes[i].name;
+        sn.options.tx_channel = nodes[i].tx;
+        sn.options.rx_channel = nodes[i].rx;
+        if (!dbc_path.empty()) sn.options.db = &db;
+        sys.push_back(sn);
+      }
+      result = translate::extract_system(sys, extra_lines);
+    }
+
+    if (emit_dbc_decls && !dbc_path.empty()) {
+      std::fputs(translate::dbc_to_cspm(db).c_str(), stdout);
+      std::fputs("\n", stdout);
+    }
+    std::fputs(result.cspm.c_str(), stdout);
+    for (const std::string& w : result.warnings) {
+      std::fprintf(stderr, "note: %s\n", w.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

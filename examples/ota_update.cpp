@@ -1,0 +1,58 @@
+// The paper's full case study (Section V): X.1373 OTA software update.
+//
+// Checks requirements R01-R05 (Table III) on the composed VMG||ECU model,
+// then demonstrates the attack on an ECU that skips MAC verification and
+// the counterexample trace FDR-style checking feeds back to designers.
+//
+//   $ ./ota_update
+#include <cstdio>
+
+#include "ota/ota.hpp"
+#include "security/properties.hpp"
+
+using namespace ecucsp;
+
+int main() {
+  auto model = ota::build_ota_model();
+  Context& ctx = model->ctx;
+
+  std::printf("X.1373 OTA software update case study (paper Section V)\n");
+  std::printf("scope: VMG <-> Target ECU over CAN (Figure 2)\n\n");
+
+  std::printf("%-4s| %-66s| verdict\n", "req", "requirement (Table III)");
+  std::printf("----+-------------------------------------------------------"
+              "------------+--------\n");
+  for (const ota::Requirement& r : ota::requirements()) {
+    const CheckResult result = ota::check_requirement(*model, r.id);
+    std::printf("%-4s| %-66.66s| %s\n", r.id.c_str(), r.text.c_str(),
+                result.passed ? "holds" : "VIOLATED");
+  }
+
+  std::printf("\n== the value of R05 (shared-key MACs) ==\n");
+  std::printf("Attacker model: may inject any forged message at any time "
+              "(Dolev-Yao, no key).\n\n");
+
+  const CheckResult secure = security::check_precedence_witness(
+      ctx, model->system_attacked, model->send_reqApp, model->install);
+  std::printf("MAC-verifying ECU under attack   : %s\n",
+              secure.passed ? "install only after genuine reqApp (secure)"
+                            : "VULNERABLE");
+
+  const CheckResult broken = security::check_precedence_witness(
+      ctx, model->system_unprotected, model->send_reqApp, model->install);
+  std::printf("non-verifying  ECU under attack  : %s\n",
+              broken.passed ? "secure (unexpected!)" : "VULNERABLE");
+  if (!broken.passed) {
+    std::printf("\n  counterexample fed back to the designers (Figure 1):\n");
+    std::printf("  %s\n", broken.counterexample->describe(ctx).c_str());
+    std::printf("\n  reading: the attacker forges an apply-update request; "
+                "without MAC\n  verification the ECU installs an update no "
+                "VMG ever authorised.\n");
+  }
+
+  std::printf("\nstate spaces: plain=%zu, attacked(MAC)=%zu, "
+              "attacked(open)=%zu states\n",
+              check_deadlock_free(ctx, model->system_plain).stats.impl_states,
+              secure.stats.impl_states, broken.stats.impl_states);
+  return 0;
+}

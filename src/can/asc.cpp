@@ -1,0 +1,72 @@
+#include "can/asc.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace ecucsp::can {
+
+std::string write_asc(const std::vector<CanFrame>& frames,
+                      const AscOptions& options) {
+  std::string out;
+  out += "date " + options.date + "\n";
+  out += "base hex  timestamps absolute\n";
+  out += "internal events logged\n";
+  out += "Begin TriggerBlock\n";
+  for (const CanFrame& f : frames) {
+    char buf[160];
+    const double secs = static_cast<double>(f.timestamp_us) / 1e6;
+    int n = std::snprintf(buf, sizeof buf, "   %.6f %d  %X%s%*sRx   d %u",
+                          secs, options.channel, f.id, f.extended ? "x" : "",
+                          f.extended ? 12 : 13, "", f.dlc);
+    out.append(buf, static_cast<std::size_t>(n));
+    for (std::uint8_t i = 0; i < f.dlc && i < 8; ++i) {
+      std::snprintf(buf, sizeof buf, " %02X", f.data[i]);
+      out += buf;
+    }
+    out += "\n";
+  }
+  out += "End TriggerBlock\n";
+  return out;
+}
+
+std::vector<CanFrame> parse_asc(std::string_view text) {
+  std::vector<CanFrame> frames;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    double secs = 0;
+    if (!(ls >> secs)) continue;  // header / non-record line
+    int channel = 0;
+    std::string id_text, dir, kind;
+    unsigned dlc = 0;
+    if (!(ls >> channel >> id_text >> dir >> kind >> dlc)) {
+      throw AscParseError("malformed frame record", line_no);
+    }
+    if (kind != "d") continue;  // only data frames in this subset
+    CanFrame f;
+    if (!id_text.empty() && (id_text.back() == 'x' || id_text.back() == 'X')) {
+      f.extended = true;
+      id_text.pop_back();
+    }
+    f.id = static_cast<CanId>(std::stoul(id_text, nullptr, 16));
+    if (dlc > 8) throw AscParseError("dlc exceeds 8", line_no);
+    f.dlc = static_cast<std::uint8_t>(dlc);
+    for (unsigned i = 0; i < dlc; ++i) {
+      std::string byte_text;
+      if (!(ls >> byte_text)) {
+        throw AscParseError("missing payload byte", line_no);
+      }
+      f.data[i] =
+          static_cast<std::uint8_t>(std::stoul(byte_text, nullptr, 16));
+    }
+    f.timestamp_us = static_cast<std::uint64_t>(secs * 1e6 + 0.5);
+    frames.push_back(f);
+  }
+  return frames;
+}
+
+}  // namespace ecucsp::can

@@ -1,0 +1,43 @@
+// Vector ASC measurement logs.
+//
+// CANoe writes bus traces as '.asc' text logs; tooling across the
+// automotive industry consumes them. This implements the classic CAN frame
+// subset: header lines, then one record per frame:
+//
+//   0.001230 1  1A0             Rx   d 4 01 02 03 04
+//
+// (timestamp [s], channel, hex id, direction, 'd' data frame, dlc, bytes).
+// write_asc() serialises a bus trace; parse_asc() reads one back, so logs
+// from the simulated network round-trip and external logs can be replayed.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "can/frame.hpp"
+
+namespace ecucsp::can {
+
+struct AscOptions {
+  std::string date = "Sat Jan 1 00:00:00.000 2022";
+  int channel = 1;
+};
+
+std::string write_asc(const std::vector<CanFrame>& frames,
+                      const AscOptions& options = {});
+
+class AscParseError : public std::runtime_error {
+ public:
+  AscParseError(const std::string& what, int line)
+      : std::runtime_error("asc parse error at line " + std::to_string(line) +
+                           ": " + what),
+        line(line) {}
+  int line;
+};
+
+/// Parse the frame records of an ASC log (header lines are skipped).
+std::vector<CanFrame> parse_asc(std::string_view text);
+
+}  // namespace ecucsp::can

@@ -1,0 +1,34 @@
+#include "can/bus.hpp"
+
+#include <algorithm>
+
+namespace ecucsp::can {
+
+int CanBus::add_listener(BusListener cb) {
+  listeners_.push_back(std::move(cb));
+  return static_cast<int>(listeners_.size()) - 1;
+}
+
+void CanBus::transmit(const CanFrame& frame, int sender) {
+  pending_.push_back({frame, sender, seq_++});
+}
+
+bool CanBus::deliver_one(std::uint64_t now_us) {
+  if (pending_.empty()) return false;
+  // Arbitration: lowest id wins; FIFO order breaks ties deterministically.
+  auto winner = std::min_element(
+      pending_.begin(), pending_.end(), [](const Pending& a, const Pending& b) {
+        if (a.frame.id != b.frame.id) {
+          return a.frame.wins_arbitration_over(b.frame);
+        }
+        return a.seq < b.seq;
+      });
+  Pending p = std::move(*winner);
+  pending_.erase(winner);
+  p.frame.timestamp_us = now_us;
+  trace_.push_back(p.frame);
+  for (const BusListener& cb : listeners_) cb(p.frame, p.sender);
+  return true;
+}
+
+}  // namespace ecucsp::can

@@ -1,0 +1,61 @@
+// A simulated CAN bus with identifier-based arbitration.
+//
+// Transmissions requested within the same arbitration window compete; the
+// lowest identifier wins and the losers are re-queued for the next window
+// (as on a real bus, where losing nodes retry automatically). Every frame
+// actually transmitted is recorded in the trace — the substitute for the
+// CANoe measurement log the paper's Section VI uses.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "can/frame.hpp"
+
+namespace ecucsp::can {
+
+/// A listener receives every frame transmitted on the bus, including its
+/// own (CAN is a broadcast medium; self-reception is filtered by callers
+/// that care, mirroring CANoe's behaviour of not re-invoking the sender).
+using BusListener = std::function<void(const CanFrame&, int sender)>;
+
+class CanBus {
+ public:
+  /// window_us: arbitration window length. All frames queued inside one
+  /// window compete; one frame is delivered per window.
+  explicit CanBus(std::uint64_t window_us = 100) : window_us_(window_us) {}
+
+  int add_listener(BusListener cb);
+
+  /// Queue a frame for transmission by `sender` (listener id) at the
+  /// current time. Delivery order respects arbitration priority.
+  void transmit(const CanFrame& frame, int sender);
+
+  /// Advance the bus: deliver the highest-priority pending frame, stamping
+  /// it with `now_us`. Returns true if a frame was delivered.
+  bool deliver_one(std::uint64_t now_us);
+
+  bool idle() const { return pending_.empty(); }
+  std::size_t pending_count() const { return pending_.size(); }
+  std::uint64_t window_us() const { return window_us_; }
+
+  const std::vector<CanFrame>& trace() const { return trace_; }
+  void clear_trace() { trace_.clear(); }
+
+ private:
+  struct Pending {
+    CanFrame frame;
+    int sender;
+    std::uint64_t seq;  // FIFO tiebreak for identical ids from one node
+  };
+
+  std::uint64_t window_us_;
+  std::uint64_t seq_ = 0;
+  std::vector<Pending> pending_;
+  std::vector<BusListener> listeners_;
+  std::vector<CanFrame> trace_;
+};
+
+}  // namespace ecucsp::can

@@ -1,0 +1,235 @@
+#include "can/dbc.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace ecucsp::can {
+
+const DbcSignal* DbcMessage::find_signal(std::string_view name) const {
+  for (const DbcSignal& s : signals) {
+    if (s.spec.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const DbcMessage* DbcDatabase::find_message(std::string_view name) const {
+  for (const DbcMessage& m : messages) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+const DbcMessage* DbcDatabase::find_message(CanId id) const {
+  for (const DbcMessage& m : messages) {
+    if (m.id == id) return &m;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Minimal line-oriented tokenizer for DBC records.
+class LineScanner {
+ public:
+  LineScanner(std::string_view text, int line) : text_(text), line_(line) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool done() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  bool accept(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!accept(c)) {
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+  std::string word() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (start == pos_) fail("expected an identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+  double number() {
+    skip_ws();
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '-' || text_[pos_] == '+') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    if (start == pos_) fail("expected a number");
+    return std::stod(std::string(text_.substr(start, pos_ - start)));
+  }
+  std::int64_t integer() { return static_cast<std::int64_t>(number()); }
+  std::string quoted() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') fail("expected a string");
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') out += text_[pos_++];
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;
+    return out;
+  }
+  [[noreturn]] void fail(const std::string& msg) {
+    throw DbcParseError(msg, line_);
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_;
+};
+
+}  // namespace
+
+DbcDatabase parse_dbc(std::string_view text) {
+  DbcDatabase db;
+  DbcMessage* current = nullptr;
+
+  std::istringstream stream{std::string(text)};
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    // Strip leading whitespace to classify the record.
+    std::size_t first = raw.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const std::string_view line = std::string_view(raw).substr(first);
+
+    if (line.starts_with("VERSION")) {
+      LineScanner s(line.substr(7), line_no);
+      db.version = s.quoted();
+      continue;
+    }
+    if (line.starts_with("BU_")) {
+      LineScanner s(line.substr(3), line_no);
+      s.expect(':');
+      while (!s.done()) db.nodes.push_back(s.word());
+      continue;
+    }
+    if (line.starts_with("BO_ ")) {
+      LineScanner s(line.substr(4), line_no);
+      DbcMessage m;
+      const std::int64_t raw_id = s.integer();
+      // Bit 31 marks an extended identifier in DBC files.
+      if (raw_id & 0x80000000LL) {
+        m.id = static_cast<CanId>(raw_id & MAX_EXTENDED_ID);
+      } else {
+        m.id = static_cast<CanId>(raw_id);
+      }
+      m.name = s.word();
+      s.expect(':');
+      m.dlc = static_cast<std::uint8_t>(s.integer());
+      if (m.dlc > 8) s.fail("dlc exceeds 8");
+      m.sender = s.word();
+      db.messages.push_back(std::move(m));
+      current = &db.messages.back();
+      continue;
+    }
+    if (line.starts_with("SG_ ")) {
+      if (!current) throw DbcParseError("SG_ outside a BO_ block", line_no);
+      LineScanner s(line.substr(4), line_no);
+      DbcSignal sig;
+      sig.spec.name = s.word();
+      s.expect(':');
+      sig.spec.start_bit = static_cast<std::uint16_t>(s.integer());
+      s.expect('|');
+      sig.spec.length = static_cast<std::uint16_t>(s.integer());
+      s.expect('@');
+      const std::int64_t order = s.integer();
+      sig.spec.byte_order = order == 1 ? ByteOrder::Intel : ByteOrder::Motorola;
+      if (s.accept('-')) {
+        sig.spec.is_signed = true;
+      } else {
+        s.expect('+');
+      }
+      s.expect('(');
+      sig.spec.factor = s.number();
+      s.expect(',');
+      sig.spec.offset = s.number();
+      s.expect(')');
+      s.expect('[');
+      sig.spec.minimum = s.number();
+      s.expect('|');
+      sig.spec.maximum = s.number();
+      s.expect(']');
+      sig.spec.unit = s.quoted();
+      while (!s.done()) {
+        sig.receivers.push_back(s.word());
+        s.accept(',');
+      }
+      current->signals.push_back(std::move(sig));
+      continue;
+    }
+    if (line.starts_with("VAL_ ")) {
+      LineScanner s(line.substr(5), line_no);
+      const std::int64_t raw_id = s.integer();
+      const CanId id = static_cast<CanId>(raw_id & MAX_EXTENDED_ID);
+      const std::string sig_name = s.word();
+      for (DbcMessage& m : db.messages) {
+        if (m.id != id) continue;
+        for (DbcSignal& sig : m.signals) {
+          if (sig.spec.name != sig_name) continue;
+          while (!s.done() && s.peek() != ';') {
+            const std::int64_t v = s.integer();
+            sig.value_table[v] = s.quoted();
+          }
+        }
+      }
+      continue;
+    }
+    if (line.starts_with("CM_ ")) {
+      LineScanner s(line.substr(4), line_no);
+      const std::string kind = s.word();
+      if (kind == "BO_") {
+        const CanId id = static_cast<CanId>(s.integer() & MAX_EXTENDED_ID);
+        for (DbcMessage& m : db.messages) {
+          if (m.id == id) m.comment = s.quoted();
+        }
+      } else if (kind == "SG_") {
+        const CanId id = static_cast<CanId>(s.integer() & MAX_EXTENDED_ID);
+        const std::string sig_name = s.word();
+        for (DbcMessage& m : db.messages) {
+          if (m.id != id) continue;
+          for (DbcSignal& sig : m.signals) {
+            if (sig.spec.name == sig_name) sig.comment = s.quoted();
+          }
+        }
+      }
+      continue;
+    }
+    // Unknown record types (BA_, NS_, BS_, ...) are tolerated, as real DBC
+    // consumers must be.
+  }
+  return db;
+}
+
+}  // namespace ecucsp::can

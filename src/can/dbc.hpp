@@ -1,0 +1,62 @@
+// CANdb ('.dbc') network database parser.
+//
+// The paper's toolchain relies on CANoe's network databases to define
+// "message formats, data payloads and relationships of data packets to
+// network components" (Section IV-B-2). This parser covers the de-facto
+// standard subset:
+//   VERSION, BU_ (nodes), BO_ (messages), SG_ (signals),
+//   VAL_ (value tables), CM_ (comments, retained for messages/signals).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "can/frame.hpp"
+#include "can/signal.hpp"
+
+namespace ecucsp::can {
+
+struct DbcSignal {
+  SignalSpec spec;
+  std::vector<std::string> receivers;
+  std::map<std::int64_t, std::string> value_table;  // VAL_ entries
+  std::string comment;
+};
+
+struct DbcMessage {
+  CanId id = 0;
+  std::string name;
+  std::uint8_t dlc = 8;
+  std::string sender;
+  std::vector<DbcSignal> signals;
+  std::string comment;
+
+  const DbcSignal* find_signal(std::string_view name) const;
+};
+
+struct DbcDatabase {
+  std::string version;
+  std::vector<std::string> nodes;  // BU_
+  std::vector<DbcMessage> messages;
+
+  const DbcMessage* find_message(std::string_view name) const;
+  const DbcMessage* find_message(CanId id) const;
+};
+
+class DbcParseError : public std::runtime_error {
+ public:
+  DbcParseError(const std::string& what, int line)
+      : std::runtime_error("dbc parse error at line " + std::to_string(line) +
+                           ": " + what),
+        line(line) {}
+  int line;
+};
+
+DbcDatabase parse_dbc(std::string_view text);
+
+}  // namespace ecucsp::can

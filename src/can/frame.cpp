@@ -1,0 +1,20 @@
+#include "can/frame.hpp"
+
+#include <cstdio>
+
+namespace ecucsp::can {
+
+std::string CanFrame::to_string() const {
+  char head[32];
+  std::snprintf(head, sizeof head, "0x%X%s [%u]", id, extended ? "x" : "",
+                static_cast<unsigned>(dlc));
+  std::string out = head;
+  for (std::uint8_t i = 0; i < dlc && i < 8; ++i) {
+    char b[8];
+    std::snprintf(b, sizeof b, " %02X", data[i]);
+    out += b;
+  }
+  return out;
+}
+
+}  // namespace ecucsp::can

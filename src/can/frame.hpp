@@ -1,0 +1,45 @@
+// CAN data frames.
+//
+// Classic CAN 2.0: 11-bit standard or 29-bit extended identifiers, up to
+// 8 data bytes. Arbitration priority is "lower identifier wins", which the
+// bus simulator honours when several nodes transmit in the same time slot.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ecucsp::can {
+
+using CanId = std::uint32_t;
+
+inline constexpr CanId MAX_STANDARD_ID = 0x7FF;
+inline constexpr CanId MAX_EXTENDED_ID = 0x1FFFFFFF;
+
+struct CanFrame {
+  CanId id = 0;
+  bool extended = false;
+  std::uint8_t dlc = 8;              // data length code, 0..8
+  std::array<std::uint8_t, 8> data{};  // payload, data[0..dlc-1] valid
+  std::uint64_t timestamp_us = 0;    // set by the bus on delivery
+
+  std::uint8_t byte(std::size_t i) const { return i < 8 ? data[i] : 0; }
+  void set_byte(std::size_t i, std::uint8_t v) {
+    if (i < 8) data[i] = v;
+  }
+
+  /// Arbitration order: lower id wins; standard frames beat extended ones
+  /// with the same leading bits (approximated by comparing ids, then the
+  /// IDE bit, as real arbitration does for equal leading ids).
+  bool wins_arbitration_over(const CanFrame& other) const {
+    if (id != other.id) return id < other.id;
+    return !extended && other.extended;
+  }
+
+  bool operator==(const CanFrame&) const = default;
+
+  /// "0x1A0 [4] 01 02 03 04" -- for logs and tests.
+  std::string to_string() const;
+};
+
+}  // namespace ecucsp::can

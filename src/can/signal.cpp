@@ -1,0 +1,111 @@
+#include "can/signal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecucsp::can {
+
+namespace {
+
+/// Bit index sequence for a signal, LSB first, as absolute bit positions
+/// (byte*8 + bit_within_byte, bit 0 = LSB of byte 0).
+///
+/// Intel: absolute positions start_bit, start_bit+1, ...
+/// Motorola: the DBC start bit is the signal's MSB; successive bits walk
+/// down within the byte and then to the *next* byte's bit 7.
+std::uint16_t motorola_next(std::uint16_t pos) {
+  const std::uint16_t bit = pos % 8;
+  if (bit == 0) return static_cast<std::uint16_t>(pos + 15);  // next byte, bit 7
+  return static_cast<std::uint16_t>(pos - 1);
+}
+
+void check(const SignalSpec& spec) {
+  if (spec.length == 0 || spec.length > 64) {
+    throw std::invalid_argument("signal '" + spec.name +
+                                "' has invalid length");
+  }
+}
+
+}  // namespace
+
+std::uint64_t decode_raw(const std::array<std::uint8_t, 8>& data,
+                         const SignalSpec& spec) {
+  check(spec);
+  std::uint64_t raw = 0;
+  if (spec.byte_order == ByteOrder::Intel) {
+    for (std::uint16_t i = 0; i < spec.length; ++i) {
+      const std::uint16_t pos = spec.start_bit + i;
+      if (pos >= 64) throw std::out_of_range("signal exceeds payload");
+      const std::uint64_t bit = (data[pos / 8] >> (pos % 8)) & 1u;
+      raw |= bit << i;
+    }
+  } else {
+    // Walk from the MSB downwards; accumulate MSB-first.
+    std::uint16_t pos = spec.start_bit;
+    for (std::uint16_t i = 0; i < spec.length; ++i) {
+      if (pos >= 64) throw std::out_of_range("signal exceeds payload");
+      const std::uint64_t bit = (data[pos / 8] >> (pos % 8)) & 1u;
+      raw = (raw << 1) | bit;
+      pos = motorola_next(pos);
+    }
+  }
+  return raw;
+}
+
+void encode_raw(std::array<std::uint8_t, 8>& data, const SignalSpec& spec,
+                std::uint64_t raw) {
+  check(spec);
+  if (spec.length < 64) raw &= (1ULL << spec.length) - 1;
+  if (spec.byte_order == ByteOrder::Intel) {
+    for (std::uint16_t i = 0; i < spec.length; ++i) {
+      const std::uint16_t pos = spec.start_bit + i;
+      if (pos >= 64) throw std::out_of_range("signal exceeds payload");
+      const std::uint8_t mask = static_cast<std::uint8_t>(1u << (pos % 8));
+      if ((raw >> i) & 1u) {
+        data[pos / 8] |= mask;
+      } else {
+        data[pos / 8] &= static_cast<std::uint8_t>(~mask);
+      }
+    }
+  } else {
+    std::uint16_t pos = spec.start_bit;
+    for (std::uint16_t i = 0; i < spec.length; ++i) {
+      if (pos >= 64) throw std::out_of_range("signal exceeds payload");
+      const std::uint8_t mask = static_cast<std::uint8_t>(1u << (pos % 8));
+      const std::uint16_t shift = spec.length - 1 - i;  // MSB first
+      if ((raw >> shift) & 1u) {
+        data[pos / 8] |= mask;
+      } else {
+        data[pos / 8] &= static_cast<std::uint8_t>(~mask);
+      }
+      pos = motorola_next(pos);
+    }
+  }
+}
+
+double decode_physical(const std::array<std::uint8_t, 8>& data,
+                       const SignalSpec& spec) {
+  std::uint64_t raw = decode_raw(data, spec);
+  if (spec.is_signed && spec.length < 64 &&
+      (raw & (1ULL << (spec.length - 1)))) {
+    raw |= ~((1ULL << spec.length) - 1);  // sign extend
+  }
+  const auto value = static_cast<double>(static_cast<std::int64_t>(raw));
+  return spec.is_signed ? value * spec.factor + spec.offset
+                        : static_cast<double>(decode_raw(data, spec)) *
+                                  spec.factor +
+                              spec.offset;
+}
+
+void encode_physical(std::array<std::uint8_t, 8>& data, const SignalSpec& spec,
+                     double physical) {
+  const double raw_d = std::round((physical - spec.offset) / spec.factor);
+  if (spec.is_signed) {
+    encode_raw(data, spec, static_cast<std::uint64_t>(
+                               static_cast<std::int64_t>(raw_d)));
+  } else {
+    encode_raw(data, spec, static_cast<std::uint64_t>(raw_d));
+  }
+}
+
+}  // namespace ecucsp::can

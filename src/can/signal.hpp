@@ -1,0 +1,47 @@
+// Bit-level CAN signal encoding and decoding.
+//
+// Implements both byte orders used by CANdb:
+//   Intel (little-endian, '@1' in DBC): start bit is the LSB, bits grow
+//     upward through the payload.
+//   Motorola (big-endian, '@0' in DBC): start bit is the MSB within its
+//     byte; bits grow downward within a byte and onward to the next byte.
+// Physical values are raw * factor + offset, as in CANdb.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ecucsp::can {
+
+enum class ByteOrder : std::uint8_t { Intel, Motorola };
+
+struct SignalSpec {
+  std::string name;
+  std::uint16_t start_bit = 0;  // DBC convention for the chosen byte order
+  std::uint16_t length = 1;     // 1..64 bits
+  ByteOrder byte_order = ByteOrder::Intel;
+  bool is_signed = false;
+  double factor = 1.0;
+  double offset = 0.0;
+  double minimum = 0.0;
+  double maximum = 0.0;
+  std::string unit;
+};
+
+/// Extract the raw (unscaled) value of a signal from a payload.
+std::uint64_t decode_raw(const std::array<std::uint8_t, 8>& data,
+                         const SignalSpec& spec);
+
+/// Insert a raw value into the payload (bits outside the signal untouched).
+void encode_raw(std::array<std::uint8_t, 8>& data, const SignalSpec& spec,
+                std::uint64_t raw);
+
+/// Scaled (physical) accessors: raw * factor + offset, sign-extended when
+/// the signal is signed.
+double decode_physical(const std::array<std::uint8_t, 8>& data,
+                       const SignalSpec& spec);
+void encode_physical(std::array<std::uint8_t, 8>& data, const SignalSpec& spec,
+                     double physical);
+
+}  // namespace ecucsp::can

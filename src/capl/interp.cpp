@@ -1,0 +1,607 @@
+#include "capl/interp.hpp"
+
+#include <cstdio>
+
+namespace ecucsp::capl {
+
+std::string capl_format(const std::string& fmt,
+                        const std::vector<RtValue>& args) {
+  std::string out;
+  std::size_t arg = 0;
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] != '%' || i + 1 >= fmt.size()) {
+      out += fmt[i];
+      continue;
+    }
+    const char spec = fmt[++i];
+    if (spec == '%') {
+      out += '%';
+      continue;
+    }
+    if (arg >= args.size()) {
+      out += '%';
+      out += spec;
+      continue;
+    }
+    const RtValue& v = args[arg++];
+    char buf[32];
+    switch (spec) {
+      case 'd':
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v.i));
+        out += buf;
+        break;
+      case 'x':
+        std::snprintf(buf, sizeof buf, "%llx",
+                      static_cast<unsigned long long>(v.i));
+        out += buf;
+        break;
+      case 's':
+        if (v.kind == RtValue::Kind::Frame) {
+          out += v.frame.to_string();
+        } else {
+          std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v.i));
+          out += buf;
+        }
+        break;
+      default:
+        out += '%';
+        out += spec;
+        break;
+    }
+  }
+  return out;
+}
+
+CaplNode::CaplNode(std::string name, const CaplProgram& program,
+                   const can::DbcDatabase* db)
+    : sim::Node(std::move(name)), program_(program), db_(db) {
+  std::vector<Scope> boot;
+  boot.emplace_back();
+  for (const VarDeclTop& v : program_.variables) {
+    switch (v.type) {
+      case CaplType::Message:
+        globals_[v.name] = make_message_value(v.msg_id, v.msg_name, v.line);
+        break;
+      case CaplType::MsTimer:
+      case CaplType::Timer:
+        timer_types_[v.name] = v.type;
+        break;
+      default: {
+        RtValue init = RtValue::of_int(0);
+        if (v.init) init = eval(*v.init, boot, nullptr);
+        globals_[v.name] = init;
+        break;
+      }
+    }
+  }
+}
+
+RtValue CaplNode::make_message_value(std::int64_t msg_id,
+                                     const std::string& msg_name,
+                                     int line) const {
+  can::CanFrame f;
+  if (msg_id >= 0) {
+    f.id = static_cast<can::CanId>(msg_id);
+    f.extended = f.id > can::MAX_STANDARD_ID;
+  } else {
+    if (!db_) {
+      throw CaplError("message '" + msg_name +
+                          "' needs a CANdb database to resolve",
+                      line, 1);
+    }
+    const can::DbcMessage* m = db_->find_message(msg_name);
+    if (!m) {
+      throw CaplError("message '" + msg_name + "' not found in the database",
+                      line, 1);
+    }
+    f.id = m->id;
+    f.dlc = m->dlc;
+    f.extended = m->id > can::MAX_STANDARD_ID;
+  }
+  return RtValue::of_frame(f);
+}
+
+std::optional<RtValue> CaplNode::global(const std::string& name) const {
+  if (auto it = globals_.find(name); it != globals_.end()) return it->second;
+  return std::nullopt;
+}
+
+void CaplNode::on_start() {
+  for (const EventHandler& h : program_.handlers) {
+    if (h.kind == EventHandler::Kind::Start) run_handler(h, nullptr);
+  }
+}
+
+void CaplNode::on_stop() {
+  for (const EventHandler& h : program_.handlers) {
+    if (h.kind == EventHandler::Kind::StopMeasurement) run_handler(h, nullptr);
+  }
+}
+
+void CaplNode::on_message(const can::CanFrame& frame) {
+  for (const EventHandler& h : program_.handlers) {
+    if (h.kind != EventHandler::Kind::Message) continue;
+    bool match = h.any_message;
+    if (!match && h.msg_id >= 0) {
+      match = frame.id == static_cast<can::CanId>(h.msg_id);
+    }
+    if (!match && !h.target.empty()) {
+      // Match by DBC message name, or by the name of a declared message
+      // variable with the same id.
+      if (db_) {
+        if (const can::DbcMessage* m = db_->find_message(h.target)) {
+          match = frame.id == m->id;
+        }
+      }
+      if (!match) {
+        if (auto it = globals_.find(h.target);
+            it != globals_.end() && it->second.kind == RtValue::Kind::Frame) {
+          match = frame.id == it->second.frame.id;
+        }
+      }
+    }
+    if (match) run_handler(h, &frame);
+  }
+}
+
+void CaplNode::press_key(char c) {
+  for (const EventHandler& h : program_.handlers) {
+    if (h.kind == EventHandler::Kind::Key && !h.target.empty() &&
+        h.target[0] == c) {
+      run_handler(h, nullptr);
+    }
+  }
+}
+
+void CaplNode::run_handler(const EventHandler& h, const can::CanFrame* trigger) {
+  std::vector<Scope> scopes;
+  scopes.emplace_back();
+  RtValue ret;
+  exec(*h.body, scopes, trigger, ret);
+}
+
+RtValue CaplNode::call_function(const std::string& name,
+                                std::vector<RtValue> args) {
+  const FunctionDecl* fn = program_.find_function(name);
+  if (!fn) throw CaplError("no function named '" + name + "'", 0, 0);
+  if (args.size() != fn->params.size()) {
+    throw CaplError("function '" + name + "' expects " +
+                        std::to_string(fn->params.size()) + " arguments",
+                    fn->line, 1);
+  }
+  std::vector<Scope> scopes;
+  scopes.emplace_back();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    scopes.back()[fn->params[i].second] = std::move(args[i]);
+  }
+  RtValue ret;
+  exec(*fn->body, scopes, nullptr, ret);
+  return ret;
+}
+
+RtValue* CaplNode::find_var(const std::string& name,
+                            std::vector<Scope>& scopes) {
+  for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+    if (auto f = it->find(name); f != it->end()) return &f->second;
+  }
+  if (auto f = globals_.find(name); f != globals_.end()) return &f->second;
+  return nullptr;
+}
+
+const can::SignalSpec& CaplNode::signal_spec(const can::CanFrame& frame,
+                                             const std::string& name,
+                                             int line) const {
+  if (!db_) {
+    throw CaplError("signal access '" + name + "' needs a CANdb database",
+                    line, 1);
+  }
+  const can::DbcMessage* m = db_->find_message(frame.id);
+  if (!m) {
+    throw CaplError("no database message with id " + std::to_string(frame.id),
+                    line, 1);
+  }
+  const can::DbcSignal* s = m->find_signal(name);
+  if (!s) {
+    throw CaplError("message '" + m->name + "' has no signal '" + name + "'",
+                    line, 1);
+  }
+  return s->spec;
+}
+
+CaplNode::Flow CaplNode::exec(const CaplStmt& s, std::vector<Scope>& scopes,
+                              const can::CanFrame* trigger, RtValue& ret) {
+  switch (s.kind) {
+    case CStmtKind::Block: {
+      scopes.emplace_back();
+      for (const CaplStmtPtr& inner : s.body) {
+        const Flow f = exec(*inner, scopes, trigger, ret);
+        if (f != Flow::Normal) {
+          scopes.pop_back();
+          return f;
+        }
+      }
+      scopes.pop_back();
+      return Flow::Normal;
+    }
+    case CStmtKind::VarDecl: {
+      if (s.var_type == CaplType::Message) {
+        scopes.back()[s.var_name] =
+            make_message_value(s.msg_id, s.msg_name, s.line);
+      } else if (s.var_type == CaplType::MsTimer ||
+                 s.var_type == CaplType::Timer) {
+        timer_types_[s.var_name] = s.var_type;
+      } else {
+        scopes.back()[s.var_name] =
+            s.init ? eval(*s.init, scopes, trigger) : RtValue::of_int(0);
+      }
+      return Flow::Normal;
+    }
+    case CStmtKind::ExprStmt:
+      eval(*s.expr, scopes, trigger);
+      return Flow::Normal;
+    case CStmtKind::Assign: {
+      RtValue v = eval(*s.value, scopes, trigger);
+      if (s.assign_op != 0) {
+        const RtValue old = eval(*s.lvalue, scopes, trigger);
+        v = RtValue::of_int(old.i + s.assign_op * v.i);
+      }
+      assign(*s.lvalue, std::move(v), scopes, trigger);
+      return Flow::Normal;
+    }
+    case CStmtKind::IncDec: {
+      const RtValue old = eval(*s.lvalue, scopes, trigger);
+      assign(*s.lvalue, RtValue::of_int(old.i + s.delta), scopes, trigger);
+      return Flow::Normal;
+    }
+    case CStmtKind::If: {
+      if (eval(*s.value, scopes, trigger).i != 0) {
+        return exec(*s.then_branch, scopes, trigger, ret);
+      }
+      if (s.else_branch) return exec(*s.else_branch, scopes, trigger, ret);
+      return Flow::Normal;
+    }
+    case CStmtKind::While: {
+      std::size_t guard = 0;
+      while (eval(*s.value, scopes, trigger).i != 0) {
+        const Flow f = exec(*s.loop_body, scopes, trigger, ret);
+        if (f == Flow::Break) break;
+        if (f == Flow::Return) return f;
+        if (++guard > 1'000'000) {
+          throw CaplError("runaway while loop", s.line, 1);
+        }
+      }
+      return Flow::Normal;
+    }
+    case CStmtKind::For: {
+      scopes.emplace_back();
+      RtValue ignored;
+      if (s.for_init) exec(*s.for_init, scopes, trigger, ignored);
+      std::size_t guard = 0;
+      while (!s.value || eval(*s.value, scopes, trigger).i != 0) {
+        const Flow f = exec(*s.loop_body, scopes, trigger, ret);
+        if (f == Flow::Break) break;
+        if (f == Flow::Return) {
+          scopes.pop_back();
+          return f;
+        }
+        if (s.for_step) exec(*s.for_step, scopes, trigger, ignored);
+        if (++guard > 1'000'000) {
+          throw CaplError("runaway for loop", s.line, 1);
+        }
+      }
+      scopes.pop_back();
+      return Flow::Normal;
+    }
+    case CStmtKind::Switch: {
+      const std::int64_t scrutinee = eval(*s.value, scopes, trigger).i;
+      // Find the matching case (or default), then execute with C-style
+      // fall-through until a break.
+      std::size_t start = s.body.size();
+      for (std::size_t k = 0; k < s.body.size(); ++k) {
+        if (s.body[k]->delta == 0 && s.body[k]->msg_id == scrutinee) {
+          start = k;
+          break;
+        }
+      }
+      if (start == s.body.size()) {
+        for (std::size_t k = 0; k < s.body.size(); ++k) {
+          if (s.body[k]->delta == 1) {
+            start = k;
+            break;
+          }
+        }
+      }
+      scopes.emplace_back();
+      for (std::size_t k = start; k < s.body.size(); ++k) {
+        for (const CaplStmtPtr& inner : s.body[k]->body) {
+          const Flow f = exec(*inner, scopes, trigger, ret);
+          if (f == Flow::Break) {
+            scopes.pop_back();
+            return Flow::Normal;
+          }
+          if (f == Flow::Return) {
+            scopes.pop_back();
+            return f;
+          }
+        }
+      }
+      scopes.pop_back();
+      return Flow::Normal;
+    }
+    case CStmtKind::Case:
+      // Only reachable through Switch; treated as a no-op otherwise.
+      return Flow::Normal;
+    case CStmtKind::Break:
+      return Flow::Break;
+    case CStmtKind::Return:
+      if (s.value) ret = eval(*s.value, scopes, trigger);
+      return Flow::Return;
+  }
+  return Flow::Normal;
+}
+
+void CaplNode::assign(const CaplExpr& lvalue, RtValue value,
+                      std::vector<Scope>& scopes,
+                      const can::CanFrame* trigger) {
+  switch (lvalue.kind) {
+    case CExprKind::Name: {
+      RtValue* slot = find_var(lvalue.text, scopes);
+      if (!slot) {
+        throw CaplError("assignment to undeclared variable '" + lvalue.text +
+                            "'",
+                        lvalue.line, lvalue.column);
+      }
+      *slot = std::move(value);
+      return;
+    }
+    case CExprKind::ByteAccess: {
+      if (lvalue.object->kind != CExprKind::Name) {
+        throw CaplError("byte access assignment needs a message variable",
+                        lvalue.line, lvalue.column);
+      }
+      RtValue* slot = find_var(lvalue.object->text, scopes);
+      if (!slot || slot->kind != RtValue::Kind::Frame) {
+        throw CaplError("'" + lvalue.object->text + "' is not a message",
+                        lvalue.line, lvalue.column);
+      }
+      const std::int64_t idx = eval(*lvalue.args[0], scopes, trigger).i;
+      for (int b = 0; b < lvalue.access_width; ++b) {
+        slot->frame.set_byte(static_cast<std::size_t>(idx) + b,
+                             static_cast<std::uint8_t>(value.i >> (8 * b)));
+      }
+      return;
+    }
+    case CExprKind::Member: {
+      if (lvalue.object->kind != CExprKind::Name) {
+        throw CaplError("member assignment needs a message variable",
+                        lvalue.line, lvalue.column);
+      }
+      RtValue* slot = find_var(lvalue.object->text, scopes);
+      if (!slot || slot->kind != RtValue::Kind::Frame) {
+        throw CaplError("'" + lvalue.object->text + "' is not a message",
+                        lvalue.line, lvalue.column);
+      }
+      if (lvalue.text == "dlc") {
+        slot->frame.dlc = static_cast<std::uint8_t>(value.i);
+        return;
+      }
+      if (lvalue.text == "id") {
+        slot->frame.id = static_cast<can::CanId>(value.i);
+        return;
+      }
+      const can::SignalSpec& spec =
+          signal_spec(slot->frame, lvalue.text, lvalue.line);
+      can::encode_physical(slot->frame.data, spec,
+                           static_cast<double>(value.i));
+      return;
+    }
+    default:
+      throw CaplError("invalid assignment target", lvalue.line, lvalue.column);
+  }
+}
+
+RtValue CaplNode::eval(const CaplExpr& e, std::vector<Scope>& scopes,
+                       const can::CanFrame* trigger) {
+  switch (e.kind) {
+    case CExprKind::Number:
+    case CExprKind::CharLit:
+      return RtValue::of_int(e.number);
+    case CExprKind::StringLit:
+      // Strings only flow into write(); represent as an opaque int handle of
+      // 0 when used numerically.
+      return RtValue::of_int(0);
+    case CExprKind::This: {
+      if (!trigger) {
+        throw CaplError("'this' outside an 'on message' procedure", e.line,
+                        e.column);
+      }
+      return RtValue::of_frame(*trigger);
+    }
+    case CExprKind::Name: {
+      if (RtValue* v = find_var(e.text, scopes)) return *v;
+      throw CaplError("unknown variable '" + e.text + "'", e.line, e.column);
+    }
+    case CExprKind::Member: {
+      const RtValue base = eval(*e.object, scopes, trigger);
+      if (base.kind != RtValue::Kind::Frame) {
+        throw CaplError("member access on a non-message value", e.line,
+                        e.column);
+      }
+      if (e.text == "dlc") return RtValue::of_int(base.frame.dlc);
+      if (e.text == "id") return RtValue::of_int(base.frame.id);
+      const can::SignalSpec& spec = signal_spec(base.frame, e.text, e.line);
+      return RtValue::of_int(static_cast<std::int64_t>(
+          can::decode_physical(base.frame.data, spec)));
+    }
+    case CExprKind::ByteAccess: {
+      const RtValue base = eval(*e.object, scopes, trigger);
+      if (base.kind != RtValue::Kind::Frame) {
+        throw CaplError("byte access on a non-message value", e.line, e.column);
+      }
+      const std::int64_t idx = eval(*e.args[0], scopes, trigger).i;
+      std::int64_t out = 0;
+      for (int b = 0; b < e.access_width; ++b) {
+        out |= static_cast<std::int64_t>(
+                   base.frame.byte(static_cast<std::size_t>(idx) + b))
+               << (8 * b);
+      }
+      return RtValue::of_int(out);
+    }
+    case CExprKind::Unary: {
+      const RtValue v = eval(*e.args[0], scopes, trigger);
+      switch (e.un) {
+        case CUnOp::Neg: return RtValue::of_int(-v.i);
+        case CUnOp::Not: return RtValue::of_int(v.i == 0 ? 1 : 0);
+        case CUnOp::BNot: return RtValue::of_int(~v.i);
+      }
+      return RtValue::of_int(0);
+    }
+    case CExprKind::Binary: {
+      // Short-circuit logical operators.
+      if (e.bin == CBinOp::LAnd) {
+        if (eval(*e.args[0], scopes, trigger).i == 0) return RtValue::of_int(0);
+        return RtValue::of_int(eval(*e.args[1], scopes, trigger).i != 0);
+      }
+      if (e.bin == CBinOp::LOr) {
+        if (eval(*e.args[0], scopes, trigger).i != 0) return RtValue::of_int(1);
+        return RtValue::of_int(eval(*e.args[1], scopes, trigger).i != 0);
+      }
+      const std::int64_t a = eval(*e.args[0], scopes, trigger).i;
+      const std::int64_t b = eval(*e.args[1], scopes, trigger).i;
+      switch (e.bin) {
+        case CBinOp::Add: return RtValue::of_int(a + b);
+        case CBinOp::Sub: return RtValue::of_int(a - b);
+        case CBinOp::Mul: return RtValue::of_int(a * b);
+        case CBinOp::Div:
+          if (b == 0) throw CaplError("division by zero", e.line, e.column);
+          return RtValue::of_int(a / b);
+        case CBinOp::Mod:
+          if (b == 0) throw CaplError("modulo by zero", e.line, e.column);
+          return RtValue::of_int(a % b);
+        case CBinOp::Eq: return RtValue::of_int(a == b);
+        case CBinOp::Ne: return RtValue::of_int(a != b);
+        case CBinOp::Lt: return RtValue::of_int(a < b);
+        case CBinOp::Gt: return RtValue::of_int(a > b);
+        case CBinOp::Le: return RtValue::of_int(a <= b);
+        case CBinOp::Ge: return RtValue::of_int(a >= b);
+        case CBinOp::BAnd: return RtValue::of_int(a & b);
+        case CBinOp::BOr: return RtValue::of_int(a | b);
+        case CBinOp::BXor: return RtValue::of_int(a ^ b);
+        case CBinOp::Shl: return RtValue::of_int(a << b);
+        case CBinOp::Shr: return RtValue::of_int(a >> b);
+        default: return RtValue::of_int(0);
+      }
+    }
+    case CExprKind::Call: {
+      std::vector<RtValue> args;
+      args.reserve(e.args.size());
+      // setTimer/cancelTimer take a timer *name* and write() a format
+      // string as their first argument; those are consumed syntactically by
+      // builtin_call, not evaluated.
+      const bool lazy_first =
+          e.text == "setTimer" || e.text == "cancelTimer" || e.text == "write";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i == 0 && lazy_first && !program_.find_function(e.text)) {
+          args.push_back(RtValue::of_int(0));
+        } else {
+          args.push_back(eval(*e.args[i], scopes, trigger));
+        }
+      }
+      if (const FunctionDecl* fn = program_.find_function(e.text)) {
+        if (args.size() != fn->params.size()) {
+          throw CaplError("function '" + e.text + "' expects " +
+                              std::to_string(fn->params.size()) + " arguments",
+                          e.line, e.column);
+        }
+        std::vector<Scope> inner;
+        inner.emplace_back();
+        for (std::size_t i = 0; i < args.size(); ++i) {
+          inner.back()[fn->params[i].second] = std::move(args[i]);
+        }
+        RtValue ret;
+        exec(*fn->body, inner, trigger, ret);
+        return ret;
+      }
+      return builtin_call(e, std::move(args), scopes, trigger);
+    }
+  }
+  return RtValue::of_int(0);
+}
+
+RtValue CaplNode::builtin_call(const CaplExpr& call, std::vector<RtValue> args,
+                               std::vector<Scope>& scopes,
+                               const can::CanFrame* trigger) {
+  const std::string& name = call.text;
+  if (name == "output") {
+    if (args.size() != 1 || args[0].kind != RtValue::Kind::Frame) {
+      throw CaplError("output() expects one message argument", call.line,
+                      call.column);
+    }
+    output(args[0].frame);
+    return RtValue::of_int(0);
+  }
+  if (name == "setTimer") {
+    if (call.args.empty() || call.args[0]->kind != CExprKind::Name) {
+      throw CaplError("setTimer() expects a timer name", call.line,
+                      call.column);
+    }
+    const std::string timer = call.args[0]->text;
+    auto type_it = timer_types_.find(timer);
+    if (type_it == timer_types_.end()) {
+      throw CaplError("'" + timer + "' is not a declared timer", call.line,
+                      call.column);
+    }
+    if (args.size() != 2) {
+      throw CaplError("setTimer() expects (timer, duration)", call.line,
+                      call.column);
+    }
+    const std::uint64_t factor =
+        type_it->second == CaplType::MsTimer ? 1'000ULL : 1'000'000ULL;
+    // Re-setting an active timer restarts it, as in CAPL.
+    if (auto active = active_timers_.find(timer);
+        active != active_timers_.end()) {
+      cancel_timer(active->second);
+    }
+    const auto id = set_timer(
+        static_cast<std::uint64_t>(args[1].i) * factor, [this, timer] {
+          active_timers_.erase(timer);
+          for (const EventHandler& h : program_.handlers) {
+            if (h.kind == EventHandler::Kind::Timer && h.target == timer) {
+              run_handler(h, nullptr);
+            }
+          }
+        });
+    active_timers_[timer] = id;
+    return RtValue::of_int(0);
+  }
+  if (name == "cancelTimer") {
+    if (call.args.empty() || call.args[0]->kind != CExprKind::Name) {
+      throw CaplError("cancelTimer() expects a timer name", call.line,
+                      call.column);
+    }
+    const std::string timer = call.args[0]->text;
+    if (auto it = active_timers_.find(timer); it != active_timers_.end()) {
+      cancel_timer(it->second);
+      active_timers_.erase(it);
+    }
+    return RtValue::of_int(0);
+  }
+  if (name == "write") {
+    if (call.args.empty() || call.args[0]->kind != CExprKind::StringLit) {
+      throw CaplError("write() expects a format string", call.line,
+                      call.column);
+    }
+    write(capl_format(call.args[0]->text,
+                      {args.begin() + 1, args.end()}));
+    return RtValue::of_int(0);
+  }
+  if (name == "timeNow") {
+    // CAPL's timeNow() reports time in 10-microsecond units.
+    return RtValue::of_int(static_cast<std::int64_t>(now() / 10));
+  }
+  (void)scopes;
+  (void)trigger;
+  throw CaplError("unknown function '" + name + "'", call.line, call.column);
+}
+
+}  // namespace ecucsp::capl

@@ -1,0 +1,95 @@
+// CAPL interpreter: runs a parsed CAPL program as a simulation node.
+//
+// This is the execution half of the CANoe substitute: event procedures are
+// dispatched by the simulation environment ('on start', bus frames, timer
+// expiry, key presses), and the CAPL intrinsics output()/setTimer()/
+// cancelTimer()/write() are wired to the bus, the scheduler and the log.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "can/dbc.hpp"
+#include "capl/ast.hpp"
+#include "capl/lexer.hpp"
+#include "sim/environment.hpp"
+
+namespace ecucsp::capl {
+
+/// A CAPL runtime value: integer scalar or CAN message object.
+struct RtValue {
+  enum class Kind : std::uint8_t { Int, Frame };
+  Kind kind = Kind::Int;
+  std::int64_t i = 0;
+  can::CanFrame frame;
+
+  static RtValue of_int(std::int64_t v) {
+    RtValue out;
+    out.i = v;
+    return out;
+  }
+  static RtValue of_frame(can::CanFrame f) {
+    RtValue out;
+    out.kind = Kind::Frame;
+    out.frame = f;
+    return out;
+  }
+};
+
+class CaplNode : public sim::Node {
+ public:
+  /// `db` (optional) resolves DBC message names and signal accesses; it
+  /// must outlive the node.
+  CaplNode(std::string name, const CaplProgram& program,
+           const can::DbcDatabase* db = nullptr);
+
+  void on_start() override;
+  void on_message(const can::CanFrame& frame) override;
+  void on_stop() override;
+
+  /// Simulate a key press (drives 'on key' procedures).
+  void press_key(char c);
+
+  /// Read a global variable (tests & assertions).
+  std::optional<RtValue> global(const std::string& name) const;
+
+  /// Call a CAPL function directly (tests).
+  RtValue call_function(const std::string& name, std::vector<RtValue> args);
+
+ private:
+  enum class Flow : std::uint8_t { Normal, Break, Return };
+  struct Frame;  // local scope stack
+
+  using Scope = std::map<std::string, RtValue>;
+
+  void run_handler(const EventHandler& h, const can::CanFrame* trigger);
+  Flow exec(const CaplStmt& s, std::vector<Scope>& scopes,
+            const can::CanFrame* trigger, RtValue& ret);
+  RtValue eval(const CaplExpr& e, std::vector<Scope>& scopes,
+               const can::CanFrame* trigger);
+  void assign(const CaplExpr& lvalue, RtValue value, std::vector<Scope>& scopes,
+              const can::CanFrame* trigger);
+  RtValue* find_var(const std::string& name, std::vector<Scope>& scopes);
+
+  RtValue builtin_call(const CaplExpr& call, std::vector<RtValue> args,
+                       std::vector<Scope>& scopes, const can::CanFrame* trigger);
+  RtValue make_message_value(std::int64_t msg_id, const std::string& msg_name,
+                             int line) const;
+
+  const can::SignalSpec& signal_spec(const can::CanFrame& frame,
+                                     const std::string& name, int line) const;
+
+  const CaplProgram& program_;
+  const can::DbcDatabase* db_;
+  Scope globals_;
+  std::map<std::string, CaplType> timer_types_;
+  std::map<std::string, sim::Scheduler::TaskId> active_timers_;
+};
+
+/// Minimal CAPL write() formatting: %d, %x, %s, %%.
+std::string capl_format(const std::string& fmt,
+                        const std::vector<RtValue>& args);
+
+}  // namespace ecucsp::capl

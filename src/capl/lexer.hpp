@@ -1,0 +1,27 @@
+// CAPL lexer. C-style comments (// and /* */), decimal/hex integers,
+// character and string literals.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "capl/token.hpp"
+
+namespace ecucsp::capl {
+
+class CaplError : public std::runtime_error {
+ public:
+  CaplError(const std::string& what, int line, int column)
+      : std::runtime_error("CAPL error at " + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + what),
+        line(line),
+        column(column) {}
+  int line;
+  int column;
+};
+
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace ecucsp::capl

@@ -1,0 +1,13 @@
+// Recursive-descent parser for the CAPL subset.
+#pragma once
+
+#include <string_view>
+
+#include "capl/ast.hpp"
+#include "capl/lexer.hpp"
+
+namespace ecucsp::capl {
+
+CaplProgram parse_capl(std::string_view source);
+
+}  // namespace ecucsp::capl

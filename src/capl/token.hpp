@@ -1,0 +1,76 @@
+// Token stream for the CAPL subset (Vector's Communication Access
+// Programming Language, a C dialect with event procedures).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ecucsp::capl {
+
+enum class Tok : std::uint8_t {
+  End,
+  Ident,
+  Number,     // integer (decimal or 0x hex)
+  CharLit,    // 'a'
+  StringLit,  // "text"
+  // keywords
+  KwIncludes,
+  KwVariables,
+  KwOn,
+  KwMessage,
+  KwTimer,    // both the 'timer' type and 'on timer'
+  KwMsTimer,
+  KwKey,
+  KwStart,
+  KwStopM,    // stopMeasurement
+  KwInt,
+  KwLong,
+  KwByte,
+  KwWord,
+  KwDword,
+  KwChar,
+  KwFloat,
+  KwDouble,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+  KwBreak,
+  KwReturn,
+  KwThis,
+  // punctuation
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Colon,
+  // operators
+  Assign,     // =
+  Plus, Minus, Star, Slash, Percent,
+  EqEq, NotEq, Less, Greater, LessEq, GreaterEq,
+  AndAnd, OrOr, Not,
+  Amp, Pipe, Caret, Tilde, Shl, Shr,
+  PlusPlus, MinusMinus,
+  PlusAssign, MinusAssign,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;
+  std::int64_t number = 0;
+  int line = 0;
+  int column = 0;
+};
+
+std::string to_string(Tok k);
+
+}  // namespace ecucsp::capl

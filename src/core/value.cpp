@@ -1,0 +1,93 @@
+#include "core/value.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+namespace ecucsp {
+
+Symbol SymbolTable::intern(std::string_view text) {
+  auto it = ids_.find(std::string(text));
+  if (it != ids_.end()) return it->second;
+  const Symbol id = static_cast<Symbol>(names_.size());
+  names_.emplace_back(text);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+Value Value::tuple(std::vector<Value> fields) {
+  Value out;
+  out.kind_ = Kind::Tuple;
+  out.tuple_ = std::make_shared<const std::vector<Value>>(std::move(fields));
+  return out;
+}
+
+std::int64_t Value::as_int() const {
+  if (kind_ != Kind::Int) throw std::logic_error("Value::as_int on non-int");
+  return scalar_;
+}
+
+Symbol Value::as_sym() const {
+  if (kind_ != Kind::Sym) throw std::logic_error("Value::as_sym on non-symbol");
+  return static_cast<Symbol>(scalar_);
+}
+
+const std::vector<Value>& Value::as_tuple() const {
+  if (kind_ != Kind::Tuple) throw std::logic_error("Value::as_tuple on non-tuple");
+  return *tuple_;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  if (kind_ == Kind::Tuple) return *tuple_ == *other.tuple_;
+  return scalar_ == other.scalar_;
+}
+
+std::strong_ordering Value::operator<=>(const Value& other) const {
+  if (kind_ != other.kind_) return kind_ <=> other.kind_;
+  if (kind_ != Kind::Tuple) return scalar_ <=> other.scalar_;
+  const auto& a = *tuple_;
+  const auto& b = *other.tuple_;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (auto cmp = a[i] <=> b[i]; cmp != std::strong_ordering::equal) return cmp;
+  }
+  return a.size() <=> b.size();
+}
+
+std::size_t Value::hash() const {
+  std::size_t seed = static_cast<std::size_t>(kind_);
+  if (kind_ != Kind::Tuple) {
+    return hash_combine(seed, std::hash<std::int64_t>{}(scalar_));
+  }
+  for (const Value& v : *tuple_) seed = hash_combine(seed, v.hash());
+  return hash_combine(seed, tuple_->size());
+}
+
+std::string Value::to_string(const SymbolTable& symbols) const {
+  switch (kind_) {
+    case Kind::Int:
+      return std::to_string(scalar_);
+    case Kind::Sym:
+      return symbols.name(static_cast<Symbol>(scalar_));
+    case Kind::Tuple: {
+      std::string out = "<";
+      bool first = true;
+      for (const Value& v : *tuple_) {
+        if (!first) out += ", ";
+        first = false;
+        out += v.to_string(symbols);
+      }
+      out += ">";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::size_t hash_values(const std::vector<Value>& vs) {
+  std::size_t seed = vs.size();
+  for (const Value& v : vs) seed = hash_combine(seed, v.hash());
+  return seed;
+}
+
+}  // namespace ecucsp

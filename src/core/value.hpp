@@ -1,0 +1,92 @@
+// Interned symbols and structured values carried by CSP events.
+//
+// CSPm events are channel names applied to zero or more data fields
+// ("send.reqSw.mac0"). Fields are Values: integers, interned symbols
+// (datatype constructors, agent names, keys) or tuples (compound payloads
+// such as enc(k, <na, a>) used by the protocol models in src/security).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ecucsp {
+
+/// Interned string id. Symbols are owned by a SymbolTable (one per Context).
+using Symbol = std::uint32_t;
+
+/// Append-only string interner. Symbol ids are dense and stable.
+class SymbolTable {
+ public:
+  Symbol intern(std::string_view text);
+  const std::string& name(Symbol id) const { return names_.at(id); }
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Symbol> ids_;
+};
+
+/// An immutable datum carried in an event field: integer, symbol, or tuple.
+/// Values are cheap to copy (tuples share their storage) and totally ordered
+/// so they can key maps and be enumerated deterministically.
+class Value {
+ public:
+  enum class Kind : std::uint8_t { Int, Sym, Tuple };
+
+  Value() : kind_(Kind::Int), scalar_(0) {}
+
+  static Value integer(std::int64_t v) {
+    Value out;
+    out.kind_ = Kind::Int;
+    out.scalar_ = v;
+    return out;
+  }
+  static Value symbol(Symbol s) {
+    Value out;
+    out.kind_ = Kind::Sym;
+    out.scalar_ = static_cast<std::int64_t>(s);
+    return out;
+  }
+  static Value tuple(std::vector<Value> fields);
+
+  Kind kind() const { return kind_; }
+  bool is_int() const { return kind_ == Kind::Int; }
+  bool is_sym() const { return kind_ == Kind::Sym; }
+  bool is_tuple() const { return kind_ == Kind::Tuple; }
+
+  std::int64_t as_int() const;
+  Symbol as_sym() const;
+  const std::vector<Value>& as_tuple() const;
+
+  bool operator==(const Value& other) const;
+  std::strong_ordering operator<=>(const Value& other) const;
+
+  std::size_t hash() const;
+
+  /// Render for diagnostics: ints as digits, symbols via the table,
+  /// tuples as "<a, b>".
+  std::string to_string(const SymbolTable& symbols) const;
+
+ private:
+  Kind kind_;
+  std::int64_t scalar_;  // Int payload, or Symbol id widened
+  std::shared_ptr<const std::vector<Value>> tuple_;
+};
+
+struct ValueHash {
+  std::size_t operator()(const Value& v) const { return v.hash(); }
+};
+
+/// Combine hashes (boost-style).
+inline std::size_t hash_combine(std::size_t seed, std::size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+std::size_t hash_values(const std::vector<Value>& vs);
+
+}  // namespace ecucsp

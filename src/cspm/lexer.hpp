@@ -1,0 +1,26 @@
+// CSPm lexer. Handles '--' line comments and nested '{- -}' block comments.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cspm/token.hpp"
+
+namespace ecucsp::cspm {
+
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& what, int line, int column)
+      : std::runtime_error("lex error at " + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + what),
+        line(line),
+        column(column) {}
+  int line;
+  int column;
+};
+
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace ecucsp::cspm

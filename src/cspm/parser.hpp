@@ -1,0 +1,33 @@
+// Recursive-descent parser for the CSPm subset.
+//
+// Operator precedence (loosest binds last), following the FDR convention:
+//   if/let  <  ||| [|A|] [A||B]  <  |~|  <  []  <  \  <  ;  <  & / ->
+//   <  or < and < not < comparisons < + - < * / % < unary - < postfix < atom
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "cspm/ast.hpp"
+
+namespace ecucsp::cspm {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, int line, int column)
+      : std::runtime_error("parse error at " + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + what),
+        line(line),
+        column(column) {}
+  int line;
+  int column;
+};
+
+/// Parse a whole CSPm script (declarations, definitions, assertions).
+Script parse_cspm(std::string_view source);
+
+/// Parse a single CSPm expression/process (used by tests and tools).
+ExprPtr parse_cspm_expression(std::string_view source);
+
+}  // namespace ecucsp::cspm

@@ -1,0 +1,16 @@
+// Pretty-printer: AST back to CSPm concrete syntax.
+//
+// Output is conservative with parentheses so that print -> parse -> print
+// is a fixpoint; round-trip tests rely on this.
+#pragma once
+
+#include <string>
+
+#include "cspm/ast.hpp"
+
+namespace ecucsp::cspm {
+
+std::string print_expr(const Expr& e);
+std::string print_script(const Script& s);
+
+}  // namespace ecucsp::cspm

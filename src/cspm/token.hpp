@@ -1,0 +1,92 @@
+// Token stream for the CSPm machine-readable dialect of CSP (Scattergood &
+// Armstrong, "CSPm: A Reference Manual") — the subset exercised by the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ecucsp::cspm {
+
+enum class Tok : std::uint8_t {
+  End,
+  Ident,      // names: processes, channels, variables, constructors
+  Number,     // integer literal
+  // keywords
+  KwChannel,
+  KwDatatype,
+  KwNametype,
+  KwAssert,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwLet,
+  KwWithin,
+  KwStop,
+  KwSkip,
+  KwTrue,
+  KwFalse,
+  KwNot,
+  KwAnd,
+  KwOr,
+  // punctuation / operators
+  Arrow,       // ->
+  LArrow,      // <-
+  ExtChoice,   // []
+  IntChoice,   // |~|
+  Interleave,  // |||
+  LSync,       // [|
+  RSync,       // |]
+  LRenameB,    // [[
+  RRenameB,    // ]]
+  LBracket,    // [
+  RBracket,    // ]
+  LBraceBar,   // {|
+  RBraceBar,   // |}
+  LBrace,      // {
+  RBrace,      // }
+  LParen,      // (
+  RParen,      // )
+  ParSplit,    // || (inside [A||B])
+  Semi,        // ;
+  Comma,       // ,
+  Dot,         // .
+  DotDot,      // ..
+  Question,    // ?
+  Bang,        // !
+  Equals,      // =
+  EqEq,        // ==
+  NotEq,       // !=
+  Less,        // <
+  Greater,     // >
+  LessEq,      // <=
+  GreaterEq,   // >=
+  Plus,        // +
+  Minus,       // -
+  Star,        // *
+  Slash,       // /
+  Percent,     // %
+  Backslash,   // hiding
+  At,          // @
+  Colon,       // :
+  Amp,         // & (boolean guard)
+  Pipe,        // |
+  InterruptOp, // the interrupt operator (slash-backslash)
+  SlideOp,     // [>
+  RefinesT,    // [T=
+  RefinesF,    // [F=
+  RefinesFD,   // [FD=
+  ColonLBracket,  // :[  (assertion properties)
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;       // Ident spelling / Number digits
+  std::int64_t number = 0;
+  int line = 0;
+  int column = 0;
+};
+
+std::string to_string(Tok k);
+
+}  // namespace ecucsp::cspm

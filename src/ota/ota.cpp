@@ -1,0 +1,486 @@
+#include "ota/ota.hpp"
+
+#include <stdexcept>
+
+#include "security/properties.hpp"
+
+namespace ecucsp::ota {
+
+const std::vector<MessageTypeRow>& message_table() {
+  static const std::vector<MessageTypeRow> rows = {
+      {"Diagnose", "reqSw", "VMG", "ECU", "Request diagnose software status"},
+      {"Diagnose", "rptSw", "ECU", "VMG", "Result of software diagnosis"},
+      {"Update", "reqApp", "VMG", "ECU", "Request apply update module"},
+      {"Update", "rptUpd", "ECU", "VMG", "Result of applying update module"},
+  };
+  return rows;
+}
+
+const std::vector<Requirement>& requirements() {
+  static const std::vector<Requirement> rows = {
+      {"R01",
+       "At start of update process, the VMG shall send a software inventory "
+       "request message to all ECUs."},
+      {"R02",
+       "On receipt of software inventory request, the ECU shall send a "
+       "software list response message."},
+      {"R03",
+       "On receipt of apply update message from the VMG, the ECU shall check "
+       "the package contents and apply the update."},
+      {"R04",
+       "On completion of update module installation, the ECU shall send "
+       "software update result message to the VMG."},
+      {"R05", "It is assumed the system uses shared keys."},
+  };
+  return rows;
+}
+
+std::unique_ptr<OtaModel> build_ota_model() {
+  auto model = std::make_unique<OtaModel>();
+  Context& ctx = model->ctx;
+
+  const Value reqSw = Value::symbol(ctx.sym("reqSw"));
+  const Value rptSw = Value::symbol(ctx.sym("rptSw"));
+  const Value reqApp = Value::symbol(ctx.sym("reqApp"));
+  const Value rptUpd = Value::symbol(ctx.sym("rptUpd"));
+  const Value genuine = Value::symbol(ctx.sym("genuine"));
+  const Value forged = Value::symbol(ctx.sym("forged"));
+  const std::vector<Value> msgs{reqSw, rptSw, reqApp, rptUpd};
+  const std::vector<Value> auth{genuine, forged};
+
+  const ChannelId send = ctx.channel("send", {msgs, auth});
+  const ChannelId rec = ctx.channel("rec", {msgs, auth});
+  const ChannelId install_chan = ctx.channel("install");
+
+  model->send_reqSw = ctx.event(send, {reqSw, genuine});
+  model->rec_rptSw = ctx.event(rec, {rptSw, genuine});
+  model->send_reqApp = ctx.event(send, {reqApp, genuine});
+  model->rec_rptUpd = ctx.event(rec, {rptUpd, genuine});
+  model->forged_reqApp = ctx.event(send, {reqApp, forged});
+  model->install = ctx.event(install_chan);
+
+  // Partition the network alphabet by authenticity tag.
+  {
+    std::vector<EventId> g, f;
+    for (const ChannelId c : {send, rec}) {
+      for (const EventId e : ctx.events_of(c)) {
+        if (ctx.event_fields(e)[1] == genuine) {
+          g.push_back(e);
+        } else {
+          f.push_back(e);
+        }
+      }
+    }
+    model->genuine_events = EventSet(std::move(g));
+    model->forged_events = EventSet(std::move(f));
+  }
+
+  // --- VMG: drives one update cycle, forever (Section V-A) -----------------
+  ctx.define("OTA_VMG", [=](Context& cx, std::span<const Value>) {
+    return cx.prefix(
+        cx.event(send, {reqSw, genuine}),
+        cx.prefix(cx.event(rec, {rptSw, genuine}),
+                  cx.prefix(cx.event(send, {reqApp, genuine}),
+                            cx.prefix(cx.event(rec, {rptUpd, genuine}),
+                                      cx.var("OTA_VMG")))));
+  });
+  model->vmg = ctx.var("OTA_VMG");
+
+  // --- ECU variants ----------------------------------------------------------
+  // Shared helper: the ECU's honest replies always carry valid MACs.
+  const auto ecu_body = [=](Context& cx, bool verify_mac,
+                            std::string_view self) {
+    std::vector<ProcessRef> branches;
+    const ProcessRef loop = cx.var(self);
+    // Genuine inventory request -> diagnosis report (R02).
+    branches.push_back(cx.prefix(
+        cx.event(send, {reqSw, genuine}),
+        cx.prefix(cx.event(rec, {rptSw, genuine}), loop)));
+    // Apply-update request -> verify, install, report (R03, R04).
+    branches.push_back(cx.prefix(
+        cx.event(send, {reqApp, genuine}),
+        cx.prefix(cx.event(install_chan, {}),
+                  cx.prefix(cx.event(rec, {rptUpd, genuine}), loop))));
+    if (verify_mac) {
+      // Forged requests fail MAC verification and are discarded.
+      branches.push_back(
+          cx.prefix(cx.event(send, {reqApp, forged}), loop));
+      branches.push_back(cx.prefix(cx.event(send, {reqSw, forged}), loop));
+    } else {
+      // No verification: a forged update request installs too.
+      branches.push_back(cx.prefix(
+          cx.event(send, {reqApp, forged}),
+          cx.prefix(cx.event(install_chan, {}),
+                    cx.prefix(cx.event(rec, {rptUpd, genuine}), loop))));
+      branches.push_back(cx.prefix(
+          cx.event(send, {reqSw, forged}),
+          cx.prefix(cx.event(rec, {rptSw, genuine}), loop)));
+    }
+    // Other forged traffic is ignored (a CAN node drops frames it does not
+    // expect).
+    for (const Value& m : {rptSw, rptUpd}) {
+      branches.push_back(cx.prefix(cx.event(send, {m, forged}), loop));
+    }
+    return cx.ext_choice(branches);
+  };
+
+  ctx.define("OTA_ECU_MAC", [=](Context& cx, std::span<const Value>) {
+    return ecu_body(cx, true, "OTA_ECU_MAC");
+  });
+  ctx.define("OTA_ECU_OPEN", [=](Context& cx, std::span<const Value>) {
+    return ecu_body(cx, false, "OTA_ECU_OPEN");
+  });
+  model->ecu_mac = ctx.var("OTA_ECU_MAC");
+  model->ecu_unprotected = ctx.var("OTA_ECU_OPEN");
+
+  // --- attacker: inject any forged message, at any time -----------------------
+  model->attacker = ctx.run(model->forged_events);
+
+  // --- compositions -------------------------------------------------------------
+  const auto compose = [&](ProcessRef ecu, ProcessRef attack_env) {
+    // ECU synchronises with the attack environment on forged events, and
+    // with the VMG on genuine network traffic; install stays local.
+    const ProcessRef ecu_in_env = ctx.par(ecu, model->forged_events, attack_env);
+    return ctx.par(model->vmg, model->genuine_events, ecu_in_env);
+  };
+  model->system_plain = compose(model->ecu_mac, ctx.stop());
+  model->system_attacked = compose(model->ecu_mac, model->attacker);
+  model->system_unprotected = compose(model->ecu_unprotected, model->attacker);
+
+  return model;
+}
+
+CheckResult check_requirement(OtaModel& model, std::string_view id) {
+  Context& ctx = model.ctx;
+  if (id == "R01") {
+    // The very first network action is the inventory request.
+    const ProcessRef spec =
+        ctx.prefix(model.send_reqSw, ctx.run(ctx.alphabet()));
+    return check_refinement(ctx, spec, model.system_plain, Model::Traces);
+  }
+  if (id == "R02") {
+    return security::check_response(ctx, model.system_plain, model.send_reqSw,
+                                    model.rec_rptSw);
+  }
+  if (id == "R03") {
+    return security::check_response(ctx, model.system_plain, model.send_reqApp,
+                                    model.install);
+  }
+  if (id == "R04") {
+    return security::check_response(ctx, model.system_plain, model.install,
+                                    model.rec_rptUpd);
+  }
+  if (id == "R05") {
+    // Shared keys make MACs unforgeable: under attack, installation still
+    // requires a genuine update request.
+    return security::check_precedence_witness(
+        ctx, model.system_attacked, model.send_reqApp, model.install);
+  }
+  throw std::out_of_range("unknown requirement id '" + std::string(id) + "'");
+}
+
+// --- extended scope: Update Server (Section VIII-A) ----------------------------
+
+std::unique_ptr<OtaExtendedModel> build_ota_extended_model() {
+  auto model = std::make_unique<OtaExtendedModel>();
+  Context& ctx = model->ctx;
+
+  const Value diagnose = Value::symbol(ctx.sym("diagnose"));
+  const Value update_check = Value::symbol(ctx.sym("update_check"));
+  const Value update = Value::symbol(ctx.sym("update"));
+  const Value update_report = Value::symbol(ctx.sym("update_report"));
+  const std::vector<Value> srv_msgs{diagnose, update_check, update,
+                                    update_report};
+
+  const Value reqSw = Value::symbol(ctx.sym("reqSw"));
+  const Value rptSw = Value::symbol(ctx.sym("rptSw"));
+  const Value reqApp = Value::symbol(ctx.sym("reqApp"));
+  const Value rptUpd = Value::symbol(ctx.sym("rptUpd"));
+  const Value genuine = Value::symbol(ctx.sym("genuine"));
+  const Value forged = Value::symbol(ctx.sym("forged"));
+  const std::vector<Value> can_msgs{reqSw, rptSw, reqApp, rptUpd};
+  const std::vector<Value> auth{genuine, forged};
+
+  // Cellular leg: TLS-protected, so no forged tag dimension.
+  const ChannelId down = ctx.channel("down", {srv_msgs});
+  const ChannelId up = ctx.channel("up", {srv_msgs});
+  // In-vehicle CAN leg: attackable, as in the base model.
+  const ChannelId send = ctx.channel("send", {can_msgs, auth});
+  const ChannelId rec = ctx.channel("rec", {can_msgs, auth});
+  const ChannelId install_chan = ctx.channel("install");
+
+  model->down_diagnose = ctx.event(down, {diagnose});
+  model->up_update_check = ctx.event(up, {update_check});
+  model->down_update = ctx.event(down, {update});
+  model->up_update_report = ctx.event(up, {update_report});
+  model->send_reqSw = ctx.event(send, {reqSw, genuine});
+  model->rec_rptSw = ctx.event(rec, {rptSw, genuine});
+  model->send_reqApp = ctx.event(send, {reqApp, genuine});
+  model->rec_rptUpd = ctx.event(rec, {rptUpd, genuine});
+  model->forged_reqApp = ctx.event(send, {reqApp, forged});
+  model->install = ctx.event(install_chan);
+
+  EventSet genuine_can, forged_can;
+  for (const ChannelId c : {send, rec}) {
+    for (const EventId e : ctx.events_of(c)) {
+      if (ctx.event_fields(e)[1] == genuine) {
+        genuine_can.insert(e);
+      } else {
+        forged_can.insert(e);
+      }
+    }
+  }
+  const EventSet srv_events = ctx.events_of(down).set_union(ctx.events_of(up));
+
+  // Update Server: one campaign per cycle (X.1373's server-side dialogue).
+  ctx.define("OTAX_SERVER", [=](Context& cx, std::span<const Value>) {
+    return cx.prefix(
+        cx.event(down, {diagnose}),
+        cx.prefix(cx.event(up, {update_check}),
+                  cx.prefix(cx.event(down, {update}),
+                            cx.prefix(cx.event(up, {update_report}),
+                                      cx.var("OTAX_SERVER")))));
+  });
+  model->server = ctx.var("OTAX_SERVER");
+
+  // VMG: bridges the two legs. It only issues reqApp after the server
+  // delivered the package, and only reports after the ECU confirmed.
+  ctx.define("OTAX_VMG", [=](Context& cx, std::span<const Value>) {
+    return cx.prefix(
+        cx.event(down, {diagnose}),
+        cx.prefix(
+            cx.event(send, {reqSw, genuine}),
+            cx.prefix(
+                cx.event(rec, {rptSw, genuine}),
+                cx.prefix(
+                    cx.event(up, {update_check}),
+                    cx.prefix(
+                        cx.event(down, {update}),
+                        cx.prefix(
+                            cx.event(send, {reqApp, genuine}),
+                            cx.prefix(
+                                cx.event(rec, {rptUpd, genuine}),
+                                cx.prefix(cx.event(up, {update_report}),
+                                          cx.var("OTAX_VMG")))))))));
+  });
+  model->vmg = ctx.var("OTAX_VMG");
+
+  // ECU variants, as in the base model.
+  const auto ecu_body = [=](Context& cx, bool verify_mac,
+                            std::string_view self) {
+    std::vector<ProcessRef> branches;
+    const ProcessRef loop = cx.var(self);
+    branches.push_back(
+        cx.prefix(cx.event(send, {reqSw, genuine}),
+                  cx.prefix(cx.event(rec, {rptSw, genuine}), loop)));
+    branches.push_back(cx.prefix(
+        cx.event(send, {reqApp, genuine}),
+        cx.prefix(cx.event(install_chan, {}),
+                  cx.prefix(cx.event(rec, {rptUpd, genuine}), loop))));
+    if (verify_mac) {
+      branches.push_back(cx.prefix(cx.event(send, {reqApp, forged}), loop));
+      branches.push_back(cx.prefix(cx.event(send, {reqSw, forged}), loop));
+    } else {
+      branches.push_back(cx.prefix(
+          cx.event(send, {reqApp, forged}),
+          cx.prefix(cx.event(install_chan, {}),
+                    cx.prefix(cx.event(rec, {rptUpd, genuine}), loop))));
+      branches.push_back(
+          cx.prefix(cx.event(send, {reqSw, forged}),
+                    cx.prefix(cx.event(rec, {rptSw, genuine}), loop)));
+    }
+    for (const Value& m : {rptSw, rptUpd}) {
+      branches.push_back(cx.prefix(cx.event(send, {m, forged}), loop));
+    }
+    return cx.ext_choice(branches);
+  };
+  ctx.define("OTAX_ECU_MAC", [=](Context& cx, std::span<const Value>) {
+    return ecu_body(cx, true, "OTAX_ECU_MAC");
+  });
+  ctx.define("OTAX_ECU_OPEN", [=](Context& cx, std::span<const Value>) {
+    return ecu_body(cx, false, "OTAX_ECU_OPEN");
+  });
+  model->ecu = ctx.var("OTAX_ECU_MAC");
+
+  const ProcessRef attacker = ctx.run(forged_can);
+  const auto compose = [&](ProcessRef ecu, ProcessRef attack_env) {
+    const ProcessRef can_leg = ctx.par(
+        model->vmg, genuine_can, ctx.par(ecu, forged_can, attack_env));
+    return ctx.par(model->server, srv_events, can_leg);
+  };
+  model->system = compose(ctx.var("OTAX_ECU_MAC"), ctx.stop());
+  model->system_attacked = compose(ctx.var("OTAX_ECU_MAC"), attacker);
+  model->system_unprotected = compose(ctx.var("OTAX_ECU_OPEN"), attacker);
+  return model;
+}
+
+CheckResult check_extended_property(OtaExtendedModel& model,
+                                    std::string_view id) {
+  Context& ctx = model.ctx;
+  if (id == "E1") {
+    // Installation requires prior server authorisation.
+    return security::check_precedence(ctx, model.system, model.down_update,
+                                      model.install);
+  }
+  if (id == "E2") {
+    return security::check_precedence(ctx, model.system, model.install,
+                                      model.up_update_report);
+  }
+  if (id == "E3") {
+    return check_deadlock_free(ctx, model.system);
+  }
+  if (id == "E4") {
+    return security::check_precedence(ctx, model.system_attacked,
+                                      model.down_update, model.install);
+  }
+  if (id == "E5") {
+    return security::check_precedence_witness(ctx, model.system_unprotected,
+                                              model.down_update,
+                                              model.install);
+  }
+  throw std::out_of_range("unknown extended property '" + std::string(id) +
+                          "'");
+}
+
+// --- timed scope: tock-CSP (Section VII-B) --------------------------------------
+
+std::unique_ptr<OtaTimedModel> build_ota_timed_model() {
+  auto model = std::make_unique<OtaTimedModel>();
+  Context& ctx = model->ctx;
+
+  const Value reqSw = Value::symbol(ctx.sym("reqSw"));
+  const Value rptSw = Value::symbol(ctx.sym("rptSw"));
+  const ChannelId send = ctx.channel("send", {{reqSw, rptSw}});
+  const ChannelId rec = ctx.channel("rec", {{reqSw, rptSw}});
+  const ChannelId tock_chan = ctx.channel("tock");
+
+  model->tock = ctx.event(tock_chan);
+  model->send_reqSw = ctx.event(send, {reqSw});
+  model->rec_rptSw = ctx.event(rec, {rptSw});
+
+  const EventId tock = model->tock;
+  const EventId req = model->send_reqSw;
+  const EventId rpt = model->rec_rptSw;
+
+  // VMG with tock-timed retransmission: if a tock passes while waiting, the
+  // request is resent; a late reply is still accepted.
+  ctx.define("TVMG", [=](Context& cx, std::span<const Value>) {
+    return cx.prefix(req, cx.var("TVMG_WAIT"));
+  });
+  ctx.define("TVMG_WAIT", [=](Context& cx, std::span<const Value>) {
+    return cx.ext_choice(cx.prefix(rpt, cx.var("TVMG_REST")),
+                         cx.prefix(tock, cx.var("TVMG_RETRY")));
+  });
+  ctx.define("TVMG_RETRY", [=](Context& cx, std::span<const Value>) {
+    return cx.ext_choice(cx.prefix(req, cx.var("TVMG_WAIT")),
+                         cx.prefix(rpt, cx.var("TVMG_REST")));
+  });
+  ctx.define("TVMG_REST", [=](Context& cx, std::span<const Value>) {
+    return cx.prefix(tock, cx.var("TVMG"));
+  });
+
+  // Urgent ECU: while a reply is pending it refuses tock (maximal progress).
+  ctx.define("TECU_URGENT", [=](Context& cx, std::span<const Value>) {
+    return cx.ext_choice(cx.prefix(req, cx.prefix(rpt, cx.var("TECU_URGENT"))),
+                         cx.prefix(tock, cx.var("TECU_URGENT")));
+  });
+  // Lazy ECU: may let a single tock pass before answering.
+  ctx.define("TECU_LAZY", [=](Context& cx, std::span<const Value>) {
+    return cx.ext_choice(
+        cx.prefix(req, cx.ext_choice(
+                           cx.prefix(rpt, cx.var("TECU_LAZY")),
+                           cx.prefix(tock,
+                                     cx.prefix(rpt, cx.var("TECU_LAZY"))))),
+        cx.prefix(tock, cx.var("TECU_LAZY")));
+  });
+
+  const EventSet sync{tock, req, rpt};
+  model->system_urgent =
+      ctx.par(ctx.var("TVMG"), sync, ctx.var("TECU_URGENT"));
+  model->system_lazy = ctx.par(ctx.var("TVMG"), sync, ctx.var("TECU_LAZY"));
+  return model;
+}
+
+// --- reference CAPL sources and CANdb (Section VI demonstration) --------------
+
+std::string_view vmg_capl_source() {
+  return R"(/* Vehicle Mobile Gateway (VMG): drives the X.1373 update dialogue. */
+variables {
+  message 0x100 reqSw;    // SwInventoryReq
+  message 0x103 reqApp;   // UpdApplyReq
+  msTimer tRetry;
+  int macKey = 0xA5;      // shared key (R05), toy
+}
+
+on start {
+  output(reqSw);          // R01: inventory request opens the process
+  setTimer(tRetry, 100);
+}
+
+on timer tRetry {
+  output(reqSw);          // retransmit until the ECU answers
+  setTimer(tRetry, 100);
+}
+
+on message SwReport {     // rptSw
+  cancelTimer(tRetry);
+  reqApp.byte(0) = 1;                      // module id
+  reqApp.byte(7) = macKey ^ reqApp.byte(0); // attach MAC tag
+  output(reqApp);
+}
+
+on message UpdReport {    // rptUpd
+  write("update result %d", this.byte(0));
+}
+)";
+}
+
+std::string_view ecu_capl_source() {
+  return R"(/* Target ECU: answers diagnosis and applies verified updates. */
+variables {
+  message 0x101 rptSw;    // SwReport
+  message 0x104 rptUpd;   // UpdReport
+  int macKey = 0xA5;      // shared key (R05), toy
+  int installs = 0;
+}
+
+on message SwInventoryReq {    // reqSw
+  rptSw.byte(0) = 2;           // current software version
+  output(rptSw);               // R02
+}
+
+on message UpdApplyReq {       // reqApp
+  if (this.byte(7) == (macKey ^ this.byte(0))) {  // verify MAC (R05)
+    installs = installs + 1;   // R03: apply the update module
+    rptUpd.byte(0) = 0;        // success
+    output(rptUpd);            // R04
+  }
+}
+)";
+}
+
+std::string_view ota_dbc_text() {
+  return R"(VERSION "1.0"
+
+BU_: VMG TargetECU
+
+BO_ 256 SwInventoryReq: 8 VMG
+ SG_ ReqType : 0|8@1+ (1,0) [0|255] "" TargetECU
+
+BO_ 257 SwReport: 8 TargetECU
+ SG_ Status : 0|8@1+ (1,0) [0|3] "" VMG
+ SG_ SwVersion : 8|16@1+ (1,0) [0|65535] "" VMG
+
+BO_ 259 UpdApplyReq: 8 VMG
+ SG_ ModuleId : 0|8@1+ (1,0) [0|255] "" TargetECU
+ SG_ MacTag : 56|8@1+ (1,0) [0|255] "" TargetECU
+
+BO_ 260 UpdReport: 8 TargetECU
+ SG_ Result : 0|8@1+ (1,0) [0|3] "" VMG
+
+VAL_ 260 Result 0 "ok" 1 "rejected" 2 "failed" ;
+CM_ BO_ 259 "Request apply update module";
+)";
+}
+
+}  // namespace ecucsp::ota

@@ -1,0 +1,164 @@
+// The paper's case study: ITU-T X.1373 Over-The-Air software update
+// (Section V), scoped to the Vehicle Mobile Gateway (VMG) and one target
+// ECU as in Figure 2.
+//
+// Network model: two directional channels carrying the Table II message
+// types, each tagged with an authenticity field:
+//   channel send : Msg.Auth   -- VMG -> ECU
+//   channel rec  : Msg.Auth   -- ECU -> VMG
+// `genuine` marks a message whose MAC verifies under the shared key (R05);
+// `forged` marks attacker-injected traffic (the attacker lacks the key, so
+// it can only produce forged tags — the symbolic-MAC abstraction of Ryan &
+// Schneider that the paper cites). The Dolev-Yao attacker is RUN over the
+// forged events: it may inject any forged message at any time.
+//
+// Two ECU variants make the security argument:
+//   * ecu_mac          — verifies the MAC, discards forged update requests
+//   * ecu_unprotected  — applies any update request (no R05)
+// The integrity property (R03/R05): `install` happens only after a genuine
+// reqApp. It holds for the MAC variant under attack and fails for the
+// unprotected variant with the counterexample <send.reqApp.forged, install>.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/context.hpp"
+#include "refine/check.hpp"
+
+namespace ecucsp::ota {
+
+/// One row of the paper's Table II (message types, from ITU-T X.1373).
+struct MessageTypeRow {
+  std::string type;
+  std::string id;
+  std::string from;
+  std::string to;
+  std::string description;
+};
+const std::vector<MessageTypeRow>& message_table();
+
+/// One row of the paper's Table III (secure update system requirements).
+struct Requirement {
+  std::string id;
+  std::string text;
+};
+const std::vector<Requirement>& requirements();
+
+struct OtaModel {
+  OtaModel() = default;
+  OtaModel(const OtaModel&) = delete;
+  OtaModel& operator=(const OtaModel&) = delete;
+
+  Context ctx;
+
+  // Key events.
+  EventId send_reqSw = 0;    // genuine software inventory request
+  EventId rec_rptSw = 0;     // genuine diagnosis report
+  EventId send_reqApp = 0;   // genuine apply-update request
+  EventId rec_rptUpd = 0;    // genuine update result
+  EventId forged_reqApp = 0; // attacker-injected apply-update request
+  EventId install = 0;       // ECU applies the update module
+
+  EventSet genuine_events;  // network events with a valid MAC
+  EventSet forged_events;   // attacker-producible network events
+
+  ProcessRef vmg = nullptr;
+  ProcessRef ecu_mac = nullptr;
+  ProcessRef ecu_unprotected = nullptr;
+  ProcessRef attacker = nullptr;  // RUN(forged_events)
+
+  ProcessRef system_plain = nullptr;        // VMG || ECU_mac, no attacker
+  ProcessRef system_attacked = nullptr;     // MAC'd ECU under attack
+  ProcessRef system_unprotected = nullptr;  // unprotected ECU under attack
+};
+
+std::unique_ptr<OtaModel> build_ota_model();
+
+/// Run the refinement/property check that formalises requirement `id`
+/// ("R01".."R05"). Throws std::out_of_range for unknown ids.
+CheckResult check_requirement(OtaModel& model, std::string_view id);
+
+// --- extended scope: the Update Server (paper Section VIII-A) ---------------
+//
+// The paper restricts its demonstration to VMG + ECU and names the Update
+// Server with message types diagnose / update_check / update / update_report
+// as future work. This model implements that extension: a three-component
+// system where the server drives the update campaign over a (TLS-protected,
+// hence unforgeable) cellular link, while the in-vehicle CAN leg between VMG
+// and ECU remains attackable as before.
+struct OtaExtendedModel {
+  OtaExtendedModel() = default;
+  OtaExtendedModel(const OtaExtendedModel&) = delete;
+  OtaExtendedModel& operator=(const OtaExtendedModel&) = delete;
+
+  Context ctx;
+
+  // Server <-> VMG leg (X.1373 message types the paper lists as future work).
+  EventId down_diagnose = 0;       // server requests vehicle diagnosis
+  EventId up_update_check = 0;     // VMG reports status / asks for update
+  EventId down_update = 0;         // server delivers the update package
+  EventId up_update_report = 0;    // VMG reports the final result
+  // VMG <-> ECU leg (as in the base model).
+  EventId send_reqSw = 0;
+  EventId rec_rptSw = 0;
+  EventId send_reqApp = 0;
+  EventId rec_rptUpd = 0;
+  EventId forged_reqApp = 0;
+  EventId install = 0;
+
+  ProcessRef server = nullptr;
+  ProcessRef vmg = nullptr;
+  ProcessRef ecu = nullptr;
+
+  ProcessRef system = nullptr;           // full chain, MAC'd ECU, no attacker
+  ProcessRef system_attacked = nullptr;  // CAN-side attacker, MAC'd ECU
+  ProcessRef system_unprotected = nullptr;
+};
+
+std::unique_ptr<OtaExtendedModel> build_ota_extended_model();
+
+/// End-to-end properties of the extended chain:
+///   "E1": installation requires prior server authorisation (down.update)
+///   "E2": the server only receives update_report after installation
+///   "E3": the whole chain is deadlock free
+///   "E4": under CAN-side attack, E1 still holds for the MAC'd ECU
+///   "E5": dropping MAC verification breaks E1 under attack (expected FAIL)
+CheckResult check_extended_property(OtaExtendedModel& model,
+                                    std::string_view id);
+
+// --- timed scope: tock-CSP (paper Section VII-B) ----------------------------
+//
+// The paper names the 'tock' discipline as the practical route to modelling
+// time-dependent ECU features. This model times the diagnosis dialogue with
+// a global tock event on which every component synchronises:
+//   * the VMG retransmits reqSw whenever a tock passes while it waits;
+//   * the "urgent" ECU refuses tock while a reply is pending (maximal
+//     progress), so the reply arrives within 0 tocks;
+//   * the "lazy" ECU may let one tock pass first, so only a 1-tock bound
+//     holds (check_bounded_response sees the difference).
+struct OtaTimedModel {
+  OtaTimedModel() = default;
+  OtaTimedModel(const OtaTimedModel&) = delete;
+  OtaTimedModel& operator=(const OtaTimedModel&) = delete;
+
+  Context ctx;
+  EventId tock = 0;
+  EventId send_reqSw = 0;
+  EventId rec_rptSw = 0;
+  ProcessRef system_urgent = nullptr;
+  ProcessRef system_lazy = nullptr;
+};
+
+std::unique_ptr<OtaTimedModel> build_ota_timed_model();
+
+/// Reference CAPL sources for the demonstration network (Section VI): the
+/// programs the model extractor translates in examples and benches.
+std::string_view vmg_capl_source();
+std::string_view ecu_capl_source();
+/// Matching CANdb database text.
+std::string_view ota_dbc_text();
+
+}  // namespace ecucsp::ota

@@ -1,0 +1,446 @@
+#include "refine/check.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_map>
+
+namespace ecucsp {
+
+std::string to_string(Model m) {
+  switch (m) {
+    case Model::Traces:
+      return "T";
+    case Model::Failures:
+      return "F";
+    case Model::FailuresDivergences:
+      return "FD";
+  }
+  return "?";
+}
+
+std::string format_trace(const Context& ctx, const std::vector<EventId>& trace) {
+  std::string out = "<";
+  bool first = true;
+  for (EventId e : trace) {
+    if (!first) out += ", ";
+    first = false;
+    out += ctx.event_name(e);
+  }
+  out += ">";
+  return out;
+}
+
+std::string Counterexample::describe(const Context& ctx) const {
+  std::string out;
+  switch (kind) {
+    case Kind::TraceViolation:
+      out = "trace violation: after " + format_trace(ctx, trace) +
+            " the implementation performs '" + ctx.event_name(event) +
+            "', which the specification forbids";
+      break;
+    case Kind::AcceptanceViolation: {
+      out = "acceptance violation: after " + format_trace(ctx, trace) +
+            " the implementation stabilises accepting only {";
+      bool first = true;
+      for (EventId e : impl_acceptance) {
+        if (!first) out += ", ";
+        first = false;
+        out += ctx.event_name(e);
+      }
+      out += "}, refusing more than the specification allows";
+      break;
+    }
+    case Kind::DivergenceViolation:
+      out = "divergence violation: after " + format_trace(ctx, trace) +
+            " the implementation can diverge but the specification cannot";
+      break;
+    case Kind::Deadlock:
+      out = "deadlock: after " + format_trace(ctx, trace) +
+            " the process can neither engage in any event nor terminate";
+      break;
+    case Kind::Divergence:
+      out = "divergence: after " + format_trace(ctx, trace) +
+            " the process can perform internal activity forever";
+      break;
+    case Kind::Nondeterminism:
+      out = "nondeterminism: after " + format_trace(ctx, trace) +
+            " the process may either accept or refuse '" +
+            ctx.event_name(event) + "'";
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+/// Breadth-first search bookkeeping for counterexample reconstruction.
+struct SearchEdge {
+  std::int64_t parent = -1;
+  EventId event = TAU;
+};
+
+std::vector<EventId> rebuild_trace(const std::vector<SearchEdge>& edges,
+                                   std::int64_t at) {
+  std::vector<EventId> out;
+  while (at >= 0) {
+    const SearchEdge& e = edges[at];
+    if (e.parent >= 0 && e.event != TAU) out.push_back(e.event);
+    at = e.parent;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+EventSet visible_initials(const Lts& lts, StateId s) {
+  std::vector<EventId> out;
+  for (const LtsTransition& t : lts.succ[s]) {
+    if (t.event != TAU) out.push_back(t.event);
+  }
+  return EventSet(std::move(out));
+}
+
+bool is_stable(const Lts& lts, StateId s) {
+  for (const LtsTransition& t : lts.succ[s]) {
+    if (t.event == TAU) return false;
+  }
+  return true;
+}
+
+/// Does the spec node allow a stable implementation state that accepts
+/// exactly `acceptance`? True iff some minimal spec acceptance is a subset.
+bool acceptance_allowed(const NormNode& spec, const EventSet& acceptance) {
+  for (const EventSet& m : spec.min_acceptances) {
+    if (m.subset_of(acceptance)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CheckResult check_refinement(Context& ctx, ProcessRef spec, ProcessRef impl,
+                             Model model, std::size_t max_states) {
+  CheckResult result;
+
+  const Lts spec_lts = compile_lts(ctx, spec, max_states);
+  const bool with_div = model == Model::FailuresDivergences;
+  const NormLts norm = normalize(spec_lts, with_div);
+
+  const Lts impl_lts = compile_lts(ctx, impl, max_states);
+  std::vector<bool> impl_diverges;
+  if (with_div) impl_diverges = impl_lts.divergent_states();
+
+  result.stats.spec_states = spec_lts.state_count();
+  result.stats.spec_norm_nodes = norm.nodes.size();
+  result.stats.impl_states = impl_lts.state_count();
+  result.stats.impl_transitions = impl_lts.transition_count();
+
+  struct Key {
+    NormId spec;
+    StateId impl;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return hash_combine(k.spec, k.impl);
+    }
+  };
+
+  std::unordered_map<Key, std::size_t, KeyHash> visited;
+  std::vector<Key> keys;
+  std::vector<SearchEdge> edges;
+  std::deque<std::size_t> frontier;
+
+  const auto push = [&](Key k, std::int64_t parent, EventId ev) -> bool {
+    if (visited.contains(k)) return false;
+    const std::size_t idx = keys.size();
+    visited.emplace(k, idx);
+    keys.push_back(k);
+    edges.push_back({parent, ev});
+    frontier.push_back(idx);
+    return true;
+  };
+
+  push(Key{norm.root, impl_lts.root}, -1, TAU);
+
+  while (!frontier.empty()) {
+    const std::size_t idx = frontier.front();
+    frontier.pop_front();
+    const Key key = keys[idx];
+    const NormNode& sn = norm.nodes[key.spec];
+
+    // In the FD model a divergent specification node permits every
+    // behaviour below it; prune the branch.
+    if (with_div && sn.divergent) continue;
+
+    if (with_div && impl_diverges[key.impl]) {
+      result.counterexample = Counterexample{
+          Counterexample::Kind::DivergenceViolation, rebuild_trace(edges, idx),
+          0, {}};
+      result.stats.product_states = keys.size();
+      return result;
+    }
+
+    if (model != Model::Traces && is_stable(impl_lts, key.impl)) {
+      const EventSet acceptance = visible_initials(impl_lts, key.impl);
+      if (!acceptance_allowed(sn, acceptance)) {
+        result.counterexample =
+            Counterexample{Counterexample::Kind::AcceptanceViolation,
+                           rebuild_trace(edges, idx), 0, acceptance};
+        result.stats.product_states = keys.size();
+        return result;
+      }
+    }
+
+    for (const LtsTransition& t : impl_lts.succ[key.impl]) {
+      if (t.event == TAU) {
+        push(Key{key.spec, t.target}, static_cast<std::int64_t>(idx), TAU);
+        continue;
+      }
+      const NormId next_spec = sn.successor(t.event);
+      if (next_spec == NORM_NONE) {
+        result.counterexample =
+            Counterexample{Counterexample::Kind::TraceViolation,
+                           rebuild_trace(edges, idx), t.event, {}};
+        result.stats.product_states = keys.size();
+        return result;
+      }
+      push(Key{next_spec, t.target}, static_cast<std::int64_t>(idx), t.event);
+    }
+  }
+
+  result.stats.product_states = keys.size();
+  result.passed = true;
+  return result;
+}
+
+CheckResult check_deadlock_free(Context& ctx, ProcessRef p,
+                                std::size_t max_states) {
+  CheckResult result;
+  const Lts lts = compile_lts(ctx, p, max_states);
+  result.stats.impl_states = lts.state_count();
+  result.stats.impl_transitions = lts.transition_count();
+
+  // States entered by a tick are successful termination, not deadlock.
+  std::vector<bool> post_tick(lts.state_count(), false);
+  for (StateId s = 0; s < lts.state_count(); ++s) {
+    for (const LtsTransition& t : lts.succ[s]) {
+      if (t.event == TICK) post_tick[t.target] = true;
+    }
+  }
+
+  std::vector<SearchEdge> edges(lts.state_count());
+  std::vector<bool> seen(lts.state_count(), false);
+  std::deque<StateId> frontier{lts.root};
+  seen[lts.root] = true;
+  edges[lts.root] = {-1, TAU};
+  while (!frontier.empty()) {
+    const StateId s = frontier.front();
+    frontier.pop_front();
+    if (lts.succ[s].empty() && !post_tick[s] &&
+        lts.term_of[s]->op() != Op::Omega) {
+      std::vector<EventId> trace;
+      std::int64_t at = s;
+      while (at >= 0) {
+        const SearchEdge& e = edges[at];
+        if (e.parent >= 0 && e.event != TAU) trace.push_back(e.event);
+        at = e.parent;
+      }
+      std::reverse(trace.begin(), trace.end());
+      result.counterexample = Counterexample{Counterexample::Kind::Deadlock,
+                                             std::move(trace), 0, EventSet{}};
+      return result;
+    }
+    for (const LtsTransition& t : lts.succ[s]) {
+      if (!seen[t.target]) {
+        seen[t.target] = true;
+        edges[t.target] = {static_cast<std::int64_t>(s), t.event};
+        frontier.push_back(t.target);
+      }
+    }
+  }
+  result.passed = true;
+  return result;
+}
+
+CheckResult check_divergence_free(Context& ctx, ProcessRef p,
+                                  std::size_t max_states) {
+  CheckResult result;
+  const Lts lts = compile_lts(ctx, p, max_states);
+  result.stats.impl_states = lts.state_count();
+  result.stats.impl_transitions = lts.transition_count();
+  const std::vector<bool> diverges = lts.divergent_states();
+
+  std::vector<SearchEdge> edges(lts.state_count());
+  std::vector<bool> seen(lts.state_count(), false);
+  std::deque<StateId> frontier{lts.root};
+  seen[lts.root] = true;
+  edges[lts.root] = {-1, TAU};
+  while (!frontier.empty()) {
+    const StateId s = frontier.front();
+    frontier.pop_front();
+    if (diverges[s]) {
+      std::vector<EventId> trace;
+      std::int64_t at = s;
+      while (at >= 0) {
+        const SearchEdge& e = edges[at];
+        if (e.parent >= 0 && e.event != TAU) trace.push_back(e.event);
+        at = e.parent;
+      }
+      std::reverse(trace.begin(), trace.end());
+      result.counterexample = Counterexample{Counterexample::Kind::Divergence,
+                                             std::move(trace), 0, EventSet{}};
+      return result;
+    }
+    for (const LtsTransition& t : lts.succ[s]) {
+      if (!seen[t.target]) {
+        seen[t.target] = true;
+        edges[t.target] = {static_cast<std::int64_t>(s), t.event};
+        frontier.push_back(t.target);
+      }
+    }
+  }
+  result.passed = true;
+  return result;
+}
+
+CheckResult check_deterministic(Context& ctx, ProcessRef p,
+                                std::size_t max_states) {
+  CheckResult result;
+  const Lts lts = compile_lts(ctx, p, max_states);
+  result.stats.impl_states = lts.state_count();
+  result.stats.impl_transitions = lts.transition_count();
+  const NormLts norm = normalize(lts, /*with_divergence=*/true);
+  result.stats.spec_norm_nodes = norm.nodes.size();
+
+  // BFS over the (deterministic) normal form, tracking traces.
+  std::vector<SearchEdge> edges(norm.nodes.size());
+  std::vector<bool> seen(norm.nodes.size(), false);
+  std::deque<NormId> frontier{norm.root};
+  seen[norm.root] = true;
+  edges[norm.root] = {-1, TAU};
+  const auto trace_to = [&](NormId n) {
+    std::vector<EventId> trace;
+    std::int64_t at = n;
+    while (at >= 0) {
+      const SearchEdge& e = edges[at];
+      if (e.parent >= 0) trace.push_back(e.event);
+      at = e.parent;
+    }
+    std::reverse(trace.begin(), trace.end());
+    if (!trace.empty() && edges[norm.root].parent == -1 && trace.size() > 0) {
+      // root has no inbound event; nothing to strip (events stored per edge)
+    }
+    return trace;
+  };
+
+  while (!frontier.empty()) {
+    const NormId n = frontier.front();
+    frontier.pop_front();
+    const NormNode& node = norm.nodes[n];
+    if (node.divergent) {
+      result.counterexample = Counterexample{Counterexample::Kind::Divergence,
+                                             trace_to(n), 0, EventSet{}};
+      return result;
+    }
+    // Deterministic iff after every trace the process accepts exactly its
+    // initials: a minimal acceptance missing some initial event means the
+    // same trace can lead to both acceptance and refusal of that event.
+    for (const EventSet& m : node.min_acceptances) {
+      if (m == node.initials) continue;
+      const EventSet missing = node.initials.set_difference(m);
+      if (!missing.empty()) {
+        result.counterexample =
+            Counterexample{Counterexample::Kind::Nondeterminism, trace_to(n),
+                           *missing.begin(), m};
+        return result;
+      }
+    }
+    for (const auto& [event, target] : node.succ) {
+      if (!seen[target]) {
+        seen[target] = true;
+        edges[target] = {static_cast<std::int64_t>(n), event};
+        frontier.push_back(target);
+      }
+    }
+  }
+  result.passed = true;
+  return result;
+}
+
+TraceMembership is_trace_of(Context& ctx, ProcessRef p,
+                            const std::vector<EventId>& trace,
+                            std::size_t max_states) {
+  const Lts lts = compile_lts(ctx, p, max_states);
+  // Frontier of LTS states reachable on the consumed prefix, tau-closed.
+  std::set<StateId> frontier{lts.root};
+  const auto tau_close = [&](std::set<StateId>& states) {
+    std::vector<StateId> work(states.begin(), states.end());
+    while (!work.empty()) {
+      const StateId s = work.back();
+      work.pop_back();
+      for (const LtsTransition& t : lts.succ[s]) {
+        if (t.event == TAU && states.insert(t.target).second) {
+          work.push_back(t.target);
+        }
+      }
+    }
+  };
+  tau_close(frontier);
+
+  TraceMembership result;
+  for (const EventId e : trace) {
+    std::set<StateId> next;
+    for (const StateId s : frontier) {
+      for (const LtsTransition& t : lts.succ[s]) {
+        if (t.event == e) next.insert(t.target);
+      }
+    }
+    if (next.empty()) {
+      std::vector<EventId> offered;
+      for (const StateId s : frontier) {
+        for (const LtsTransition& t : lts.succ[s]) {
+          if (t.event != TAU) offered.push_back(t.event);
+        }
+      }
+      result.offered = EventSet(std::move(offered));
+      return result;
+    }
+    tau_close(next);
+    frontier = std::move(next);
+    ++result.accepted_prefix;
+  }
+  result.member = true;
+  return result;
+}
+
+std::vector<std::vector<EventId>> enumerate_traces(Context& ctx, ProcessRef p,
+                                                   std::size_t max_length,
+                                                   std::size_t max_states) {
+  const Lts lts = compile_lts(ctx, p, max_states);
+  std::set<std::vector<EventId>> traces;
+  // BFS over (state, trace) pairs, pruned by max_length; the visited set is
+  // on pairs to keep this terminating on cyclic LTSs.
+  std::set<std::pair<StateId, std::vector<EventId>>> seen;
+  std::deque<std::pair<StateId, std::vector<EventId>>> frontier;
+  frontier.emplace_back(lts.root, std::vector<EventId>{});
+  seen.insert(frontier.front());
+  traces.insert(std::vector<EventId>{});  // the empty trace
+  while (!frontier.empty()) {
+    auto [s, trace] = std::move(frontier.front());
+    frontier.pop_front();
+    for (const LtsTransition& t : lts.succ[s]) {
+      std::vector<EventId> next = trace;
+      if (t.event != TAU) {
+        if (trace.size() >= max_length) continue;
+        next.push_back(t.event);
+        traces.insert(next);
+      }
+      auto key = std::make_pair(t.target, next);
+      if (seen.insert(key).second) frontier.push_back(std::move(key));
+    }
+  }
+  return {traces.begin(), traces.end()};
+}
+
+}  // namespace ecucsp

@@ -1,0 +1,101 @@
+// Refinement and property checks — the FDR-style assertion engine.
+//
+// Supported assertions (Section IV-D of the paper uses FDR for exactly
+// these):
+//   SPEC [T= IMPL      trace refinement
+//   SPEC [F= IMPL      stable-failures refinement
+//   SPEC [FD= IMPL     failures-divergences refinement
+//   IMPL :[deadlock free]
+//   IMPL :[divergence free]
+//   IMPL :[deterministic]
+//
+// Every failed check carries a counterexample: the visible trace leading to
+// the violation, plus the violation-specific payload. This is the
+// "counterexample ... fed back to software designers" loop of Figure 1.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+#include "refine/lts.hpp"
+#include "refine/normalize.hpp"
+
+namespace ecucsp {
+
+enum class Model { Traces, Failures, FailuresDivergences };
+
+std::string to_string(Model m);
+
+struct Counterexample {
+  enum class Kind {
+    TraceViolation,       // impl performed an event the spec cannot
+    AcceptanceViolation,  // impl refuses more than the spec allows
+    DivergenceViolation,  // impl diverges where the spec does not
+    Deadlock,
+    Divergence,
+    Nondeterminism,
+  };
+  Kind kind = Kind::TraceViolation;
+  /// Visible events (taus elided) from the root to the violating state.
+  std::vector<EventId> trace;
+  /// TraceViolation / Nondeterminism: the offending event.
+  EventId event = 0;
+  /// AcceptanceViolation / Deadlock: what the impl state accepts there.
+  EventSet impl_acceptance;
+
+  std::string describe(const Context& ctx) const;
+};
+
+struct CheckStats {
+  std::size_t impl_states = 0;
+  std::size_t impl_transitions = 0;
+  std::size_t spec_states = 0;
+  std::size_t spec_norm_nodes = 0;
+  std::size_t product_states = 0;
+};
+
+struct CheckResult {
+  bool passed = false;
+  std::optional<Counterexample> counterexample;
+  CheckStats stats;
+
+  explicit operator bool() const { return passed; }
+};
+
+/// Does `impl` refine `spec` in the given semantic model?
+CheckResult check_refinement(Context& ctx, ProcessRef spec, ProcessRef impl,
+                             Model model, std::size_t max_states = 1u << 22);
+
+CheckResult check_deadlock_free(Context& ctx, ProcessRef p,
+                                std::size_t max_states = 1u << 22);
+CheckResult check_divergence_free(Context& ctx, ProcessRef p,
+                                  std::size_t max_states = 1u << 22);
+CheckResult check_deterministic(Context& ctx, ProcessRef p,
+                                std::size_t max_states = 1u << 22);
+
+/// All finite traces of `p` up to the given length, visible events only.
+/// Exponential; intended for tests and the attack-tree semantics checks.
+std::vector<std::vector<EventId>> enumerate_traces(Context& ctx, ProcessRef p,
+                                                   std::size_t max_length,
+                                                   std::size_t max_states = 1u << 20);
+
+/// Pretty-print a trace as "<send.reqSw, rec.rptSw>".
+std::string format_trace(const Context& ctx, const std::vector<EventId>& trace);
+
+/// Trace membership: is `trace` (visible events) a trace of `p`?
+/// Walks the tau-closed LTS; used by conformance testing of executions
+/// captured from the simulated network against extracted models.
+struct TraceMembership {
+  bool member = false;
+  /// If not a member: how many events were consumable before the failure,
+  /// and what the model offered at that point.
+  std::size_t accepted_prefix = 0;
+  EventSet offered;
+};
+TraceMembership is_trace_of(Context& ctx, ProcessRef p,
+                            const std::vector<EventId>& trace,
+                            std::size_t max_states = 1u << 22);
+
+}  // namespace ecucsp

@@ -1,0 +1,56 @@
+// Labelled transition system compilation.
+//
+// Compiles a process term to an explicit LTS by exhaustive exploration of
+// the operational semantics. States are canonicalised (Var indirection
+// chased) hash-consed process terms, so state identity is pointer identity.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/context.hpp"
+
+namespace ecucsp {
+
+using StateId = std::uint32_t;
+
+struct LtsTransition {
+  EventId event = 0;
+  StateId target = 0;
+};
+
+/// An explicit finite LTS. succ[s] lists s's outgoing transitions.
+struct Lts {
+  StateId root = 0;
+  std::vector<std::vector<LtsTransition>> succ;
+  std::vector<ProcessRef> term_of;  // originating term, for diagnostics
+
+  std::size_t state_count() const { return succ.size(); }
+  std::size_t transition_count() const {
+    std::size_t n = 0;
+    for (const auto& ts : succ) n += ts.size();
+    return n;
+  }
+
+  /// True if state s has no outgoing transitions at all (deadlock or Omega).
+  bool is_terminal(StateId s) const { return succ[s].empty(); }
+
+  /// For each state, whether an infinite tau-path starts there
+  /// (i.e. the state can reach a tau-cycle via tau steps only).
+  std::vector<bool> divergent_states() const;
+};
+
+class StateLimitExceeded : public std::runtime_error {
+ public:
+  explicit StateLimitExceeded(std::size_t limit)
+      : std::runtime_error("state limit exceeded (" + std::to_string(limit) +
+                           " states); the model may be infinite-state") {}
+};
+
+/// Explore `root` breadth-first. Throws StateLimitExceeded beyond max_states.
+Lts compile_lts(Context& ctx, ProcessRef root,
+                std::size_t max_states = 1u << 22);
+
+}  // namespace ecucsp

@@ -1,0 +1,104 @@
+#include "refine/minimize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ecucsp {
+
+MinimizeResult minimize_strong(const Lts& lts) {
+  const std::size_t n = lts.state_count();
+  MinimizeResult result;
+  result.original_states = n;
+  if (n == 0) {
+    result.lts.root = 0;
+    return result;
+  }
+
+  // Kanellakis–Smolka: start with one block, split by transition signature
+  // (multimap event -> target block) until stable. O(n^2 log n) worst case,
+  // fine for explicit models.
+  std::vector<StateId> block(n, 0);
+  std::size_t blocks = 1;
+  for (;;) {
+    // Signature of each state under the current partition.
+    std::map<std::pair<StateId, std::set<std::pair<EventId, StateId>>>,
+             StateId>
+        sig_to_new;
+    std::vector<StateId> next(n);
+    StateId next_blocks = 0;
+    for (StateId s = 0; s < n; ++s) {
+      std::set<std::pair<EventId, StateId>> sig;
+      for (const LtsTransition& t : lts.succ[s]) {
+        sig.emplace(t.event, block[t.target]);
+      }
+      const auto key = std::make_pair(block[s], std::move(sig));
+      auto it = sig_to_new.find(key);
+      if (it == sig_to_new.end()) {
+        it = sig_to_new.emplace(key, next_blocks++).first;
+      }
+      next[s] = it->second;
+    }
+    const bool stable = next_blocks == blocks;
+    block = std::move(next);
+    blocks = next_blocks;
+    if (stable) break;
+  }
+
+  // Build the quotient.
+  result.block_of = block;
+  result.lts.succ.assign(blocks, {});
+  result.lts.term_of.assign(blocks, nullptr);
+  result.lts.root = block[lts.root];
+  std::vector<std::set<std::pair<EventId, StateId>>> added(blocks);
+  for (StateId s = 0; s < n; ++s) {
+    if (!result.lts.term_of[block[s]]) {
+      result.lts.term_of[block[s]] = lts.term_of.empty() ? nullptr
+                                                         : lts.term_of[s];
+    }
+    for (const LtsTransition& t : lts.succ[s]) {
+      if (added[block[s]].emplace(t.event, block[t.target]).second) {
+        result.lts.succ[block[s]].push_back({t.event, block[t.target]});
+      }
+    }
+  }
+  return result;
+}
+
+ProcessRef lts_to_process(Context& ctx, const Lts& lts,
+                          const std::string& name) {
+  // One parameterised definition; the argument selects the state.
+  const Symbol sym = ctx.sym(name);
+  // Copy the transition structure into the closure.
+  const auto succ = lts.succ;
+  ctx.define(name, [succ, sym](Context& cx, std::span<const Value> args) {
+    const auto s = static_cast<std::size_t>(args[0].as_int());
+    std::vector<ProcessRef> visible;
+    std::vector<ProcessRef> tau_targets;
+    for (const LtsTransition& t : succ.at(s)) {
+      const ProcessRef target =
+          cx.var(sym, {Value::integer(static_cast<std::int64_t>(t.target))});
+      if (t.event == TAU) {
+        tau_targets.push_back(target);
+      } else if (t.event == TICK) {
+        visible.push_back(cx.skip());
+      } else {
+        visible.push_back(cx.prefix(t.event, target));
+      }
+    }
+    const ProcessRef base = cx.ext_choice(visible);  // STOP when empty
+    if (tau_targets.empty()) return base;
+    return cx.sliding(base, cx.int_choice(tau_targets));
+  });
+  return ctx.var(sym,
+                 {Value::integer(static_cast<std::int64_t>(lts.root))});
+}
+
+ProcessRef compress(Context& ctx, ProcessRef p, const std::string& name,
+                    std::size_t max_states) {
+  const Lts lts = compile_lts(ctx, p, max_states);
+  const MinimizeResult min = minimize_strong(lts);
+  return lts_to_process(ctx, min.lts, name);
+}
+
+}  // namespace ecucsp

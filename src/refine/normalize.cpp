@@ -1,0 +1,147 @@
+#include "refine/normalize.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+namespace ecucsp {
+
+NormId NormNode::successor(EventId e) const {
+  auto it = std::lower_bound(
+      succ.begin(), succ.end(), e,
+      [](const std::pair<EventId, NormId>& p, EventId ev) { return p.first < ev; });
+  if (it == succ.end() || it->first != e) return NORM_NONE;
+  return it->second;
+}
+
+namespace {
+
+using StateSet = std::vector<StateId>;  // sorted unique
+
+struct StateSetHash {
+  std::size_t operator()(const StateSet& s) const {
+    std::size_t seed = s.size();
+    for (StateId v : s) {
+      seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+    }
+    return seed;
+  }
+};
+
+StateSet tau_closure(const Lts& lts, StateSet seed) {
+  std::vector<StateId> stack(seed.begin(), seed.end());
+  std::unordered_map<StateId, bool> in;
+  for (StateId s : seed) in[s] = true;
+  while (!stack.empty()) {
+    const StateId s = stack.back();
+    stack.pop_back();
+    for (const LtsTransition& t : lts.succ[s]) {
+      if (t.event != TAU) continue;
+      if (!in[t.target]) {
+        in[t.target] = true;
+        stack.push_back(t.target);
+      }
+    }
+  }
+  StateSet out;
+  out.reserve(in.size());
+  for (const auto& [s, v] : in) {
+    if (v) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Keep only subset-minimal acceptance sets.
+std::vector<EventSet> minimise(std::vector<EventSet> sets) {
+  std::sort(sets.begin(), sets.end(),
+            [](const EventSet& a, const EventSet& b) { return a.size() < b.size(); });
+  std::vector<EventSet> out;
+  for (const EventSet& s : sets) {
+    bool dominated = false;
+    for (const EventSet& kept : out) {
+      if (kept.subset_of(s)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace
+
+NormLts normalize(const Lts& lts, bool with_divergence) {
+  std::vector<bool> diverges;
+  if (with_divergence) diverges = lts.divergent_states();
+
+  NormLts norm;
+  std::unordered_map<StateSet, NormId, StateSetHash> ids;
+  std::deque<StateSet> frontier;
+
+  const auto node_of = [&](StateSet closure) -> NormId {
+    if (auto it = ids.find(closure); it != ids.end()) return it->second;
+    const NormId id = static_cast<NormId>(norm.nodes.size());
+    ids.emplace(closure, id);
+    norm.nodes.emplace_back();
+    frontier.push_back(std::move(closure));
+    return id;
+  };
+
+  norm.root = node_of(tau_closure(lts, {lts.root}));
+  // frontier entries align with node creation order; track index separately.
+  NormId next = 0;
+  while (next < norm.nodes.size()) {
+    const StateSet closure = [&] {
+      const StateSet front = frontier.front();
+      frontier.pop_front();
+      return front;
+    }();
+    NormNode& node = norm.nodes[next];
+    const NormId self = next;
+    ++next;
+    (void)self;
+
+    // Gather visible-event moves across the closure, and acceptance sets
+    // from stable members.
+    std::map<EventId, StateSet> moves;
+    std::vector<EventSet> acceptances;
+    bool divergent = false;
+    for (StateId s : closure) {
+      if (with_divergence && diverges[s]) divergent = true;
+      bool stable = true;
+      std::vector<EventId> offered;
+      for (const LtsTransition& t : lts.succ[s]) {
+        if (t.event == TAU) {
+          stable = false;
+          continue;
+        }
+        moves[t.event].push_back(t.target);
+        offered.push_back(t.event);
+      }
+      if (stable) acceptances.push_back(EventSet(std::move(offered)));
+    }
+    node.divergent = divergent;
+    node.min_acceptances = minimise(std::move(acceptances));
+
+    std::vector<EventId> initials;
+    std::vector<std::pair<EventId, NormId>> succ;
+    for (auto& [event, targets] : moves) {
+      std::sort(targets.begin(), targets.end());
+      targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+      initials.push_back(event);
+      succ.emplace_back(event, node_of(tau_closure(lts, std::move(targets))));
+    }
+    // node reference may have been invalidated by nodes.emplace_back above;
+    // re-index defensively.
+    NormNode& fresh = norm.nodes[next - 1];
+    fresh.initials = EventSet(std::move(initials));
+    fresh.succ = std::move(succ);
+    fresh.divergent = divergent;
+  }
+  return norm;
+}
+
+}  // namespace ecucsp

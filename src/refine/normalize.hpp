@@ -1,0 +1,46 @@
+// Specification normalisation (FDR's pre-step for refinement checking).
+//
+// Converts an LTS into a deterministic "normal form" over visible events:
+// each normal node is the tau-closure of a set of source states, annotated
+// with the union of its initials, its subset-minimal acceptance sets (for
+// the stable-failures model) and a divergence flag (for the
+// failures-divergences model).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "refine/lts.hpp"
+
+namespace ecucsp {
+
+using NormId = std::uint32_t;
+
+struct NormNode {
+  /// Deterministic successor per visible event (TICK included), sorted by
+  /// event id for binary search.
+  std::vector<std::pair<EventId, NormId>> succ;
+  /// Union of visible initials (including TICK) over the closure.
+  EventSet initials;
+  /// Subset-minimal acceptance sets contributed by stable members.
+  /// Empty when the node has no stable member (it always diverges-in or
+  /// ticks away) — such a node imposes no refusal constraints.
+  std::vector<EventSet> min_acceptances;
+  /// True iff some member state diverges (infinite tau path).
+  bool divergent = false;
+
+  NormId successor(EventId e) const;  // or NORM_NONE
+};
+
+inline constexpr NormId NORM_NONE = 0xffffffffu;
+
+struct NormLts {
+  NormId root = 0;
+  std::vector<NormNode> nodes;
+};
+
+/// Normalise `lts`. `with_divergence` additionally computes per-node
+/// divergence (needed for the FD model); it costs one SCC pass.
+NormLts normalize(const Lts& lts, bool with_divergence);
+
+}  // namespace ecucsp

@@ -1,0 +1,177 @@
+#include "security/attack_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecucsp::security {
+
+AttackTree AttackTree::leaf(std::string action) {
+  AttackTree t;
+  t.kind_ = Kind::Leaf;
+  t.action_ = std::move(action);
+  return t;
+}
+
+AttackTree AttackTree::seq(std::vector<AttackTree> steps) {
+  if (steps.empty()) throw std::invalid_argument("empty SEQ attack tree");
+  AttackTree t;
+  t.kind_ = Kind::Seq;
+  t.children_ = std::move(steps);
+  return t;
+}
+
+AttackTree AttackTree::and_all(std::vector<AttackTree> branches) {
+  if (branches.empty()) throw std::invalid_argument("empty AND attack tree");
+  AttackTree t;
+  t.kind_ = Kind::And;
+  t.children_ = std::move(branches);
+  return t;
+}
+
+AttackTree AttackTree::or_any(std::vector<AttackTree> branches) {
+  if (branches.empty()) throw std::invalid_argument("empty OR attack tree");
+  AttackTree t;
+  t.kind_ = Kind::Or;
+  t.children_ = std::move(branches);
+  return t;
+}
+
+std::set<std::string> AttackTree::actions() const {
+  std::set<std::string> out;
+  if (kind_ == Kind::Leaf) {
+    out.insert(action_);
+    return out;
+  }
+  for (const AttackTree& c : children_) {
+    const auto sub = c.actions();
+    out.insert(sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::size_t AttackTree::size() const {
+  std::size_t n = 1;
+  for (const AttackTree& c : children_) n += c.size();
+  return n;
+}
+
+namespace {
+
+using Seqs = std::set<std::vector<std::string>>;
+
+/// All interleavings of two sequences (the paper's s1 ||| s2).
+void interleavings(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b,
+                   std::vector<std::string>& prefix, Seqs& out) {
+  if (a.empty() && b.empty()) {
+    out.insert(prefix);
+    return;
+  }
+  if (!a.empty()) {
+    prefix.push_back(a.front());
+    interleavings({a.begin() + 1, a.end()}, b, prefix, out);
+    prefix.pop_back();
+  }
+  if (!b.empty()) {
+    prefix.push_back(b.front());
+    interleavings(a, {b.begin() + 1, b.end()}, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+Seqs AttackTree::sequences() const {
+  switch (kind_) {
+    case Kind::Leaf:
+      return {{action_}};
+    case Kind::Or: {
+      Seqs out;
+      for (const AttackTree& c : children_) {
+        const Seqs sub = c.sequences();
+        out.insert(sub.begin(), sub.end());
+      }
+      return out;
+    }
+    case Kind::Seq: {
+      Seqs out = {{}};
+      for (const AttackTree& c : children_) {
+        const Seqs sub = c.sequences();
+        Seqs next;
+        for (const auto& done : out) {
+          for (const auto& s : sub) {
+            std::vector<std::string> joined = done;
+            joined.insert(joined.end(), s.begin(), s.end());
+            next.insert(std::move(joined));
+          }
+        }
+        out = std::move(next);
+      }
+      return out;
+    }
+    case Kind::And: {
+      Seqs out = {{}};
+      for (const AttackTree& c : children_) {
+        const Seqs sub = c.sequences();
+        Seqs next;
+        for (const auto& done : out) {
+          for (const auto& s : sub) {
+            std::vector<std::string> prefix;
+            interleavings(done, s, prefix, next);
+          }
+        }
+        out = std::move(next);
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+ProcessRef AttackTree::to_csp(Context& ctx, const std::string& channel) const {
+  // Declare (or reuse) the attack channel with the tree's action domain.
+  std::vector<Value> domain;
+  for (const std::string& a : actions()) {
+    domain.push_back(Value::symbol(ctx.sym(a)));
+  }
+  ChannelId chan;
+  if (auto existing = ctx.find_channel(channel)) {
+    chan = *existing;  // assume caller declared a superset domain
+  } else {
+    chan = ctx.channel(channel, {std::move(domain)});
+  }
+
+  // Recursive translation.
+  const auto translate = [&](const auto& self,
+                             const AttackTree& t) -> ProcessRef {
+    switch (t.kind()) {
+      case Kind::Leaf:
+        return ctx.prefix(
+            ctx.event(chan, {Value::symbol(ctx.sym(t.action()))}), ctx.skip());
+      case Kind::Seq: {
+        ProcessRef out = self(self, t.children().back());
+        for (std::size_t i = t.children().size() - 1; i > 0; --i) {
+          out = ctx.seq(self(self, t.children()[i - 1]), out);
+        }
+        return out;
+      }
+      case Kind::And: {
+        ProcessRef out = self(self, t.children().back());
+        for (std::size_t i = t.children().size() - 1; i > 0; --i) {
+          out = ctx.interleave(self(self, t.children()[i - 1]), out);
+        }
+        return out;
+      }
+      case Kind::Or: {
+        std::vector<ProcessRef> alts;
+        alts.reserve(t.children().size());
+        for (const AttackTree& c : t.children()) alts.push_back(self(self, c));
+        return ctx.int_choice(alts);
+      }
+    }
+    return ctx.stop();
+  };
+  return translate(translate, *this);
+}
+
+}  // namespace ecucsp::security

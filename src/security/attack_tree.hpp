@@ -1,0 +1,57 @@
+// Attack trees as series-parallel graphs, with the paper's Section IV-E
+// semantics and the translation to semantically equivalent CSP processes
+// (after Cheah et al., WISTP 2017, the paper's [17]).
+//
+// Semantics (paper's notation):
+//   (a)           = { <a> }
+//   (G1 || G2)    = { s in s1 ||| s2 }          (AND: interleave)
+//   (G1 . G2)     = { s1 ^ s2 }                 (SEQ: concatenation)
+//   ({G1..Gn})    = union of the (Gi)           (OR: alternatives)
+// The CSP translation maps leaves to a -> SKIP, SEQ to ';', AND to '|||'
+// and OR to internal choice; its *completed* traces (those ending in tick)
+// coincide with the SP-graph semantics, which tests/security_test.cpp
+// verifies as a property.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+
+namespace ecucsp::security {
+
+class AttackTree {
+ public:
+  enum class Kind : std::uint8_t { Leaf, Seq, And, Or };
+
+  static AttackTree leaf(std::string action);
+  static AttackTree seq(std::vector<AttackTree> steps);
+  static AttackTree and_all(std::vector<AttackTree> branches);  // parallel
+  static AttackTree or_any(std::vector<AttackTree> branches);   // alternatives
+
+  Kind kind() const { return kind_; }
+  const std::string& action() const { return action_; }
+  const std::vector<AttackTree>& children() const { return children_; }
+
+  /// All attack action names occurring in the tree.
+  std::set<std::string> actions() const;
+
+  /// The SP-graph semantics: the set of complete action sequences.
+  std::set<std::vector<std::string>> sequences() const;
+
+  /// Translate to a CSP process over `channel` (one event per action);
+  /// declares the channel's domain from the tree's actions.
+  ProcessRef to_csp(Context& ctx, const std::string& channel = "attack") const;
+
+  /// Number of nodes (diagnostics / benches).
+  std::size_t size() const;
+
+ private:
+  Kind kind_ = Kind::Leaf;
+  std::string action_;
+  std::vector<AttackTree> children_;
+};
+
+}  // namespace ecucsp::security

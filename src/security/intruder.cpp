@@ -1,0 +1,69 @@
+#include "security/intruder.hpp"
+
+#include <algorithm>
+
+namespace ecucsp::security {
+
+namespace {
+
+Value encode_knowledge(const std::set<Value>& knowledge) {
+  return Value::tuple({knowledge.begin(), knowledge.end()});
+}
+
+std::set<Value> decode_knowledge(const Value& v) {
+  const auto& items = v.as_tuple();
+  return {items.begin(), items.end()};
+}
+
+}  // namespace
+
+ProcessRef build_intruder(const TermAlgebra& terms, const IntruderConfig& cfg) {
+  Context& ctx = terms.context();
+  const std::string name = cfg.name;
+
+  // The definition unfolds lazily: each distinct knowledge set becomes one
+  // memoised process. Capture what we need by value.
+  const IntruderConfig config = cfg;
+  const TermAlgebra algebra = terms;
+
+  ctx.define(name, [config, algebra, name](Context& cx,
+                                           std::span<const Value> args) {
+    const std::set<Value> knowledge = decode_knowledge(args[0]);
+
+    std::vector<ProcessRef> branches;
+
+    // Overhear any transmission: learn the payload.
+    for (const Value& from : config.agents) {
+      for (const Value& to : config.agents) {
+        for (const Value& m : config.messages) {
+          const EventId hear = cx.event(config.hear_channel, {from, to, m});
+          std::set<Value> grown = knowledge;
+          grown.insert(m);
+          const Value next =
+              encode_knowledge(algebra.close(std::move(grown), config.universe));
+          branches.push_back(cx.prefix(hear, cx.var(name, {next})));
+        }
+      }
+    }
+
+    // Inject any derivable message with any claimed sender to any recipient.
+    for (const Value& m : config.messages) {
+      if (!knowledge.contains(m)) continue;
+      for (const Value& from : config.agents) {
+        for (const Value& to : config.agents) {
+          const EventId say = cx.event(config.say_channel, {from, to, m});
+          branches.push_back(cx.prefix(say, cx.var(name, {args[0]})));
+        }
+      }
+    }
+
+    return cx.ext_choice(branches);
+  });
+
+  const Value initial = encode_knowledge(
+      terms.close({cfg.initial_knowledge.begin(), cfg.initial_knowledge.end()},
+                  cfg.universe));
+  return ctx.var(name, {initial});
+}
+
+}  // namespace ecucsp::security

@@ -1,0 +1,198 @@
+#include "security/intruder_factored.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ecucsp::security {
+
+namespace {
+
+struct Rule {
+  std::vector<std::size_t> premises;  // fact indices
+  std::size_t conclusion = 0;
+};
+
+}  // namespace
+
+ProcessRef build_factored_intruder(const TermAlgebra& terms,
+                                   const IntruderConfig& cfg,
+                                   FactoredIntruderStats* stats) {
+  Context& ctx = terms.context();
+
+  // Index the fact universe.
+  std::vector<Value> facts = cfg.universe;
+  std::sort(facts.begin(), facts.end());
+  facts.erase(std::unique(facts.begin(), facts.end()), facts.end());
+  std::map<Value, std::size_t> index;
+  for (std::size_t i = 0; i < facts.size(); ++i) index.emplace(facts[i], i);
+  const auto find = [&](const Value& v) -> std::ptrdiff_t {
+    const auto it = index.find(v);
+    return it == index.end() ? -1 : static_cast<std::ptrdiff_t>(it->second);
+  };
+
+  // Instantiate the Dolev-Yao deduction rules over the universe.
+  std::vector<Rule> rules;
+  const auto add_rule = [&](std::vector<std::ptrdiff_t> prem,
+                            std::ptrdiff_t concl) {
+    if (concl < 0) return;
+    Rule r;
+    for (const std::ptrdiff_t p : prem) {
+      if (p < 0) return;  // a premise outside the universe: rule inapplicable
+      r.premises.push_back(static_cast<std::size_t>(p));
+    }
+    r.conclusion = static_cast<std::size_t>(concl);
+    // Degenerate rules (conclusion among premises) would be no-ops.
+    for (const std::size_t p : r.premises) {
+      if (p == r.conclusion) return;
+    }
+    rules.push_back(std::move(r));
+  };
+  for (const Value& f : facts) {
+    if (terms.is_pair(f)) {
+      const std::ptrdiff_t self = find(f);
+      const std::ptrdiff_t a = find(terms.arg(f, 0));
+      const std::ptrdiff_t b = find(terms.arg(f, 1));
+      add_rule({self}, a);       // unpair left
+      add_rule({self}, b);       // unpair right
+      add_rule({a, b}, self);    // pair
+    } else if (terms.is_senc(f)) {
+      const std::ptrdiff_t self = find(f);
+      const std::ptrdiff_t k = find(terms.arg(f, 0));
+      const std::ptrdiff_t m = find(terms.arg(f, 1));
+      add_rule({self, k}, m);    // decrypt
+      add_rule({k, m}, self);    // encrypt
+    } else if (terms.is_aenc(f)) {
+      const std::ptrdiff_t self = find(f);
+      const Value& pub = terms.arg(f, 0);
+      const std::ptrdiff_t k = find(pub);
+      const std::ptrdiff_t m = find(terms.arg(f, 1));
+      add_rule({k, m}, self);    // encrypt with the public key
+      if (terms.is_pk(pub)) {
+        const std::ptrdiff_t sk = find(terms.sk(terms.arg(pub, 0)));
+        add_rule({self, sk}, m);  // decrypt with the secret key
+      }
+    } else if (terms.is_mac(f)) {
+      const std::ptrdiff_t k = find(terms.arg(f, 0));
+      const std::ptrdiff_t m = find(terms.arg(f, 1));
+      add_rule({k, m}, find(f));  // MACs compose but never decompose
+    }
+  }
+  if (stats) {
+    stats->fact_cells = facts.size();
+    stats->rule_instances = rules.size();
+  }
+
+  // The internal inference channel: one event per rule instance.
+  std::vector<Value> rule_ids;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    rule_ids.push_back(Value::integer(static_cast<std::int64_t>(i)));
+  }
+  const ChannelId infer =
+      ctx.channel(cfg.name + "_infer",
+                  rule_ids.empty() ? std::vector<std::vector<Value>>{}
+                                   : std::vector<std::vector<Value>>{rule_ids});
+
+  // Message facts participate in network traffic.
+  std::map<std::size_t, bool> is_message;
+  for (const Value& m : cfg.messages) {
+    if (const auto it = index.find(m); it != index.end()) {
+      is_message[it->second] = true;
+    }
+  }
+
+  // Per-fact rule participation.
+  std::vector<std::vector<std::size_t>> concluding(facts.size());
+  std::vector<std::vector<std::size_t>> premising(facts.size());
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    concluding[rules[r].conclusion].push_back(r);
+    for (const std::size_t p : rules[r].premises) premising[p].push_back(r);
+  }
+
+  // One parameterised definition drives every cell: args = (fact, knows).
+  const std::string cell_name = cfg.name + "_CELL";
+  const IntruderConfig config = cfg;  // captured by value
+  ctx.define(cell_name, [config, infer, facts, is_message, concluding,
+                         premising, cell_name](Context& cx,
+                                               std::span<const Value> args) {
+    const auto fi = static_cast<std::size_t>(args[0].as_int());
+    const bool knows = args[1].as_int() != 0;
+    const Value knows_state[2] = {Value::integer(args[0].as_int()),
+                                  Value::integer(1)};
+    const ProcessRef to_knows =
+        cx.var(cell_name, {knows_state[0], knows_state[1]});
+    const ProcessRef self =
+        cx.var(cell_name, {knows_state[0], Value::integer(knows ? 1 : 0)});
+
+    std::vector<ProcessRef> branches;
+    if (is_message.count(fi)) {
+      for (const Value& from : config.agents) {
+        for (const Value& to : config.agents) {
+          branches.push_back(cx.prefix(
+              cx.event(config.hear_channel, {from, to, facts[fi]}), to_knows));
+          if (knows) {
+            branches.push_back(cx.prefix(
+                cx.event(config.say_channel, {from, to, facts[fi]}), self));
+          }
+        }
+      }
+    }
+    if (!knows) {
+      for (const std::size_t r : concluding[fi]) {
+        branches.push_back(cx.prefix(
+            cx.event(infer, {Value::integer(static_cast<std::int64_t>(r))}),
+            to_knows));
+      }
+    } else {
+      for (const std::size_t r : premising[fi]) {
+        branches.push_back(cx.prefix(
+            cx.event(infer, {Value::integer(static_cast<std::int64_t>(r))}),
+            self));
+      }
+    }
+    return cx.ext_choice(branches);
+  });
+
+  // Alphabet of each cell: its network events plus its inference events.
+  const auto alphabet_of = [&](std::size_t fi) {
+    std::vector<EventId> out;
+    if (is_message.count(fi)) {
+      for (const Value& from : cfg.agents) {
+        for (const Value& to : cfg.agents) {
+          out.push_back(ctx.event(cfg.hear_channel, {from, to, facts[fi]}));
+          out.push_back(ctx.event(cfg.say_channel, {from, to, facts[fi]}));
+        }
+      }
+    }
+    for (const std::size_t r : concluding[fi]) {
+      out.push_back(ctx.event(infer, {Value::integer(static_cast<std::int64_t>(r))}));
+    }
+    for (const std::size_t r : premising[fi]) {
+      out.push_back(ctx.event(infer, {Value::integer(static_cast<std::int64_t>(r))}));
+    }
+    return EventSet(std::move(out));
+  };
+
+  // Compose the cells in alphabetised parallel.
+  ProcessRef composed = nullptr;
+  EventSet acc_alpha;
+  for (std::size_t fi = 0; fi < facts.size(); ++fi) {
+    const bool known = cfg.initial_knowledge.contains(facts[fi]);
+    const ProcessRef cell =
+        ctx.var(cell_name, {Value::integer(static_cast<std::int64_t>(fi)),
+                            Value::integer(known ? 1 : 0)});
+    const EventSet alpha = alphabet_of(fi);
+    if (!composed) {
+      composed = cell;
+      acc_alpha = alpha;
+    } else {
+      composed = ctx.par(composed, acc_alpha.set_intersection(alpha), cell);
+      acc_alpha = acc_alpha.set_union(alpha);
+    }
+  }
+  if (!composed) return ctx.stop();
+
+  // Inferences are the intruder's private reasoning.
+  return ctx.hide(composed, ctx.events_of(infer));
+}
+
+}  // namespace ecucsp::security

@@ -1,0 +1,45 @@
+// The factored ("lazy") Dolev-Yao intruder, after Roscoe/Casper.
+//
+// The explicit intruder of intruder.hpp carries its whole knowledge set in
+// one process parameter, so its state count is the number of reachable
+// *closed knowledge sets*. The classic scalable alternative factors the
+// intruder into one two-state cell per derivable fact:
+//
+//   CELL(f) in {Ignorant, Knows}
+//     hear.*.*.f         : -> Knows            (overhearing, messages only)
+//   say.*.*.f            : Knows -> Knows      (injection, messages only)
+//   infer.r              : premises stay Knows, conclusion Ignorant -> Knows
+//
+// and composes the cells in alphabetised parallel, hiding the internal
+// `infer` events. Each deduction-rule instance fires at most once along a
+// trace (its conclusion cell then blocks it), so the hidden inferences
+// cannot introduce divergence. The composition is trace-equivalent to the
+// explicit intruder over the same universe — tests/security_test.cpp checks
+// this mechanically on several universes.
+//
+// Honest scaling note (see bench_intruder_statespace): compiled standalone,
+// the factored intruder's LTS is the product of its cells and can be
+// *larger* than the explicit intruder's, whose eager closure collapses many
+// knowledge sets. The construction's practical advantage in FDR comes from
+// combining it with the `chase` operator (eagerly committing to taus),
+// which this engine does not implement; we provide the factored form for
+// fidelity to the literature and as a mechanically-verified equivalence.
+#pragma once
+
+#include "security/intruder.hpp"
+
+namespace ecucsp::security {
+
+struct FactoredIntruderStats {
+  std::size_t fact_cells = 0;
+  std::size_t rule_instances = 0;
+};
+
+/// Build the factored intruder for the same configuration consumed by
+/// build_intruder(). `stats`, when non-null, receives the construction
+/// sizes for benchmarks.
+ProcessRef build_factored_intruder(const TermAlgebra& terms,
+                                   const IntruderConfig& cfg,
+                                   FactoredIntruderStats* stats = nullptr);
+
+}  // namespace ecucsp::security

@@ -1,0 +1,31 @@
+#include "security/mac.hpp"
+
+namespace ecucsp::security {
+
+MacTag compute_mac(MacKey key, std::span<const std::uint8_t> payload) {
+  // FNV-1a over key bytes, payload, then key bytes again (sandwich), folded
+  // to 32 bits. Toy construction — see header.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  };
+  for (int i = 0; i < 8; ++i) mix(static_cast<std::uint8_t>(key >> (8 * i)));
+  for (const std::uint8_t b : payload) mix(b);
+  for (int i = 7; i >= 0; --i) mix(static_cast<std::uint8_t>(key >> (8 * i)));
+  return static_cast<MacTag>(h ^ (h >> 32));
+}
+
+bool verify_mac(MacKey key, std::span<const std::uint8_t> payload, MacTag tag) {
+  // Branch-free comparison to keep the verify shape constant.
+  const MacTag expect = compute_mac(key, payload);
+  std::uint32_t diff = expect ^ tag;
+  diff |= diff >> 16;
+  diff |= diff >> 8;
+  diff |= diff >> 4;
+  diff |= diff >> 2;
+  diff |= diff >> 1;
+  return (diff & 1u) == 0;
+}
+
+}  // namespace ecucsp::security

@@ -1,0 +1,26 @@
+// Toy message authentication code for the simulation-level OTA case study.
+//
+// X.1373 (R05) assumes shared symmetric keys; in the CSP models a MAC is a
+// symbolic term (see TermAlgebra::mac). At the CAN-simulation level we need
+// concrete bytes, so this provides a keyed 32-bit tag based on FNV-1a.
+//
+// *** NOT cryptographically secure. *** It exists to exercise the same code
+// paths a real MAC would (compute, attach, verify, reject-on-mismatch); the
+// substitution is recorded in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ecucsp::security {
+
+using MacKey = std::uint64_t;
+using MacTag = std::uint32_t;
+
+/// Keyed tag over `payload`.
+MacTag compute_mac(MacKey key, std::span<const std::uint8_t> payload);
+
+/// Constant-shape verification (always scans the full payload).
+bool verify_mac(MacKey key, std::span<const std::uint8_t> payload, MacTag tag);
+
+}  // namespace ecucsp::security

@@ -1,0 +1,109 @@
+#include "security/properties.hpp"
+
+namespace ecucsp::security {
+
+ProcessRef response_spec(Context& ctx, EventId request, EventId response) {
+  const std::string name = "_RESPONSE_SPEC_" + ctx.event_name(request) + "_" +
+                           ctx.event_name(response);
+  const Symbol s = ctx.sym(name);
+  ctx.define(name, [request, response, s](Context& cx, std::span<const Value>) {
+    return cx.prefix(request, cx.prefix(response, cx.var(s)));
+  });
+  return ctx.var(s);
+}
+
+ProcessRef precedence_spec(Context& ctx, EventId pre, EventId post) {
+  // Before `pre`: only pre is allowed. After: both run freely.
+  return ctx.prefix(pre, ctx.run(EventSet{pre, post}));
+}
+
+ProcessRef never_spec(Context& ctx, EventId leak, const EventSet& alphabet) {
+  return ctx.run(alphabet.set_difference(EventSet{leak}));
+}
+
+ProcessRef bounded_response_spec(Context& ctx, EventId tock, EventId request,
+                                 EventId response, int within) {
+  const std::string name = "_BRESP_" + ctx.event_name(request) + "_" +
+                           ctx.event_name(response) + "_" +
+                           std::to_string(within);
+  const Symbol s = ctx.sym(name);
+  // args[0] == -1: idle; args[0] == j >= 0: waiting, j tocks left.
+  ctx.define(name, [tock, request, response, within, s](
+                       Context& cx, std::span<const Value> args) {
+    const std::int64_t j = args[0].as_int();
+    if (j < 0) {
+      return cx.ext_choice(
+          cx.prefix(tock, cx.var(s, {Value::integer(-1)})),
+          cx.prefix(request, cx.var(s, {Value::integer(within)})));
+    }
+    ProcessRef out =
+        cx.prefix(response, cx.var(s, {Value::integer(-1)}));
+    if (j > 0) {
+      out = cx.ext_choice(
+          out, cx.prefix(tock, cx.var(s, {Value::integer(j - 1)})));
+    }
+    return out;
+  });
+  return ctx.var(s, {Value::integer(-1)});
+}
+
+CheckResult check_bounded_response(Context& ctx, ProcessRef system,
+                                   EventId tock, EventId request,
+                                   EventId response, int within,
+                                   std::size_t max_states) {
+  const ProcessRef spec =
+      bounded_response_spec(ctx, tock, request, response, within);
+  const ProcessRef projected =
+      project(ctx, system, EventSet{tock, request, response});
+  return check_refinement(ctx, spec, projected, Model::Traces, max_states);
+}
+
+ProcessRef project(Context& ctx, ProcessRef system, const EventSet& keep) {
+  return ctx.hide(system, ctx.alphabet().set_difference(keep));
+}
+
+CheckResult check_response(Context& ctx, ProcessRef system, EventId request,
+                           EventId response, std::size_t max_states) {
+  const ProcessRef spec = response_spec(ctx, request, response);
+  const ProcessRef projected =
+      project(ctx, system, EventSet{request, response});
+  return check_refinement(ctx, spec, projected, Model::Traces, max_states);
+}
+
+CheckResult check_precedence(Context& ctx, ProcessRef system, EventId pre,
+                             EventId post, std::size_t max_states) {
+  const ProcessRef spec = precedence_spec(ctx, pre, post);
+  const ProcessRef projected = project(ctx, system, EventSet{pre, post});
+  return check_refinement(ctx, spec, projected, Model::Traces, max_states);
+}
+
+CheckResult check_precedence_witness(Context& ctx, ProcessRef system,
+                                     EventId pre, EventId post,
+                                     std::size_t max_states) {
+  // SPEC: until `pre` happens, anything but `post` is allowed; afterwards
+  // the process is unconstrained.
+  const EventSet sigma = ctx.alphabet();
+  const std::string name = "_PRECEDENCE_FULL_" + ctx.event_name(pre) + "_" +
+                           ctx.event_name(post);
+  const Symbol s = ctx.sym(name);
+  const ProcessRef anything = ctx.run(sigma);
+  ctx.define(name, [pre, post, sigma, anything, s](Context& cx,
+                                                   std::span<const Value>) {
+    std::vector<ProcessRef> branches;
+    branches.push_back(cx.prefix(pre, anything));
+    for (const EventId e : sigma.set_difference(EventSet{pre, post})) {
+      branches.push_back(cx.prefix(e, cx.var(s)));
+    }
+    return cx.ext_choice(branches);
+  });
+  return check_refinement(ctx, ctx.var(s), system, Model::Traces, max_states);
+}
+
+CheckResult check_never(Context& ctx, ProcessRef system, EventId leak,
+                        std::size_t max_states) {
+  const EventSet sigma = ctx.alphabet();
+  return check_refinement(ctx, never_spec(ctx, leak, sigma), system,
+                          Model::Traces, max_states);
+}
+
+}  // namespace ecucsp::security

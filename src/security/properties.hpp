@@ -1,0 +1,65 @@
+// Reusable security-property specification builders.
+//
+// Each builder returns a CSP specification process (and, where needed, the
+// projection of the system under test) so that the property becomes an
+// ordinary refinement check — the paper's method of "capturing security
+// properties as abstract CSP models" (Section V-B).
+#pragma once
+
+#include <string>
+
+#include "core/context.hpp"
+#include "refine/check.hpp"
+
+namespace ecucsp::security {
+
+/// Integrity / responsiveness (the paper's SP02): every occurrence of
+/// `request` is answered by `response` before the next request.
+///   SP = request -> response -> SP
+/// Check with: check_refinement(ctx, spec, project(system), Traces) where
+/// the system is projected to {request, response}.
+ProcessRef response_spec(Context& ctx, EventId request, EventId response);
+
+/// Precedence / authentication: `post` may only occur after `pre` has
+/// occurred (Lowe-style running/commit authentication when pre=running,
+/// post=commit).
+ProcessRef precedence_spec(Context& ctx, EventId pre, EventId post);
+
+/// Confidentiality: the `leak` event never occurs.
+ProcessRef never_spec(Context& ctx, EventId leak, const EventSet& alphabet);
+
+/// Timed (tock-CSP) bounded response, the paper's Section VII-B route to
+/// time: over the projected alphabet {tock, request, response}, once a
+/// request has occurred, at most `within` tock events may pass before the
+/// response; requests are only observed one at a time. Check against
+/// project(system, {tock, request, response}) in the traces model.
+ProcessRef bounded_response_spec(Context& ctx, EventId tock, EventId request,
+                                 EventId response, int within);
+
+CheckResult check_bounded_response(Context& ctx, ProcessRef system,
+                                   EventId tock, EventId request,
+                                   EventId response, int within,
+                                   std::size_t max_states = 1u << 22);
+
+/// Project `system` onto `keep`: hide every other currently-interned event.
+/// (Trace-model projection; hiding may introduce divergence, which the
+/// traces model ignores — use for [T= checks.)
+ProcessRef project(Context& ctx, ProcessRef system, const EventSet& keep);
+
+/// Convenience wrappers running the projection + refinement in one step.
+CheckResult check_response(Context& ctx, ProcessRef system, EventId request,
+                           EventId response,
+                           std::size_t max_states = 1u << 22);
+CheckResult check_precedence(Context& ctx, ProcessRef system, EventId pre,
+                             EventId post, std::size_t max_states = 1u << 22);
+
+/// Like check_precedence, but checks against the *unprojected* system so a
+/// failure's counterexample is the complete event trace — the attack
+/// scenario fed "back to software designers" in the paper's Figure 1.
+CheckResult check_precedence_witness(Context& ctx, ProcessRef system,
+                                     EventId pre, EventId post,
+                                     std::size_t max_states = 1u << 22);
+CheckResult check_never(Context& ctx, ProcessRef system, EventId leak,
+                        std::size_t max_states = 1u << 22);
+
+}  // namespace ecucsp::security

@@ -1,0 +1,174 @@
+#include "security/secoc.hpp"
+
+#include "security/intruder.hpp"
+#include "security/properties.hpp"
+#include "security/terms.hpp"
+
+namespace ecucsp::security {
+
+std::unique_ptr<SecOcModel> build_secoc_model(int counters) {
+  auto model = std::make_unique<SecOcModel>();
+  Context& ctx = model->ctx;
+  TermAlgebra T(ctx);
+  model->counter_range = static_cast<std::size_t>(counters);
+
+  const Value s = T.atom("s");  // sender
+  const Value r = T.atom("r");  // receiver
+  const Value i = T.atom("i");  // intruder identity
+  const Value key = T.atom("k");
+  const Value bad = T.atom("badTag");
+  const std::vector<Value> agents{s, r, i};
+
+  std::vector<Value> cmds{Value::integer(0), Value::integer(1)};
+  std::vector<Value> ctrs;
+  for (int n = 0; n < counters; ++n) ctrs.push_back(Value::integer(n));
+
+  // Frames: pair(payload, tag) with payload = pair(cmd, ctr) and tag either
+  // mac(k, payload) (genuine) or the badTag atom (forgery).
+  std::vector<Value> payloads, good_frames, forged_frames, messages, universe;
+  for (const Value& c : cmds) {
+    for (const Value& n : ctrs) {
+      const Value p = T.pair(c, n);
+      payloads.push_back(p);
+      good_frames.push_back(T.pair(p, T.mac(key, p)));
+      forged_frames.push_back(T.pair(p, bad));
+    }
+  }
+  messages = good_frames;
+  messages.insert(messages.end(), forged_frames.begin(), forged_frames.end());
+  universe = messages;
+  universe.insert(universe.end(), payloads.begin(), payloads.end());
+  for (const Value& p : payloads) universe.push_back(T.mac(key, p));
+  universe.insert(universe.end(), cmds.begin(), cmds.end());
+  universe.insert(universe.end(), ctrs.begin(), ctrs.end());
+  universe.push_back(bad);
+  universe.insert(universe.end(), agents.begin(), agents.end());
+
+  const ChannelId snd = ctx.channel("snd", {agents, agents, messages});
+  const ChannelId rcv = ctx.channel("rcv", {agents, agents, messages});
+  const ChannelId accept = ctx.channel("accept", {cmds, ctrs});
+
+  // Captured by value: this lambda is stored inside deferred process
+  // definitions that outlive this function's locals.
+  const auto good_frame = [T, key](const Value& c, const Value& n) {
+    const Value p = T.pair(c, n);
+    return T.pair(p, T.mac(key, p));
+  };
+
+  // --- sender: one frame per counter value, counter strictly increasing ----
+  ctx.define("SECOC_SND", [=](Context& cx, std::span<const Value> args) {
+    const std::int64_t n = args[0].as_int();
+    if (n >= counters) return cx.stop();
+    std::vector<ProcessRef> branches;
+    for (const Value& c : cmds) {
+      const EventId e = cx.event(snd, {s, r, good_frame(c, Value::integer(n))});
+      branches.push_back(
+          cx.prefix(e, cx.var("SECOC_SND", {Value::integer(n + 1)})));
+    }
+    return cx.ext_choice(branches);
+  });
+
+  // --- receivers -------------------------------------------------------------
+  // args[0] == last accepted counter (-1 initially); the MAC-only variant
+  // ignores it.
+  const auto receiver = [=](bool check_freshness, const char* name) {
+    return [=](Context& cx, std::span<const Value> args) {
+      const std::int64_t last = args[0].as_int();
+      std::vector<ProcessRef> branches;
+      for (const Value& c : cmds) {
+        for (const Value& n : ctrs) {
+          // Genuine tag: verify, optionally check freshness, accept.
+          const EventId rx_good =
+              cx.event(rcv, {s, r, good_frame(c, n)});
+          const bool fresh = !check_freshness || n.as_int() > last;
+          if (fresh) {
+            const EventId acc = cx.event(accept, {c, n});
+            const Value next =
+                check_freshness ? n : Value::integer(last);
+            branches.push_back(cx.prefix(
+                rx_good,
+                cx.prefix(acc, cx.var(name, {check_freshness
+                                                 ? next
+                                                 : Value::integer(-1)}))));
+          } else {
+            branches.push_back(
+                cx.prefix(rx_good, cx.var(name, {Value::integer(last)})));
+          }
+          // Bad tag: MAC verification fails, frame dropped.
+          const EventId rx_bad = cx.event(
+              rcv, {s, r, T.pair(T.pair(c, n), bad)});
+          branches.push_back(
+              cx.prefix(rx_bad, cx.var(name, {Value::integer(last)})));
+        }
+      }
+      return cx.ext_choice(branches);
+    };
+  };
+  ctx.define("SECOC_RCV_MAC", receiver(false, "SECOC_RCV_MAC"));
+  ctx.define("SECOC_RCV_FRESH", receiver(true, "SECOC_RCV_FRESH"));
+
+  // --- intruder: records bus frames, replays or forges ------------------------
+  IntruderConfig cfg;
+  cfg.universe = universe;
+  cfg.messages = messages;
+  cfg.initial_knowledge = {s, r, i, bad};
+  for (const Value& c : cmds) cfg.initial_knowledge.insert(c);
+  for (const Value& n : ctrs) cfg.initial_knowledge.insert(n);
+  cfg.hear_channel = snd;
+  cfg.say_channel = rcv;
+  cfg.agents = agents;
+  cfg.name = "SECOC_INTRUDER";
+  const ProcessRef intruder = build_intruder(T, cfg);
+
+  const EventSet network = ctx.events_of(snd).set_union(ctx.events_of(rcv));
+  const ProcessRef sender = ctx.var("SECOC_SND", {Value::integer(0)});
+  const auto compose = [&](const char* rcv_name) {
+    const ProcessRef receiver_proc = ctx.var(rcv_name, {Value::integer(-1)});
+    return ctx.par(ctx.interleave(sender, receiver_proc), network, intruder);
+  };
+  model->system_mac_only = compose("SECOC_RCV_MAC");
+  model->system_secoc = compose("SECOC_RCV_FRESH");
+
+  // Key events and sets for properties.
+  model->send0 =
+      ctx.event(snd, {s, r, good_frame(Value::integer(0), Value::integer(0))});
+  model->accept0 = ctx.event(accept, {Value::integer(0), Value::integer(0)});
+  {
+    std::vector<EventId> send_events;
+    for (const Value& c : cmds) {
+      for (const Value& n : ctrs) {
+        send_events.push_back(ctx.event(snd, {s, r, good_frame(c, n)}));
+      }
+    }
+    model->sends = EventSet(std::move(send_events));
+    model->accepts = ctx.events_of(accept);
+  }
+  return model;
+}
+
+CheckResult check_no_replay(SecOcModel& model, bool secoc_variant,
+                            std::size_t max_states) {
+  Context& ctx = model.ctx;
+  // SPEC: one interleaved cell per (send, accept) instance — each genuine
+  // transmission may be accepted at most once, and never before it is sent.
+  std::vector<ProcessRef> cells;
+  for (const EventId snd_e : model.sends) {
+    // Matching accept event: same cmd/ctr as the frame payload.
+    const auto& fields = ctx.event_fields(snd_e);
+    const auto& frame = fields[2].as_tuple();       // pair(payload, tag)
+    const auto& payload = frame[1].as_tuple();      // <"pair", cmd, ctr>
+    const EventId acc_e = ctx.event("accept", {payload[1], payload[2]});
+    cells.push_back(ctx.prefix(snd_e, ctx.prefix(acc_e, ctx.stop())));
+  }
+  ProcessRef spec = cells.front();
+  for (std::size_t k = 1; k < cells.size(); ++k) {
+    spec = ctx.interleave(spec, cells[k]);
+  }
+  const ProcessRef system =
+      secoc_variant ? model.system_secoc : model.system_mac_only;
+  const ProcessRef projected =
+      security::project(ctx, system, model.sends.set_union(model.accepts));
+  return check_refinement(ctx, spec, projected, Model::Traces, max_states);
+}
+
+}  // namespace ecucsp::security

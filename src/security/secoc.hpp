@@ -1,0 +1,57 @@
+// An AUTOSAR SecOC-style authenticated CAN messaging model.
+//
+// The OTA case study's MAC (R05) authenticates *origin* but not *freshness*:
+// a Dolev-Yao attacker that records a genuine MAC'd frame can replay it
+// verbatim, and the plain MAC verifies again. SecOC counters this with a
+// monotonic freshness value included under the MAC. This module models both
+// schemes over a small value domain and lets the refinement engine exhibit
+// the replay attack and verify the fix — the paper's workflow applied to a
+// second, real automotive mechanism.
+//
+// Model: a sender transmits commands cmd in {0..1}; frames are
+//   frame.cmd.ctr.tag   with ctr in {0..N-1}, tag in {goodTag, badTag}
+// where goodTag abstracts "MAC over (cmd, ctr) under the shared key".
+// The attacker can (a) inject frames with badTag (it lacks the key), and
+// (b) replay any previously transmitted genuine frame. The receiver either
+//   * checks the tag only                       (plain MAC, replay-prone), or
+//   * checks the tag and strict ctr monotonicity (SecOC, replay-proof).
+// The integrity property: every accepted command was sent (at most) once by
+// the genuine sender — i.e. #accepts <= #sends, expressed as a spec where
+// accept.i must be preceded by a *distinct* send.i.
+#pragma once
+
+#include <memory>
+
+#include "core/context.hpp"
+#include "refine/check.hpp"
+
+namespace ecucsp::security {
+
+struct SecOcModel {
+  SecOcModel() = default;
+  SecOcModel(const SecOcModel&) = delete;
+  SecOcModel& operator=(const SecOcModel&) = delete;
+
+  Context ctx;
+
+  EventId send0 = 0;    // genuine sender transmits (ctr = 0 instance)
+  EventId accept0 = 0;  // receiver accepts the ctr = 0 frame
+  EventSet sends;       // all genuine transmissions
+  EventSet accepts;     // all receiver accept events
+
+  ProcessRef system_mac_only = nullptr;  // tag check only
+  ProcessRef system_secoc = nullptr;     // tag + freshness check
+
+  std::size_t counter_range = 0;
+};
+
+/// Build both variants with `counters` freshness values (>= 2).
+std::unique_ptr<SecOcModel> build_secoc_model(int counters = 3);
+
+/// The no-replay property: each genuine transmission is accepted at most
+/// once. Checked as SPEC [T= projection onto {send.*, accept.*} where SPEC
+/// interleaves one send->accept cell per (cmd, ctr) instance.
+CheckResult check_no_replay(SecOcModel& model, bool secoc_variant,
+                            std::size_t max_states = 1u << 22);
+
+}  // namespace ecucsp::security

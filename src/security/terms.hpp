@@ -1,0 +1,99 @@
+// Symbolic cryptographic message terms and the Dolev-Yao deduction system.
+//
+// Messages are core Values: atoms (agent names, nonces, keys) are symbols;
+// compound terms are tagged tuples:
+//   <"pair", a, b>      pairing
+//   <"senc", k, m>      symmetric encryption under key k
+//   <"aenc", pk, m>     asymmetric encryption under public key pk
+//   <"pk", a> / <"sk", a>  key pairs of agent a
+//   <"mac", k, m>       message authentication code (X.1373's shared-key mode)
+// The deduction closure implements the standard Dolev-Yao rules, bounded by
+// a finite message universe (the closure only *composes* terms that appear
+// in the universe, which keeps intruder state spaces finite — the classic
+// Roscoe/Ryan-Schneider treatment the paper cites as [30]).
+#pragma once
+
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "core/context.hpp"
+
+namespace ecucsp::security {
+
+class TermAlgebra {
+ public:
+  explicit TermAlgebra(Context& ctx)
+      : ctx_(ctx),
+        pair_tag_(ctx.sym("pair")),
+        senc_tag_(ctx.sym("senc")),
+        aenc_tag_(ctx.sym("aenc")),
+        mac_tag_(ctx.sym("mac")),
+        pk_tag_(ctx.sym("pk")),
+        sk_tag_(ctx.sym("sk")) {}
+
+  Value atom(std::string_view name) const {
+    return Value::symbol(ctx_.sym(name));
+  }
+  Value pair(const Value& a, const Value& b) const {
+    return Value::tuple({Value::symbol(pair_tag_), a, b});
+  }
+  Value senc(const Value& key, const Value& body) const {
+    return Value::tuple({Value::symbol(senc_tag_), key, body});
+  }
+  Value aenc(const Value& pubkey, const Value& body) const {
+    return Value::tuple({Value::symbol(aenc_tag_), pubkey, body});
+  }
+  Value mac(const Value& key, const Value& body) const {
+    return Value::tuple({Value::symbol(mac_tag_), key, body});
+  }
+  Value pk(const Value& agent) const {
+    return Value::tuple({Value::symbol(pk_tag_), agent});
+  }
+  Value sk(const Value& agent) const {
+    return Value::tuple({Value::symbol(sk_tag_), agent});
+  }
+
+  bool is_pair(const Value& v) const { return tagged(v, pair_tag_, 3); }
+  bool is_senc(const Value& v) const { return tagged(v, senc_tag_, 3); }
+  bool is_aenc(const Value& v) const { return tagged(v, aenc_tag_, 3); }
+  bool is_mac(const Value& v) const { return tagged(v, mac_tag_, 3); }
+  bool is_pk(const Value& v) const { return tagged(v, pk_tag_, 2); }
+  bool is_sk(const Value& v) const { return tagged(v, sk_tag_, 2); }
+
+  /// First / second component of a tagged term.
+  const Value& arg(const Value& v, std::size_t i) const {
+    return v.as_tuple().at(i + 1);
+  }
+
+  /// Dolev-Yao closure of `knowledge`, composing only terms in `universe`.
+  /// Decomposition (unpairing, decryption with known keys) is unrestricted;
+  /// composition (pairing, encrypting, MACing) is bounded by the universe.
+  std::set<Value> close(std::set<Value> knowledge,
+                        const std::vector<Value>& universe) const;
+
+  /// Can `goal` be derived from `knowledge` (within `universe`)?
+  bool derivable(const std::set<Value>& knowledge,
+                 const std::vector<Value>& universe, const Value& goal) const {
+    return close({knowledge.begin(), knowledge.end()}, universe)
+        .contains(goal);
+  }
+
+  Context& context() const { return ctx_; }
+
+ private:
+  bool tagged(const Value& v, Symbol tag, std::size_t arity) const {
+    return v.is_tuple() && v.as_tuple().size() == arity &&
+           v.as_tuple()[0].is_sym() && v.as_tuple()[0].as_sym() == tag;
+  }
+
+  Context& ctx_;
+  Symbol pair_tag_;
+  Symbol senc_tag_;
+  Symbol aenc_tag_;
+  Symbol mac_tag_;
+  Symbol pk_tag_;
+  Symbol sk_tag_;
+};
+
+}  // namespace ecucsp::security

@@ -1,0 +1,57 @@
+#include "sim/environment.hpp"
+
+#include <stdexcept>
+
+namespace ecucsp::sim {
+
+void Node::output(const can::CanFrame& frame) {
+  if (!env_) throw std::logic_error("node '" + name_ + "' is not attached");
+  env_->bus_.transmit(frame, bus_endpoint_);
+  env_->pump_bus();
+}
+
+Scheduler::TaskId Node::set_timer(SimTime delay_us, Scheduler::Action action) {
+  if (!env_) throw std::logic_error("node '" + name_ + "' is not attached");
+  return env_->scheduler_.schedule_in(delay_us, std::move(action));
+}
+
+void Node::cancel_timer(Scheduler::TaskId id) {
+  if (env_) env_->scheduler_.cancel(id);
+}
+
+SimTime Node::now() const { return env_ ? env_->scheduler_.now() : 0; }
+
+void Node::write(const std::string& text) {
+  if (env_) env_->log_.push_back({now(), name_, text});
+}
+
+void Environment::attach(Node& node) {
+  node.env_ = this;
+  nodes_.push_back(&node);
+  node.bus_endpoint_ = bus_.add_listener(
+      [this, n = &node](const can::CanFrame& frame, int sender) {
+        // CAN is broadcast, but CANoe does not deliver a node's own frames
+        // back to it; mirror that.
+        if (sender == n->bus_endpoint_) return;
+        n->on_message(frame);
+      });
+}
+
+void Environment::pump_bus() {
+  if (bus_pump_scheduled_ || bus_.idle()) return;
+  bus_pump_scheduled_ = true;
+  scheduler_.schedule_in(bus_.window_us(), [this] {
+    bus_pump_scheduled_ = false;
+    bus_.deliver_one(scheduler_.now());
+    pump_bus();  // keep draining while frames are pending
+  });
+}
+
+void Environment::run(SimTime until_us) {
+  for (Node* n : nodes_) n->on_start();
+  pump_bus();
+  scheduler_.run(until_us);
+  for (Node* n : nodes_) n->on_stop();
+}
+
+}  // namespace ecucsp::sim

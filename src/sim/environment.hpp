@@ -1,0 +1,81 @@
+// The CANoe-like simulation environment: a scheduler, a CAN bus and a set
+// of network nodes. Substitutes for the "simulated CANbus network ...
+// implemented in CANoe" of the paper's Section VI.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ecucsp::sim {
+
+class Environment;
+
+/// A network node (ECU, gateway, test harness...). Subclasses implement the
+/// event hooks; the environment wires them to the clock and the bus.
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  const std::string& name() const { return name_; }
+
+  virtual void on_start() {}
+  virtual void on_message(const can::CanFrame& /*frame*/) {}
+  virtual void on_stop() {}
+
+ protected:
+  /// Transmit on the bus this node is attached to.
+  void output(const can::CanFrame& frame);
+  /// Schedule a callback (used for timers).
+  Scheduler::TaskId set_timer(SimTime delay_us, Scheduler::Action action);
+  void cancel_timer(Scheduler::TaskId id);
+  SimTime now() const;
+  /// Append to the environment's text log (CAPL's write()).
+  void write(const std::string& text);
+
+ private:
+  friend class Environment;
+  std::string name_;
+  Environment* env_ = nullptr;
+  int bus_endpoint_ = -1;
+};
+
+struct LogLine {
+  SimTime time_us = 0;
+  std::string node;
+  std::string text;
+};
+
+class Environment {
+ public:
+  explicit Environment(std::uint64_t bus_window_us = 100)
+      : bus_(bus_window_us) {}
+
+  /// Attach a node. The environment keeps a non-owning pointer; nodes must
+  /// outlive the environment run.
+  void attach(Node& node);
+
+  /// Fire every node's on_start at t=0, then run the simulation until the
+  /// event queue drains or the deadline passes, then fire on_stop.
+  void run(SimTime until_us = 1'000'000);
+
+  Scheduler& scheduler() { return scheduler_; }
+  can::CanBus& bus() { return bus_; }
+  const std::vector<LogLine>& log() const { return log_; }
+
+ private:
+  friend class Node;
+  void pump_bus();
+
+  Scheduler scheduler_;
+  can::CanBus bus_;
+  std::vector<Node*> nodes_;
+  std::vector<LogLine> log_;
+  bool bus_pump_scheduled_ = false;
+};
+
+}  // namespace ecucsp::sim

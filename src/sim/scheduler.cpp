@@ -1,0 +1,40 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+namespace ecucsp::sim {
+
+bool Scheduler::empty() {
+  // Drop cancelled entries at the front so empty() is accurate.
+  while (!queue_.empty() && is_cancelled(queue_.top().id)) {
+    std::erase(cancelled_, queue_.top().id);
+    queue_.pop();
+    --live_;
+  }
+  return queue_.empty();
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    --live_;
+    if (is_cancelled(e.id)) {
+      std::erase(cancelled_, e.id);
+      continue;
+    }
+    now_ = e.when;
+    e.action();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run(SimTime until_us) {
+  while (!queue_.empty()) {
+    if (queue_.top().when > until_us) return;
+    step();
+  }
+}
+
+}  // namespace ecucsp::sim

@@ -1,0 +1,72 @@
+// Discrete-event scheduler: the simulation clock behind the CANoe-like
+// environment. Deterministic: ties in time are broken by insertion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ecucsp::sim {
+
+using SimTime = std::uint64_t;  // microseconds
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+  using TaskId = std::uint64_t;
+
+  /// Schedule `action` to run `delay_us` after the current time.
+  /// Returns an id usable with cancel().
+  TaskId schedule_in(SimTime delay_us, Action action) {
+    return schedule_at(now_ + delay_us, std::move(action));
+  }
+  TaskId schedule_at(SimTime when_us, Action action) {
+    const TaskId id = next_id_++;
+    queue_.push(Entry{when_us, id, std::move(action), false});
+    ++live_;
+    return id;
+  }
+
+  /// Cancel a scheduled task. Cancelling an already-run or unknown id is a
+  /// no-op (mirrors CAPL's cancelTimer semantics).
+  void cancel(TaskId id) { cancelled_.push_back(id); }
+
+  SimTime now() const { return now_; }
+  bool empty();
+
+  /// Run the next pending task; returns false when nothing is left.
+  bool step();
+
+  /// Run until the queue drains or `until_us` is reached.
+  void run(SimTime until_us = UINT64_MAX);
+
+ private:
+  struct Entry {
+    SimTime when;
+    TaskId id;
+    Action action;
+    bool cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // FIFO among simultaneous tasks
+    }
+  };
+
+  bool is_cancelled(TaskId id) const {
+    for (TaskId c : cancelled_) {
+      if (c == id) return true;
+    }
+    return false;
+  }
+
+  SimTime now_ = 0;
+  TaskId next_id_ = 1;
+  std::size_t live_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<TaskId> cancelled_;
+};
+
+}  // namespace ecucsp::sim

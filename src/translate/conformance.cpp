@@ -1,0 +1,75 @@
+#include "translate/conformance.hpp"
+
+#include <algorithm>
+
+namespace ecucsp::translate {
+
+void map_ids_from_dbc(ConformanceOptions& options, const can::DbcDatabase& db) {
+  for (const can::DbcMessage& m : db.messages) {
+    options.id_to_ctor.emplace(m.id, m.name);
+  }
+}
+
+std::vector<EventId> abstract_trace(Context& ctx,
+                                    const std::vector<can::CanFrame>& frames,
+                                    const ConformanceOptions& options) {
+  std::vector<EventId> out;
+  out.reserve(frames.size());
+  for (const can::CanFrame& f : frames) {
+    const auto it = options.id_to_ctor.find(f.id);
+    if (it == options.id_to_ctor.end()) {
+      throw ModelError("no MsgId constructor mapped for CAN id " +
+                       std::to_string(f.id));
+    }
+    const bool tx = std::find(options.tx_ids.begin(), options.tx_ids.end(),
+                              f.id) != options.tx_ids.end();
+    const std::string& channel = tx ? options.tx_channel : options.rx_channel;
+    out.push_back(
+        ctx.event(channel, {Value::symbol(ctx.sym(it->second))}));
+  }
+  return out;
+}
+
+std::string ConformanceResult::describe(const Context& ctx) const {
+  if (conforms) {
+    return "execution conforms: " + format_trace(ctx, abstract_events) +
+           " is a trace of the extracted model";
+  }
+  std::string out = "execution DEVIATES from the model after " +
+                    std::to_string(membership.accepted_prefix) + " event(s)";
+  if (membership.accepted_prefix < abstract_events.size()) {
+    out += "; observed '" +
+           ctx.event_name(abstract_events[membership.accepted_prefix]) + "'";
+  }
+  out += "; the model offers {";
+  bool first = true;
+  for (const EventId e : membership.offered) {
+    if (!first) out += ", ";
+    first = false;
+    out += ctx.event_name(e);
+  }
+  out += "}";
+  return out;
+}
+
+ConformanceResult check_conformance(Context& ctx, ProcessRef model,
+                                    const std::vector<can::CanFrame>& frames,
+                                    const ConformanceOptions& options) {
+  ConformanceResult result;
+  result.abstract_events = abstract_trace(ctx, frames, options);
+  // Hide everything that is not network traffic (timer bookkeeping, key
+  // events, install markers, ...): the bus log only observes frames.
+  EventSet network;
+  for (const std::string& chan : {options.tx_channel, options.rx_channel}) {
+    if (auto id = ctx.find_channel(chan)) {
+      network = network.set_union(ctx.events_of(*id));
+    }
+  }
+  const ProcessRef projected =
+      ctx.hide(model, ctx.alphabet().set_difference(network));
+  result.membership = is_trace_of(ctx, projected, result.abstract_events);
+  result.conforms = result.membership.member;
+  return result;
+}
+
+}  // namespace ecucsp::translate

@@ -1,0 +1,61 @@
+// Conformance testing: does a *real execution* of the CAPL nodes on the
+// simulated CAN network stay within the behaviour of the extracted CSP
+// model?
+//
+// The extraction (extractor.hpp) is an over-approximation, so every
+// execution trace of the code should map to a trace of the model. This
+// module maps a captured bus trace (CanFrames, or a Vector ASC log) to
+// abstract CSP events and runs the membership check — turning the paper's
+// one-way translation into a checkable round trip, and providing the
+// execution-level "systematic security testing" hook of the title.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "can/dbc.hpp"
+#include "can/frame.hpp"
+#include "cspm/eval.hpp"
+#include "refine/check.hpp"
+
+namespace ecucsp::translate {
+
+struct ConformanceOptions {
+  /// Resolves a CAN id to a MsgId constructor name. Filled from the CANdb
+  /// and/or explicit entries; ids without a mapping fail loudly.
+  std::map<can::CanId, std::string> id_to_ctor;
+  /// Channel carrying frames transmitted by the "tx side" ids listed below
+  /// (default "send"); every other frame maps to `rx_channel`.
+  std::string tx_channel = "send";
+  std::string rx_channel = "rec";
+  /// CAN ids whose frames travel on tx_channel (e.g. all VMG-sent ids).
+  std::vector<can::CanId> tx_ids;
+};
+
+/// Populate id_to_ctor from a CANdb database (message names become MsgId
+/// constructors, as the extractor does).
+void map_ids_from_dbc(ConformanceOptions& options, const can::DbcDatabase& db);
+
+/// Map a bus trace to abstract events in `ctx` (which must already hold the
+/// extracted model's channels/datatype — load the generated CSPm first).
+/// Throws ModelError for unmapped ids or unknown constructors.
+std::vector<EventId> abstract_trace(Context& ctx,
+                                    const std::vector<can::CanFrame>& frames,
+                                    const ConformanceOptions& options);
+
+struct ConformanceResult {
+  bool conforms = false;
+  std::vector<EventId> abstract_events;
+  TraceMembership membership;
+
+  std::string describe(const Context& ctx) const;
+};
+
+/// The full check: abstract the frames, test membership in `model`'s traces
+/// with all non-network events (timers, keys, internal) hidden.
+ConformanceResult check_conformance(Context& ctx, ProcessRef model,
+                                    const std::vector<can::CanFrame>& frames,
+                                    const ConformanceOptions& options);
+
+}  // namespace ecucsp::translate

@@ -1,0 +1,67 @@
+#include "translate/dbc_to_cspm.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace ecucsp::translate {
+
+std::string dbc_to_cspm(const can::DbcDatabase& db,
+                        const DbcCspmOptions& options) {
+  std::string out;
+  out += "-- CSPm declarations extracted from CANdb database";
+  if (!db.version.empty()) out += " (version \"" + db.version + "\")";
+  out += "\n";
+
+  if (db.messages.empty()) {
+    out += "-- (database declares no messages)\n";
+    return out;
+  }
+
+  out += "datatype MsgId = ";
+  for (std::size_t i = 0; i < db.messages.size(); ++i) {
+    if (i) out += " | ";
+    out += db.messages[i].name;
+  }
+  out += "\n";
+
+  for (const can::DbcMessage& m : db.messages) {
+    for (const can::DbcSignal& s : m.signals) {
+      // Prefer the declared [min|max] range; fall back to the bit width.
+      std::int64_t lo = static_cast<std::int64_t>(s.spec.minimum);
+      std::int64_t hi = static_cast<std::int64_t>(s.spec.maximum);
+      if (hi <= lo) {
+        lo = 0;
+        hi = s.spec.length >= 63
+                 ? static_cast<std::int64_t>(options.max_domain) - 1
+                 : (1LL << s.spec.length) - 1;
+      }
+      bool clamped = false;
+      if (static_cast<std::uint64_t>(hi - lo + 1) > options.max_domain) {
+        hi = lo + static_cast<std::int64_t>(options.max_domain) - 1;
+        clamped = true;
+      }
+      out += "nametype " + m.name + "_" + s.spec.name + " = {" +
+             std::to_string(lo) + ".." + std::to_string(hi) + "}";
+      if (clamped) {
+        out += "  -- clamped from " + std::to_string(s.spec.length) +
+               "-bit range for finite checking";
+      }
+      out += "\n";
+    }
+  }
+
+  for (const can::DbcMessage& m : db.messages) {
+    out += "channel " + options.channel_prefix + m.name;
+    if (!m.signals.empty()) {
+      out += " : ";
+      for (std::size_t i = 0; i < m.signals.size(); ++i) {
+        if (i) out += ".";
+        out += m.name + "_" + m.signals[i].spec.name;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ecucsp::translate

@@ -1,0 +1,30 @@
+// CANdb -> CSPm declaration generator.
+//
+// The paper's Section VIII-A names this as the "second parser and model
+// generator ... to handle CAN database files, extracting message formats as
+// CSPm declarations for data types, name types, and data ranges".
+//
+// For a database with messages M1..Mn this emits:
+//   datatype MsgId = M1 | ... | Mn
+//   nametype <Msg>_<Signal> = {lo..hi}     (one per signal, range-clamped)
+//   channel can_<Msg> : <Msg>_<Sig1>.<Msg>_<Sig2>...
+// so that a CSPm model can speak about concrete payload values.
+#pragma once
+
+#include <string>
+
+#include "can/dbc.hpp"
+
+namespace ecucsp::translate {
+
+struct DbcCspmOptions {
+  /// Signals wider than this many values are clamped to {0..max_domain-1}
+  /// (FDR-style models need small finite domains); a comment records it.
+  std::size_t max_domain = 256;
+  std::string channel_prefix = "can_";
+};
+
+std::string dbc_to_cspm(const can::DbcDatabase& db,
+                        const DbcCspmOptions& options = {});
+
+}  // namespace ecucsp::translate

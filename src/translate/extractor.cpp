@@ -1,0 +1,485 @@
+#include "translate/extractor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace ecucsp::translate {
+
+using capl::CaplProgram;
+using capl::CaplStmt;
+using capl::CaplStmtPtr;
+using capl::CaplType;
+using capl::CExprKind;
+using capl::CStmtKind;
+using capl::EventHandler;
+
+stencil::TemplateGroup default_templates() {
+  stencil::TemplateGroup g;
+  g.define("header",
+           "-- $title$\n"
+           "-- CSPm implementation model automatically generated from CAPL\n"
+           "-- application code by the ecucsp model extractor.\n");
+  g.define("datatype", "datatype $name$ = $ctors; separator=\" | \"$\n");
+  g.define("msg_channels", "channel $channels; separator=\", \"$ : $type$\n");
+  g.define("timer_channels",
+           "channel setTimer, cancelTimer, timeout : $type$\n");
+  g.define("key_channel", "channel key : $type$\n");
+  g.define("definition", "$name$ = $body$\n");
+  g.define("composition",
+           "$name$ = $operands; separator=\" [| sharedEvents |] \"$\n");
+  g.define("shared_events", "sharedEvents = {| $channels; separator=\", \"$ |}\n");
+  return g;
+}
+
+namespace {
+
+class Extractor {
+ public:
+  Extractor(const CaplProgram& program, const ExtractorOptions& options)
+      : prog_(program), opt_(options), tpl_(default_templates()) {}
+
+  ExtractionResult run() {
+    collect_names();
+    build_definitions();
+    emit();
+    return std::move(result_);
+  }
+
+  // Accessors used by extract_system for merged declarations.
+  const std::vector<std::string>& messages() const { return result_.messages; }
+
+ private:
+  void warn(const std::string& w) {
+    if (std::find(result_.warnings.begin(), result_.warnings.end(), w) ==
+        result_.warnings.end()) {
+      result_.warnings.push_back(w);
+    }
+  }
+
+  void add_message(const std::string& ctor) {
+    if (std::find(result_.messages.begin(), result_.messages.end(), ctor) ==
+        result_.messages.end()) {
+      result_.messages.push_back(ctor);
+    }
+  }
+
+  /// MsgId constructor for a declared message variable.
+  std::string ctor_for_var(const std::string& var_name) {
+    if (auto it = var_ctor_.find(var_name); it != var_ctor_.end()) {
+      return it->second;
+    }
+    return {};
+  }
+
+  std::string ctor_for_id(std::int64_t id) {
+    if (opt_.db) {
+      if (const can::DbcMessage* m =
+              opt_.db->find_message(static_cast<can::CanId>(id))) {
+        return m->name;
+      }
+    }
+    if (opt_.shared_id_names) {
+      if (auto it = opt_.shared_id_names->find(id);
+          it != opt_.shared_id_names->end()) {
+        return it->second;
+      }
+    }
+    for (const auto& [var, ctor] : var_ctor_) {
+      if (var_ids_.at(var) == id) return ctor;
+    }
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "msg0x%llX",
+                  static_cast<unsigned long long>(id));
+    return buf;
+  }
+
+  void collect_names() {
+    for (const capl::VarDeclTop& v : prog_.variables) {
+      switch (v.type) {
+        case CaplType::Message: {
+          std::string ctor = v.msg_name;
+          if (ctor.empty() && opt_.db && v.msg_id >= 0) {
+            if (const can::DbcMessage* m = opt_.db->find_message(
+                    static_cast<can::CanId>(v.msg_id))) {
+              ctor = m->name;
+            }
+          }
+          if (ctor.empty() && opt_.shared_id_names && v.msg_id >= 0) {
+            if (auto it = opt_.shared_id_names->find(v.msg_id);
+                it != opt_.shared_id_names->end()) {
+              ctor = it->second;
+            }
+          }
+          if (ctor.empty()) ctor = v.name;
+          var_ctor_[v.name] = ctor;
+          var_ids_[v.name] = v.msg_id;
+          add_message(ctor);
+          break;
+        }
+        case CaplType::MsTimer:
+        case CaplType::Timer: {
+          const std::string ctor = opt_.node_name + "_" + v.name;
+          timer_ctor_[v.name] = ctor;
+          result_.timers.push_back(ctor);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    for (const EventHandler& h : prog_.handlers) {
+      if (h.kind == EventHandler::Kind::Message && !h.any_message) {
+        add_message(h.msg_id >= 0 ? ctor_for_id(h.msg_id) : h.target);
+      } else if (h.kind == EventHandler::Kind::Key && !h.target.empty()) {
+        const std::string ctor = std::string("k_") + h.target[0];
+        if (std::find(result_.keys.begin(), result_.keys.end(), ctor) ==
+            result_.keys.end()) {
+          result_.keys.push_back(ctor);
+        }
+      }
+    }
+  }
+
+  /// Translate a statement list into a CSPm process expression that performs
+  /// the statements' events and then behaves as `cont`.
+  std::string chain(const std::vector<CaplStmtPtr>& stmts, std::string cont,
+                    int depth) {
+    std::string cur = std::move(cont);
+    for (auto it = stmts.rbegin(); it != stmts.rend(); ++it) {
+      cur = one(**it, std::move(cur), depth);
+    }
+    return cur;
+  }
+
+  std::string one(const CaplStmt& s, std::string cont, int depth) {
+    switch (s.kind) {
+      case CStmtKind::Block:
+        return chain(s.body, std::move(cont), depth);
+
+      case CStmtKind::ExprStmt: {
+        const capl::CaplExpr& e = *s.expr;
+        if (e.kind != CExprKind::Call) return cont;
+        if (e.text == "output") {
+          std::string ctor;
+          if (!e.args.empty() && e.args[0]->kind == CExprKind::Name) {
+            ctor = ctor_for_var(e.args[0]->text);
+          }
+          if (ctor.empty()) {
+            warn("output() of a non-variable message abstracted to an "
+                 "unnamed transmission");
+            return cont;
+          }
+          return opt_.tx_channel + "." + ctor + " -> (" + cont + ")";
+        }
+        if (e.text == "setTimer" || e.text == "cancelTimer") {
+          if (e.args.empty() || e.args[0]->kind != CExprKind::Name) return cont;
+          const auto it = timer_ctor_.find(e.args[0]->text);
+          if (it == timer_ctor_.end()) return cont;
+          const char* chan = e.text == "setTimer" ? "setTimer" : "cancelTimer";
+          return std::string(chan) + "." + it->second + " -> (" + cont + ")";
+        }
+        if (e.text == "write" || e.text == "timeNow") {
+          return cont;  // no observable network behaviour
+        }
+        if (const capl::FunctionDecl* fn = prog_.find_function(e.text)) {
+          if (depth <= 0) {
+            warn("recursive/deep call of '" + e.text +
+                 "' truncated at the inlining bound");
+            return cont;
+          }
+          std::string inner = chain(fn->body->body, "SKIP", depth - 1);
+          if (inner == "SKIP") return cont;
+          return "(" + inner + ") ; (" + cont + ")";
+        }
+        warn("call of unknown function '" + e.text + "' elided");
+        return cont;
+      }
+
+      case CStmtKind::If: {
+        std::string then_p = one(*s.then_branch, "SKIP", depth);
+        std::string else_p =
+            s.else_branch ? one(*s.else_branch, "SKIP", depth) : "SKIP";
+        if (then_p == "SKIP" && else_p == "SKIP") return cont;
+        warn("if-condition abstracted to internal choice");
+        return "((" + then_p + ") |~| (" + else_p + ")) ; (" + cont + ")";
+      }
+
+      case CStmtKind::While:
+      case CStmtKind::For: {
+        std::string inner = one(*s.loop_body, "SKIP", depth);
+        if (inner == "SKIP") return cont;
+        warn("loop abstracted to zero-or-more iterations");
+        const std::string name =
+            opt_.node_name + "_LOOP" + std::to_string(loop_counter_++);
+        aux_defs_.emplace_back(
+            name, "SKIP |~| ((" + inner + ") ; " + name + ")");
+        return name + " ; (" + cont + ")";
+      }
+
+      case CStmtKind::Switch: {
+        // Condition abstracted: the model may take any arm (fall-through is
+        // over-approximated by the suffix from each arm).
+        std::vector<std::string> arms;
+        for (std::size_t k = 0; k < s.body.size(); ++k) {
+          std::string suffix = "SKIP";
+          for (std::size_t j = s.body.size(); j > k; --j) {
+            suffix = chain(s.body[j - 1]->body, std::move(suffix), depth);
+          }
+          if (suffix != "SKIP") arms.push_back(std::move(suffix));
+        }
+        if (arms.empty()) return cont;
+        warn("switch abstracted to internal choice over its arms");
+        std::string alt = "(" + arms[0] + ")";
+        for (std::size_t k = 1; k < arms.size(); ++k) {
+          alt += " |~| (" + arms[k] + ")";
+        }
+        // A switch with no default may also skip every arm.
+        alt += " |~| SKIP";
+        return "(" + alt + ") ; (" + cont + ")";
+      }
+      case CStmtKind::Case:
+        return chain(s.body, std::move(cont), depth);
+
+      case CStmtKind::Return:
+      case CStmtKind::Break:
+        if (s.kind == CStmtKind::Return && s.value) {
+          warn("early return abstracted (continuation still modelled)");
+        }
+        return cont;
+
+      case CStmtKind::VarDecl:
+      case CStmtKind::Assign:
+      case CStmtKind::IncDec:
+        return cont;  // data abstraction
+    }
+    return cont;
+  }
+
+  void build_definitions() {
+    const std::string run_name = opt_.node_name + "_RUN";
+    std::vector<std::string> branches;
+    std::set<std::string> handled;
+
+    for (const EventHandler& h : prog_.handlers) {
+      switch (h.kind) {
+        case EventHandler::Kind::Message: {
+          const std::string body = chain(h.body->body, run_name,
+                                         opt_.max_inline_depth);
+          if (h.any_message) {
+            branches.push_back("([] m : MsgId @ " + opt_.rx_channel +
+                               ".m -> (" + body + "))");
+            for (const std::string& c : result_.messages) handled.insert(c);
+          } else {
+            const std::string ctor =
+                h.msg_id >= 0 ? ctor_for_id(h.msg_id) : h.target;
+            branches.push_back(opt_.rx_channel + "." + ctor + " -> (" + body +
+                               ")");
+            handled.insert(ctor);
+          }
+          break;
+        }
+        case EventHandler::Kind::Timer: {
+          const auto it = timer_ctor_.find(h.target);
+          const std::string ctor = it != timer_ctor_.end()
+                                       ? it->second
+                                       : opt_.node_name + "_" + h.target;
+          const std::string body = chain(h.body->body, run_name,
+                                         opt_.max_inline_depth);
+          branches.push_back("timeout." + ctor + " -> (" + body + ")");
+          warn("timer expiry modelled as an always-enabled timeout event "
+               "(untimed CSP)");
+          break;
+        }
+        case EventHandler::Kind::Key: {
+          if (h.target.empty()) break;
+          const std::string body = chain(h.body->body, run_name,
+                                         opt_.max_inline_depth);
+          branches.push_back("key.k_" + std::string(1, h.target[0]) + " -> (" +
+                             body + ")");
+          break;
+        }
+        case EventHandler::Kind::Start:
+        case EventHandler::Kind::StopMeasurement:
+          break;
+      }
+    }
+
+    // Unhandled incoming messages are consumed silently, as a CAN node does.
+    if (!result_.messages.empty()) {
+      if (handled.empty()) {
+        branches.push_back("([] m : MsgId @ " + opt_.rx_channel + ".m -> " +
+                           run_name + ")");
+      } else if (handled.size() < result_.messages.size()) {
+        std::string set = "{";
+        bool first = true;
+        for (const std::string& c : handled) {
+          if (!first) set += ", ";
+          first = false;
+          set += c;
+        }
+        set += "}";
+        branches.push_back("([] m : diff(MsgId, " + set + ") @ " +
+                           opt_.rx_channel + ".m -> " + run_name + ")");
+      }
+    }
+
+    std::string run_body;
+    if (branches.empty()) {
+      run_body = "STOP";
+    } else {
+      for (std::size_t i = 0; i < branches.size(); ++i) {
+        if (i) run_body += " [] ";
+        run_body += branches[i];
+      }
+    }
+
+    std::string entry_body = run_name;
+    for (const EventHandler& h : prog_.handlers) {
+      if (h.kind == EventHandler::Kind::Start) {
+        entry_body = chain(h.body->body, run_name, opt_.max_inline_depth);
+      }
+    }
+
+    defs_.emplace_back(opt_.node_name, entry_body);
+    defs_.emplace_back(run_name, run_body);
+    for (auto& d : aux_defs_) defs_.push_back(std::move(d));
+    aux_defs_.clear();
+  }
+
+  void emit() {
+    std::string& out = result_.cspm;
+    out += tpl_.render("header",
+                       {{"title", "Implementation model of node '" +
+                                      opt_.node_name + "'"}});
+    if (opt_.emit_declarations) {
+      if (!result_.messages.empty()) {
+        out += tpl_.render("datatype", {{"name", std::string("MsgId")},
+                                        {"ctors", result_.messages}});
+        std::vector<std::string> chans{opt_.tx_channel};
+        if (opt_.rx_channel != opt_.tx_channel) {
+          chans.push_back(opt_.rx_channel);
+        }
+        out += tpl_.render("msg_channels",
+                           {{"channels", chans}, {"type", std::string("MsgId")}});
+      }
+      if (!result_.timers.empty()) {
+        out += tpl_.render("datatype", {{"name", std::string("TimerId")},
+                                        {"ctors", result_.timers}});
+        out += tpl_.render("timer_channels", {{"type", std::string("TimerId")}});
+      }
+      if (!result_.keys.empty()) {
+        out += tpl_.render("datatype",
+                           {{"name", std::string("KeyId")}, {"ctors", result_.keys}});
+        out += tpl_.render("key_channel", {{"type", std::string("KeyId")}});
+      }
+    }
+    for (const auto& [name, body] : defs_) {
+      out += tpl_.render("definition", {{"name", name}, {"body", body}});
+    }
+  }
+
+  const CaplProgram& prog_;
+  const ExtractorOptions& opt_;
+  stencil::TemplateGroup tpl_;
+  ExtractionResult result_;
+  std::map<std::string, std::string> var_ctor_;   // message var -> constructor
+  std::map<std::string, std::int64_t> var_ids_;   // message var -> CAN id
+  std::map<std::string, std::string> timer_ctor_;  // timer var -> constructor
+  std::vector<std::pair<std::string, std::string>> defs_;
+  std::vector<std::pair<std::string, std::string>> aux_defs_;
+  int loop_counter_ = 0;
+};
+
+}  // namespace
+
+ExtractionResult extract_model(const CaplProgram& program,
+                               const ExtractorOptions& options) {
+  return Extractor(program, options).run();
+}
+
+ExtractionResult extract_system(const std::vector<SystemNode>& nodes,
+                                const std::vector<std::string>& extra_lines) {
+  ExtractionResult merged;
+  std::vector<ExtractionResult> parts;
+  std::set<std::string> channels;
+
+  // Unify CAN-id naming across nodes: a message variable declaration in any
+  // node names that id for everyone, so 'on message 0x100' in a peer maps
+  // to the same MsgId constructor (a CANdb, when given, still wins).
+  std::map<std::int64_t, std::string> shared_ids;
+  for (const SystemNode& n : nodes) {
+    for (const capl::VarDeclTop& v : n.program->variables) {
+      if (v.type == capl::CaplType::Message && v.msg_id >= 0 &&
+          v.msg_name.empty()) {
+        shared_ids.emplace(v.msg_id, v.name);
+      }
+    }
+  }
+
+  for (const SystemNode& n : nodes) {
+    ExtractorOptions o = n.options;
+    o.emit_declarations = false;
+    o.shared_id_names = &shared_ids;
+    parts.push_back(extract_model(*n.program, o));
+    channels.insert(o.tx_channel);
+    channels.insert(o.rx_channel);
+    for (const std::string& m : parts.back().messages) {
+      if (std::find(merged.messages.begin(), merged.messages.end(), m) ==
+          merged.messages.end()) {
+        merged.messages.push_back(m);
+      }
+    }
+    merged.timers.insert(merged.timers.end(), parts.back().timers.begin(),
+                         parts.back().timers.end());
+    merged.keys.insert(merged.keys.end(), parts.back().keys.begin(),
+                       parts.back().keys.end());
+    merged.warnings.insert(merged.warnings.end(),
+                           parts.back().warnings.begin(),
+                           parts.back().warnings.end());
+  }
+
+  stencil::TemplateGroup tpl = default_templates();
+  std::string& out = merged.cspm;
+  out += tpl.render("header", {{"title", std::string("Composed system model")}});
+  if (!merged.messages.empty()) {
+    out += tpl.render("datatype", {{"name", std::string("MsgId")},
+                                   {"ctors", merged.messages}});
+    out += tpl.render(
+        "msg_channels",
+        {{"channels", std::vector<std::string>(channels.begin(), channels.end())},
+         {"type", std::string("MsgId")}});
+  }
+  if (!merged.timers.empty()) {
+    out += tpl.render("datatype", {{"name", std::string("TimerId")},
+                                   {"ctors", merged.timers}});
+    out += tpl.render("timer_channels", {{"type", std::string("TimerId")}});
+  }
+  if (!merged.keys.empty()) {
+    out += tpl.render("datatype",
+                      {{"name", std::string("KeyId")}, {"ctors", merged.keys}});
+    out += tpl.render("key_channel", {{"type", std::string("KeyId")}});
+  }
+  for (const ExtractionResult& p : parts) {
+    // Strip each part's header comment lines; keep the definitions.
+    std::istringstream in(p.cspm);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("--", 0) == 0) continue;
+      out += line + "\n";
+    }
+  }
+  out += tpl.render("shared_events",
+                    {{"channels", std::vector<std::string>(channels.begin(),
+                                                           channels.end())}});
+  std::vector<std::string> names;
+  names.reserve(nodes.size());
+  for (const SystemNode& n : nodes) names.push_back(n.options.node_name);
+  out += tpl.render("composition",
+                    {{"name", std::string("SYSTEM")}, {"operands", names}});
+  for (const std::string& l : extra_lines) out += l + "\n";
+  return merged;
+}
+
+}  // namespace ecucsp::translate

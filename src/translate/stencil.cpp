@@ -1,0 +1,116 @@
+#include "translate/stencil.hpp"
+
+namespace ecucsp::stencil {
+
+Template::Template(std::string text) {
+  std::string literal;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '$') {
+      literal += text[i++];
+      continue;
+    }
+    // "$$" is an escaped dollar.
+    if (i + 1 < text.size() && text[i + 1] == '$') {
+      literal += '$';
+      i += 2;
+      continue;
+    }
+    const std::size_t close = text.find('$', i + 1);
+    if (close == std::string::npos) {
+      throw TemplateError("unterminated placeholder in template");
+    }
+    if (!literal.empty()) {
+      chunks_.push_back({true, literal, ""});
+      literal.clear();
+    }
+    std::string body = text.substr(i + 1, close - i - 1);
+    Chunk chunk;
+    chunk.literal = false;
+    // Optional "; separator=\"...\"" suffix.
+    if (const std::size_t semi = body.find(';'); semi != std::string::npos) {
+      std::string opts = body.substr(semi + 1);
+      body = body.substr(0, semi);
+      const std::size_t eq = opts.find('=');
+      if (eq == std::string::npos) {
+        throw TemplateError("malformed placeholder option: " + opts);
+      }
+      std::string key = opts.substr(0, eq);
+      std::string value = opts.substr(eq + 1);
+      const auto trim = [](std::string& s) {
+        while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+          s.erase(s.begin());
+        }
+        while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+          s.pop_back();
+        }
+      };
+      trim(key);
+      trim(value);
+      if (key != "separator") {
+        throw TemplateError("unknown placeholder option '" + key + "'");
+      }
+      if (value.size() < 2 || value.front() != '"' || value.back() != '"') {
+        throw TemplateError("separator value must be quoted");
+      }
+      chunk.separator = value.substr(1, value.size() - 2);
+    }
+    // Trim the attribute name.
+    while (!body.empty() && (body.front() == ' ')) body.erase(body.begin());
+    while (!body.empty() && (body.back() == ' ')) body.pop_back();
+    if (body.empty()) throw TemplateError("empty placeholder");
+    chunk.text = body;
+    chunks_.push_back(std::move(chunk));
+    i = close + 1;
+  }
+  if (!literal.empty()) chunks_.push_back({true, literal, ""});
+}
+
+std::string Template::render(const Attributes& attrs) const {
+  std::string out;
+  for (const Chunk& c : chunks_) {
+    if (c.literal) {
+      out += c.text;
+      continue;
+    }
+    const auto it = attrs.find(c.text);
+    if (it == attrs.end()) continue;  // missing attributes render empty
+    if (const auto* s = std::get_if<std::string>(&it->second)) {
+      out += *s;
+    } else {
+      const auto& list = std::get<std::vector<std::string>>(it->second);
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (i) out += c.separator;
+        out += list[i];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Template::placeholders() const {
+  std::vector<std::string> out;
+  for (const Chunk& c : chunks_) {
+    if (!c.literal) out.push_back(c.text);
+  }
+  return out;
+}
+
+void TemplateGroup::define(std::string name, std::string text) {
+  templates_.insert_or_assign(std::move(name), Template(std::move(text)));
+}
+
+bool TemplateGroup::contains(const std::string& name) const {
+  return templates_.contains(name);
+}
+
+std::string TemplateGroup::render(const std::string& name,
+                                  const Attributes& attrs) const {
+  const auto it = templates_.find(name);
+  if (it == templates_.end()) {
+    throw TemplateError("no template named '" + name + "'");
+  }
+  return it->second.render(attrs);
+}
+
+}  // namespace ecucsp::stencil

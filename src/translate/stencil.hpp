@@ -1,0 +1,57 @@
+// "stencil": a StringTemplate-flavoured text template engine.
+//
+// The paper's model extractor uses ANTLR's StringTemplate to "separate
+// application logic from display format definitions" (Section IV-C); this
+// is the same idea in C++. Templates contain $placeholders$; attributes are
+// strings or lists of strings. A list placeholder may carry a separator:
+//   $messages; separator=", "$
+// "$$" renders a literal dollar sign. Missing attributes render empty.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace ecucsp::stencil {
+
+using Attribute = std::variant<std::string, std::vector<std::string>>;
+using Attributes = std::map<std::string, Attribute>;
+
+class TemplateError : public std::runtime_error {
+ public:
+  explicit TemplateError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Template {
+ public:
+  explicit Template(std::string text);
+
+  std::string render(const Attributes& attrs) const;
+
+  /// Placeholder names referenced by the template (for validation).
+  std::vector<std::string> placeholders() const;
+
+ private:
+  struct Chunk {
+    bool literal = true;
+    std::string text;       // literal text, or attribute name
+    std::string separator;  // list separator (default "")
+  };
+  std::vector<Chunk> chunks_;
+};
+
+/// A named collection of templates (StringTemplate's "group" concept).
+class TemplateGroup {
+ public:
+  void define(std::string name, std::string text);
+  bool contains(const std::string& name) const;
+  std::string render(const std::string& name, const Attributes& attrs) const;
+
+ private:
+  std::map<std::string, Template> templates_;
+};
+
+}  // namespace ecucsp::stencil

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/value.hpp"
+
+namespace ecucsp {
+namespace {
+
+TEST(SymbolTable, InternIsIdempotent) {
+  SymbolTable t;
+  const Symbol a = t.intern("reqSw");
+  const Symbol b = t.intern("rptSw");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, t.intern("reqSw"));
+  EXPECT_EQ(t.name(a), "reqSw");
+  EXPECT_EQ(t.name(b), "rptSw");
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Value, IntRoundTrip) {
+  const Value v = Value::integer(-42);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), -42);
+  EXPECT_THROW(v.as_sym(), std::logic_error);
+  EXPECT_THROW(v.as_tuple(), std::logic_error);
+}
+
+TEST(Value, SymbolRoundTrip) {
+  SymbolTable t;
+  const Value v = Value::symbol(t.intern("ecu"));
+  EXPECT_TRUE(v.is_sym());
+  EXPECT_EQ(t.name(v.as_sym()), "ecu");
+  EXPECT_THROW(v.as_int(), std::logic_error);
+}
+
+TEST(Value, TupleRoundTrip) {
+  const Value v = Value::tuple({Value::integer(1), Value::integer(2)});
+  ASSERT_TRUE(v.is_tuple());
+  EXPECT_EQ(v.as_tuple().size(), 2u);
+  EXPECT_EQ(v.as_tuple()[1].as_int(), 2);
+}
+
+TEST(Value, EqualityIsStructural) {
+  const Value a = Value::tuple({Value::integer(1), Value::integer(2)});
+  const Value b = Value::tuple({Value::integer(1), Value::integer(2)});
+  const Value c = Value::tuple({Value::integer(1), Value::integer(3)});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Value, KindsCompareDisjoint) {
+  // Int < Sym < Tuple by Kind ordering; values never compare equal across
+  // kinds even with the same payload bits.
+  const Value i = Value::integer(0);
+  const Value s = Value::symbol(0);
+  EXPECT_NE(i, s);
+  EXPECT_TRUE(i < s);
+}
+
+TEST(Value, TotalOrderOnTuples) {
+  const Value a = Value::tuple({Value::integer(1)});
+  const Value b = Value::tuple({Value::integer(1), Value::integer(0)});
+  const Value c = Value::tuple({Value::integer(2)});
+  EXPECT_TRUE(a < b);  // prefix is smaller
+  EXPECT_TRUE(b < c);  // elementwise dominates length
+  EXPECT_TRUE(a < c);
+}
+
+TEST(Value, ToStringRendersNestedTuples) {
+  SymbolTable t;
+  const Value v = Value::tuple(
+      {Value::symbol(t.intern("enc")),
+       Value::tuple({Value::symbol(t.intern("k")), Value::integer(7)})});
+  EXPECT_EQ(v.to_string(t), "<enc, <k, 7>>");
+}
+
+TEST(Value, DefaultConstructedIsIntZero) {
+  const Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 0);
+  EXPECT_EQ(v, Value::integer(0));
+}
+
+TEST(Value, HashValuesDependsOnOrder) {
+  const std::vector<Value> a{Value::integer(1), Value::integer(2)};
+  const std::vector<Value> b{Value::integer(2), Value::integer(1)};
+  EXPECT_NE(hash_values(a), hash_values(b));
+}
+
+}  // namespace
+}  // namespace ecucsp

@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include "capl/parser.hpp"
+#include "cspm/eval.hpp"
+#include "cspm/parser.hpp"
+#include "translate/dbc_to_cspm.hpp"
+#include "translate/extractor.hpp"
+
+namespace ecucsp::translate {
+namespace {
+
+using capl::parse_capl;
+
+// Reference CAPL sources mirroring the paper's demonstration network
+// (Section VI): a VMG that requests a software inventory and an ECU that
+// answers it.
+constexpr const char* kVmgSource = R"(
+variables {
+  message 0x100 reqSw;   // software inventory request (Table II)
+  message 0x103 reqApp;  // apply update module
+}
+on start {
+  output(reqSw);
+}
+on message 0x101 {       // rptSw: result of software diagnosis
+  output(reqApp);
+}
+on message 0x104 {       // rptUpd: result of applying update
+  write("update complete");
+}
+)";
+
+constexpr const char* kEcuSource = R"(
+variables {
+  message 0x101 rptSw;
+  message 0x104 rptUpd;
+}
+on message 0x100 {       // reqSw
+  output(rptSw);
+}
+on message 0x103 {       // reqApp
+  output(rptUpd);
+}
+)";
+
+ExtractorOptions vmg_options() {
+  ExtractorOptions o;
+  o.node_name = "VMG";
+  o.tx_channel = "send";
+  o.rx_channel = "rec";
+  return o;
+}
+
+ExtractorOptions ecu_options() {
+  ExtractorOptions o;
+  o.node_name = "ECU";
+  o.tx_channel = "rec";  // ECU transmits on the ECU->VMG channel
+  o.rx_channel = "send";
+  return o;
+}
+
+TEST(Extractor, CollectsMessageConstructors) {
+  const capl::CaplProgram p = parse_capl(kVmgSource);
+  const ExtractionResult r = extract_model(p, vmg_options());
+  // Declared variables first, then handler targets.
+  EXPECT_EQ(r.messages,
+            (std::vector<std::string>{"reqSw", "reqApp", "msg0x101",
+                                      "msg0x104"}));
+}
+
+TEST(Extractor, EmitsDatatypeAndChannels) {
+  const capl::CaplProgram p = parse_capl(kVmgSource);
+  const ExtractionResult r = extract_model(p, vmg_options());
+  EXPECT_NE(r.cspm.find("datatype MsgId = reqSw | reqApp"), std::string::npos);
+  EXPECT_NE(r.cspm.find("channel send, rec : MsgId"), std::string::npos);
+}
+
+TEST(Extractor, OnStartBecomesEntryProcess) {
+  const capl::CaplProgram p = parse_capl(kVmgSource);
+  const ExtractionResult r = extract_model(p, vmg_options());
+  EXPECT_NE(r.cspm.find("VMG = send.reqSw -> (VMG_RUN)"), std::string::npos);
+}
+
+TEST(Extractor, OnMessageBecomesReceiveBranch) {
+  const capl::CaplProgram p = parse_capl(kVmgSource);
+  const ExtractionResult r = extract_model(p, vmg_options());
+  EXPECT_NE(r.cspm.find("rec.msg0x101 -> (send.reqApp -> (VMG_RUN))"),
+            std::string::npos);
+}
+
+TEST(Extractor, GeneratedModelParsesAndEvaluates) {
+  const capl::CaplProgram p = parse_capl(kVmgSource);
+  const ExtractionResult r = extract_model(p, vmg_options());
+  Context ctx;
+  cspm::Evaluator ev(ctx);
+  ev.load_source(r.cspm);
+  const ProcessRef vmg = ev.process("VMG");
+  const auto& ts = ctx.transitions(vmg);
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ctx.event_name(ts[0].event), "send.reqSw");
+}
+
+TEST(Extractor, DbcNamesAreUsedWhenAvailable) {
+  const can::DbcDatabase db = can::parse_dbc(
+      "BO_ 256 SwInventoryReq: 8 VMG\nBO_ 257 SwReport: 8 ECU\n");
+  const capl::CaplProgram p = parse_capl(R"(
+    variables { message 0x100 m; }
+    on start { output(m); }
+    on message 0x101 { }
+  )");
+  ExtractorOptions o = vmg_options();
+  o.db = &db;
+  const ExtractionResult r = extract_model(p, o);
+  EXPECT_EQ(r.messages, (std::vector<std::string>{"SwInventoryReq",
+                                                  "SwReport"}));
+  EXPECT_NE(r.cspm.find("send.SwInventoryReq"), std::string::npos);
+}
+
+TEST(Extractor, TimersBecomeTimeoutEvents) {
+  const capl::CaplProgram p = parse_capl(R"(
+    variables { message 0x1 m; msTimer tRetry; }
+    on start { setTimer(tRetry, 500); }
+    on timer tRetry { output(m); setTimer(tRetry, 500); }
+  )");
+  const ExtractionResult r = extract_model(p, vmg_options());
+  EXPECT_EQ(r.timers, (std::vector<std::string>{"VMG_tRetry"}));
+  EXPECT_NE(r.cspm.find("datatype TimerId = VMG_tRetry"), std::string::npos);
+  EXPECT_NE(r.cspm.find("setTimer.VMG_tRetry"), std::string::npos);
+  EXPECT_NE(r.cspm.find("timeout.VMG_tRetry -> (send.m -> "), std::string::npos);
+  // The timer abstraction is reported.
+  bool noted = false;
+  for (const std::string& w : r.warnings) {
+    noted = noted || w.find("timeout") != std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(Extractor, IfBecomesInternalChoice) {
+  const capl::CaplProgram p = parse_capl(R"(
+    variables { message 0x1 a; message 0x2 b; int x = 0; }
+    on message 0x3 {
+      if (x > 0) { output(a); } else { output(b); }
+    }
+  )");
+  const ExtractionResult r = extract_model(p, vmg_options());
+  EXPECT_NE(r.cspm.find("|~|"), std::string::npos);
+  EXPECT_NE(r.cspm.find("send.a"), std::string::npos);
+  EXPECT_NE(r.cspm.find("send.b"), std::string::npos);
+}
+
+TEST(Extractor, LoopBecomesAuxiliaryRecursion) {
+  const capl::CaplProgram p = parse_capl(R"(
+    variables { message 0x1 m; }
+    on start {
+      for (int i = 0; i < 3; i++) { output(m); }
+    }
+  )");
+  const ExtractionResult r = extract_model(p, vmg_options());
+  EXPECT_NE(r.cspm.find("VMG_LOOP0 = SKIP |~|"), std::string::npos);
+}
+
+TEST(Extractor, FunctionsAreInlined) {
+  const capl::CaplProgram p = parse_capl(R"(
+    variables { message 0x1 m; }
+    void burst() { output(m); output(m); }
+    on start { burst(); }
+  )");
+  const ExtractionResult r = extract_model(p, vmg_options());
+  EXPECT_NE(r.cspm.find("send.m -> (send.m -> (SKIP))"), std::string::npos);
+}
+
+TEST(Extractor, UnhandledMessagesAreIgnoredNotRefused) {
+  const capl::CaplProgram p = parse_capl(kVmgSource);
+  const ExtractionResult r = extract_model(p, vmg_options());
+  EXPECT_NE(r.cspm.find("diff(MsgId, {msg0x101, msg0x104})"),
+            std::string::npos);
+}
+
+TEST(Extractor, KeyHandlersBecomeKeyEvents) {
+  const capl::CaplProgram p = parse_capl(R"(
+    variables { message 0x1 m; }
+    on key 'u' { output(m); }
+  )");
+  const ExtractionResult r = extract_model(p, vmg_options());
+  EXPECT_EQ(r.keys, (std::vector<std::string>{"k_u"}));
+  EXPECT_NE(r.cspm.find("key.k_u -> (send.m -> "), std::string::npos);
+}
+
+TEST(Extractor, NodeWithoutBehaviourIsStop) {
+  const capl::CaplProgram p = parse_capl("variables { int x; }");
+  const ExtractionResult r = extract_model(p, vmg_options());
+  EXPECT_NE(r.cspm.find("VMG_RUN = STOP"), std::string::npos);
+}
+
+// --- system composition -------------------------------------------------------
+
+TEST(ExtractSystem, ComposedModelChecksAgainstPaperSpec) {
+  // The flagship end-to-end pipeline (Fig. 1): CAPL -> CSPm -> refinement.
+  const capl::CaplProgram vmg = parse_capl(kVmgSource);
+  const capl::CaplProgram ecu = parse_capl(kEcuSource);
+  ExtractionResult sys = extract_system(
+      {{&vmg, vmg_options()}, {&ecu, ecu_options()}},
+      {"-- paper Section V-B security property SP02; constructor names are",
+       "-- unified across nodes by extract_system's shared id map",
+       "SP02 = send.reqSw -> rec.rptSw -> SP02p",
+       "SP02p = send.reqApp -> rec.rptUpd -> SP02p",
+       "assert SP02 [T= SYSTEM"});
+  Context ctx;
+  cspm::Evaluator ev(ctx);
+  ev.load_source(sys.cspm);
+  const auto results = ev.check_assertions();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].result.passed)
+      << results[0].result.counterexample->describe(ctx) << "\n"
+      << sys.cspm;
+}
+
+TEST(ExtractSystem, SystemIsDeadlockFreeInScope) {
+  const capl::CaplProgram vmg = parse_capl(kVmgSource);
+  const capl::CaplProgram ecu = parse_capl(kEcuSource);
+  ExtractionResult sys =
+      extract_system({{&vmg, vmg_options()}, {&ecu, ecu_options()}},
+                     {"assert SYSTEM :[divergence free]"});
+  Context ctx;
+  cspm::Evaluator ev(ctx);
+  ev.load_source(sys.cspm);
+  const auto results = ev.check_assertions();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].result.passed);
+}
+
+TEST(ExtractSystem, MergedDeclarationsAreUnique) {
+  const capl::CaplProgram vmg = parse_capl(kVmgSource);
+  const capl::CaplProgram ecu = parse_capl(kEcuSource);
+  const ExtractionResult sys =
+      extract_system({{&vmg, vmg_options()}, {&ecu, ecu_options()}});
+  // One datatype declaration with each constructor exactly once.
+  EXPECT_EQ(sys.cspm.find("datatype MsgId"),
+            sys.cspm.rfind("datatype MsgId"));
+  const std::size_t first = sys.cspm.find("reqSw |");
+  EXPECT_NE(first, std::string::npos);
+}
+
+
+TEST(ExtractSystem, CanIdsUnifyAcrossNodesWithoutDbc) {
+  // One node declares 0x100 as 'reqSw'; the peer only handles it by id.
+  // The composition must give both the same MsgId constructor, or the
+  // handler would never synchronise with the transmission.
+  const capl::CaplProgram tx = capl::parse_capl(
+      "variables { message 0x100 reqSw; }\non start { output(reqSw); }\n");
+  const capl::CaplProgram rx = capl::parse_capl(
+      "variables { message 0x101 rptSw; }\non message 0x100 { output(rptSw); }\n");
+  ExtractorOptions txo = vmg_options();
+  ExtractorOptions rxo = ecu_options();
+  const ExtractionResult sys = extract_system({{&tx, txo}, {&rx, rxo}});
+  EXPECT_EQ(sys.messages, (std::vector<std::string>{"reqSw", "rptSw"}));
+  EXPECT_NE(sys.cspm.find("send.reqSw -> (rec.rptSw"), std::string::npos)
+      << sys.cspm;
+}
+
+
+TEST(Extractor, SwitchBecomesInternalChoiceOverArms) {
+  const capl::CaplProgram p = parse_capl(R"(
+    variables { message 0x1 a; message 0x2 b; int mode = 0; }
+    on message 0x3 {
+      switch (mode) {
+        case 0: output(a); break;
+        case 1: output(b); break;
+      }
+    }
+  )");
+  const ExtractionResult r = extract_model(p, vmg_options());
+  EXPECT_NE(r.cspm.find("send.a"), std::string::npos);
+  EXPECT_NE(r.cspm.find("send.b"), std::string::npos);
+  EXPECT_NE(r.cspm.find("|~| SKIP"), std::string::npos);
+  // The generated model still parses and evaluates.
+  Context ctx;
+  cspm::Evaluator ev(ctx);
+  ev.load_source(r.cspm);
+  EXPECT_NE(ev.process("VMG"), nullptr);
+}
+
+// --- dbc -> cspm ------------------------------------------------------------------
+
+TEST(DbcToCspm, EmitsDatatypesNametypesAndChannels) {
+  const can::DbcDatabase db = can::parse_dbc(R"(
+BO_ 256 SwInventoryReq: 2 VMG
+ SG_ ReqType : 0|8@1+ (1,0) [0|3] "" ECU
+BO_ 257 SwReport: 4 ECU
+ SG_ Status : 0|2@1+ (1,0) [0|3] "" VMG
+ SG_ Version : 8|8@1+ (1,0) [0|255] "" VMG
+)");
+  const std::string out = dbc_to_cspm(db);
+  EXPECT_NE(out.find("datatype MsgId = SwInventoryReq | SwReport"),
+            std::string::npos);
+  EXPECT_NE(out.find("nametype SwReport_Status = {0..3}"), std::string::npos);
+  EXPECT_NE(out.find("channel can_SwReport : SwReport_Status.SwReport_Version"),
+            std::string::npos);
+}
+
+TEST(DbcToCspm, GeneratedDeclarationsParse) {
+  const can::DbcDatabase db = can::parse_dbc(R"(
+BO_ 5 Ping: 1 A
+ SG_ Seq : 0|4@1+ (1,0) [0|15] "" B
+)");
+  Context ctx;
+  cspm::Evaluator ev(ctx);
+  ev.load_source(dbc_to_cspm(db));
+  EXPECT_TRUE(ctx.find_channel("can_Ping").has_value());
+  EXPECT_EQ(ctx.events_of(*ctx.find_channel("can_Ping")).size(), 16u);
+}
+
+TEST(DbcToCspm, WideSignalsAreClamped) {
+  const can::DbcDatabase db = can::parse_dbc(R"(
+BO_ 9 Wide: 8 A
+ SG_ Big : 0|32@1+ (1,0) [0|0] "" B
+)");
+  DbcCspmOptions o;
+  o.max_domain = 16;
+  const std::string out = dbc_to_cspm(db, o);
+  EXPECT_NE(out.find("{0..15}"), std::string::npos);
+  EXPECT_NE(out.find("clamped"), std::string::npos);
+}
+
+TEST(DbcToCspm, MessageWithoutSignalsGetsBareChannel) {
+  const can::DbcDatabase db = can::parse_dbc("BO_ 7 Heartbeat: 0 A\n");
+  const std::string out = dbc_to_cspm(db);
+  EXPECT_NE(out.find("channel can_Heartbeat\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecucsp::translate

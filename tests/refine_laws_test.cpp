@@ -1,0 +1,305 @@
+// Property-based tests: the algebraic laws of CSP, checked on randomly
+// generated finite process terms via the refinement engine itself.
+//
+// Each law is verified as semantic equivalence (mutual refinement) in the
+// model where it is valid. The generator is seeded, so failures reproduce.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "refine/check.hpp"
+
+namespace ecucsp {
+namespace {
+
+struct Gen {
+  Context& ctx;
+  std::mt19937 rng;
+  std::vector<EventId> alphabet;
+
+  explicit Gen(Context& c, unsigned seed) : ctx(c), rng(seed) {
+    alphabet = {ctx.event(ctx.channel("a")), ctx.event(ctx.channel("b")),
+                ctx.event(ctx.channel("c"))};
+  }
+
+  EventId event() {
+    return alphabet[std::uniform_int_distribution<std::size_t>(
+        0, alphabet.size() - 1)(rng)];
+  }
+
+  EventSet event_set() {
+    std::vector<EventId> out;
+    for (EventId e : alphabet) {
+      if (std::uniform_int_distribution<int>(0, 1)(rng)) out.push_back(e);
+    }
+    return EventSet(std::move(out));
+  }
+
+  /// A random closed finite process of bounded depth.
+  ProcessRef process(int depth) {
+    std::uniform_int_distribution<int> pick(0, depth <= 0 ? 2 : 11);
+    switch (pick(rng)) {
+      case 10:
+        return ctx.interrupt(process(depth - 1), process(depth - 1));
+      case 11:
+        return ctx.sliding(process(depth - 1), process(depth - 1));
+      case 0:
+        return ctx.stop();
+      case 1:
+        return ctx.skip();
+      case 2:
+        return ctx.prefix(event(), depth <= 0 ? ctx.stop() : process(depth - 1));
+      case 3:
+        return ctx.ext_choice(process(depth - 1), process(depth - 1));
+      case 4:
+        return ctx.int_choice(process(depth - 1), process(depth - 1));
+      case 5:
+        return ctx.seq(process(depth - 1), process(depth - 1));
+      case 6:
+        return ctx.par(process(depth - 1), event_set(), process(depth - 1));
+      case 7:
+        return ctx.interleave(process(depth - 1), process(depth - 1));
+      case 8:
+        return ctx.hide(process(depth - 1), event_set());
+      default: {
+        const EventId from = event();
+        const EventId to = event();
+        return ctx.rename(process(depth - 1), {{from, to}});
+      }
+    }
+  }
+};
+
+bool equivalent(Context& ctx, ProcessRef p, ProcessRef q, Model m) {
+  return check_refinement(ctx, p, q, m).passed &&
+         check_refinement(ctx, q, p, m).passed;
+}
+
+class CspLaws : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CspLaws, RefinementIsReflexiveInAllModels) {
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(3);
+  for (Model m : {Model::Traces, Model::Failures, Model::FailuresDivergences}) {
+    EXPECT_TRUE(check_refinement(ctx, p, p, m).passed)
+        << "seed=" << GetParam() << " model=" << to_string(m);
+  }
+}
+
+TEST_P(CspLaws, ExternalChoiceIsCommutativeAndAssociative) {
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(2);
+  const ProcessRef q = gen.process(2);
+  const ProcessRef r = gen.process(2);
+  EXPECT_TRUE(equivalent(ctx, ctx.ext_choice(p, q), ctx.ext_choice(q, p),
+                         Model::Failures));
+  EXPECT_TRUE(equivalent(ctx, ctx.ext_choice(ctx.ext_choice(p, q), r),
+                         ctx.ext_choice(p, ctx.ext_choice(q, r)),
+                         Model::Failures));
+}
+
+TEST_P(CspLaws, InternalChoiceIsCommutativeAndIdempotent) {
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(2);
+  const ProcessRef q = gen.process(2);
+  EXPECT_TRUE(equivalent(ctx, ctx.int_choice(p, q), ctx.int_choice(q, p),
+                         Model::Failures));
+  EXPECT_TRUE(equivalent(ctx, ctx.int_choice(p, p), p, Model::Failures));
+}
+
+TEST_P(CspLaws, ExternalChoiceUnitIsStop) {
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(3);
+  EXPECT_TRUE(equivalent(ctx, ctx.ext_choice(p, ctx.stop()), p, Model::Failures));
+}
+
+TEST_P(CspLaws, ChoicesAgreeInTracesModel) {
+  // In the traces model, internal and external choice are indistinguishable.
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(2);
+  const ProcessRef q = gen.process(2);
+  EXPECT_TRUE(equivalent(ctx, ctx.ext_choice(p, q), ctx.int_choice(p, q),
+                         Model::Traces));
+}
+
+TEST_P(CspLaws, SkipIsLeftUnitOfSequencing) {
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(3);
+  EXPECT_TRUE(equivalent(ctx, ctx.seq(ctx.skip(), p), p, Model::Failures));
+}
+
+TEST_P(CspLaws, SkipIsRightUnitOfSequencingForTraces) {
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(3);
+  EXPECT_TRUE(equivalent(ctx, ctx.seq(p, ctx.skip()), p, Model::Traces));
+}
+
+TEST_P(CspLaws, StopIsLeftZeroOfSequencing) {
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(3);
+  EXPECT_TRUE(
+      equivalent(ctx, ctx.seq(ctx.stop(), p), ctx.stop(), Model::Failures));
+}
+
+TEST_P(CspLaws, ParallelIsCommutative) {
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(2);
+  const ProcessRef q = gen.process(2);
+  const EventSet sync = gen.event_set();
+  EXPECT_TRUE(equivalent(ctx, ctx.par(p, sync, q), ctx.par(q, sync, p),
+                         Model::Failures));
+}
+
+TEST_P(CspLaws, InterleaveWithSkipIsIdentityForTraces) {
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(3);
+  EXPECT_TRUE(
+      equivalent(ctx, ctx.interleave(p, ctx.skip()), p, Model::Traces));
+}
+
+TEST_P(CspLaws, FullSynchronyWithRunIsIdentityForTraces) {
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const EventSet sigma = EventSet(gen.alphabet);
+  const ProcessRef p = gen.process(3);
+  // P [|Sigma|] RUN(Sigma) =T P, except termination: RUN never ticks, so
+  // compare with tick hidden behind sequencing-free processes only.
+  // Use the safer law: traces(P [|Sigma|] RUN) == traces(P) with tick removed;
+  // we approximate by checking refinement one way (the composition can do no
+  // more than P).
+  EXPECT_TRUE(check_refinement(ctx, p, ctx.par(p, sigma, ctx.run(sigma)),
+                               Model::Traces)
+                  .passed);
+}
+
+TEST_P(CspLaws, HidingDistributesOverInternalChoice) {
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(2);
+  const ProcessRef q = gen.process(2);
+  const EventSet h = gen.event_set();
+  EXPECT_TRUE(equivalent(ctx, ctx.hide(ctx.int_choice(p, q), h),
+                         ctx.int_choice(ctx.hide(p, h), ctx.hide(q, h)),
+                         Model::Failures));
+}
+
+TEST_P(CspLaws, HidingEverythingLeavesOnlyTermination) {
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(3);
+  const ProcessRef hidden = ctx.hide(p, EventSet(gen.alphabet));
+  // traces(P \ Sigma) contains only <> and possibly <tick>: SKIP |~| STOP
+  // is the most general such process in the traces model.
+  EXPECT_TRUE(check_refinement(ctx, ctx.int_choice(ctx.skip(), ctx.stop()),
+                               hidden, Model::Traces)
+                  .passed);
+}
+
+TEST_P(CspLaws, IdentityRenamingIsNeutral) {
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(3);
+  std::vector<RenamePair> identity;
+  for (EventId e : gen.alphabet) identity.push_back({e, e});
+  EXPECT_TRUE(equivalent(ctx, ctx.rename(p, identity), p, Model::Failures));
+}
+
+TEST_P(CspLaws, InterruptByStopIsNeutral) {
+  // P /\ STOP = P in both traces and failures: STOP can never take over.
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(3);
+  EXPECT_TRUE(
+      equivalent(ctx, ctx.interrupt(p, ctx.stop()), p, Model::Failures));
+}
+
+TEST_P(CspLaws, SlidingFromStopIsItsRightOperand) {
+  // STOP [> Q = Q in failures: the only behaviour is the silent slide.
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef q = gen.process(3);
+  EXPECT_TRUE(equivalent(ctx, ctx.sliding(ctx.stop(), q), q, Model::Failures));
+}
+
+TEST_P(CspLaws, SlidingCoversBothOperandsInTraces) {
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(2);
+  const ProcessRef q = gen.process(2);
+  const ProcessRef slide = ctx.sliding(p, q);
+  EXPECT_TRUE(check_refinement(ctx, slide, p, Model::Traces).passed);
+  EXPECT_TRUE(check_refinement(ctx, slide, q, Model::Traces).passed);
+}
+
+TEST_P(CspLaws, InterruptCoversItsLeftOperandInTraces) {
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(2);
+  const ProcessRef q = gen.process(2);
+  EXPECT_TRUE(
+      check_refinement(ctx, ctx.interrupt(p, q), p, Model::Traces).passed);
+}
+
+TEST_P(CspLaws, TraceRefinementIsTransitiveOnRandomTriples) {
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(2);
+  const ProcessRef q = gen.process(2);
+  const ProcessRef r = gen.process(2);
+  const bool pq = check_refinement(ctx, p, q, Model::Traces).passed;
+  const bool qr = check_refinement(ctx, q, r, Model::Traces).passed;
+  if (pq && qr) {
+    EXPECT_TRUE(check_refinement(ctx, p, r, Model::Traces).passed)
+        << "seed=" << GetParam();
+  }
+}
+
+TEST_P(CspLaws, FailuresRefinementImpliesTraceRefinement) {
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(2);
+  const ProcessRef q = gen.process(2);
+  if (check_refinement(ctx, p, q, Model::Failures).passed) {
+    EXPECT_TRUE(check_refinement(ctx, p, q, Model::Traces).passed)
+        << "seed=" << GetParam();
+  }
+}
+
+TEST_P(CspLaws, DeterministicProcessesAreFailuresEquivalentToThemselves) {
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(2);
+  if (check_deterministic(ctx, p).passed) {
+    EXPECT_TRUE(equivalent(ctx, p, p, Model::FailuresDivergences));
+  }
+}
+
+TEST_P(CspLaws, EnumeratedTracesMatchRefinementVerdicts) {
+  // Cross-validate the two trace engines: if traces(q) ⊆ traces(p) by
+  // explicit enumeration (up to a bound beyond both LTS diameters), the
+  // refinement check must agree.
+  Context ctx;
+  Gen gen(ctx, GetParam());
+  const ProcessRef p = gen.process(2);
+  const ProcessRef q = gen.process(2);
+  const auto tp = enumerate_traces(ctx, p, 8);
+  const auto tq = enumerate_traces(ctx, q, 8);
+  const bool subset = std::includes(tp.begin(), tp.end(), tq.begin(), tq.end());
+  const bool refines = check_refinement(ctx, p, q, Model::Traces).passed;
+  EXPECT_EQ(subset, refines) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CspLaws, ::testing::Range(0u, 25u));
+
+}  // namespace
+}  // namespace ecucsp

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "sim/environment.hpp"
+
+namespace ecucsp::sim {
+namespace {
+
+TEST(Scheduler, RunsTasksInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_in(300, [&] { order.push_back(3); });
+  s.schedule_in(100, [&] { order.push_back(1); });
+  s.schedule_in(200, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 300u);
+}
+
+TEST(Scheduler, SimultaneousTasksRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_in(50, [&] { order.push_back(1); });
+  s.schedule_in(50, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const auto id = s.schedule_in(10, [&] { ran = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelUnknownIdIsNoOp) {
+  Scheduler s;
+  s.cancel(9999);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, TasksMayScheduleMoreTasks) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) s.schedule_in(10, tick);
+  };
+  s.schedule_in(10, tick);
+  s.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now(), 50u);
+}
+
+TEST(Scheduler, RunRespectsDeadline) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_in(100, [&] { ++count; });
+  s.schedule_in(200, [&] { ++count; });
+  s.run(150);
+  EXPECT_EQ(count, 1);
+  EXPECT_FALSE(s.empty());
+}
+
+// --- environment -----------------------------------------------------------
+
+class Echo : public Node {
+ public:
+  explicit Echo(std::string name, can::CanId listen, can::CanId reply)
+      : Node(std::move(name)), listen_(listen), reply_(reply) {}
+
+  void on_message(const can::CanFrame& f) override {
+    if (f.id != listen_) return;
+    ++received;
+    can::CanFrame out;
+    out.id = reply_;
+    output(out);
+  }
+
+  int received = 0;
+
+ private:
+  can::CanId listen_;
+  can::CanId reply_;
+};
+
+class Kickoff : public Node {
+ public:
+  explicit Kickoff(can::CanId id) : Node("kickoff"), id_(id) {}
+  void on_start() override {
+    can::CanFrame f;
+    f.id = id_;
+    output(f);
+    write("sent kickoff");
+  }
+  void on_message(const can::CanFrame& f) override { last_seen = f.id; }
+  can::CanId last_seen = 0;
+
+ private:
+  can::CanId id_;
+};
+
+TEST(Environment, RequestReplyRoundTrip) {
+  Environment env;
+  Kickoff k(0x100);
+  Echo e("echo", 0x100, 0x200);
+  env.attach(k);
+  env.attach(e);
+  env.run();
+  EXPECT_EQ(e.received, 1);
+  EXPECT_EQ(k.last_seen, 0x200u);
+  ASSERT_EQ(env.bus().trace().size(), 2u);
+  EXPECT_EQ(env.bus().trace()[0].id, 0x100u);
+  EXPECT_EQ(env.bus().trace()[1].id, 0x200u);
+}
+
+TEST(Environment, SenderDoesNotHearItself) {
+  Environment env;
+  Echo a("a", 0x1, 0x1);  // would loop forever if self-delivered
+  env.attach(a);
+  can::CanFrame f;
+  f.id = 0x1;
+  // Inject from a foreign endpoint.
+  env.bus().transmit(f, /*sender=*/-1);
+  env.scheduler().schedule_in(0, [&] { env.bus().deliver_one(0); });
+  env.run(10'000);
+  EXPECT_EQ(a.received, 1);  // echoed once, own echo not re-received
+}
+
+TEST(Environment, LogCapturesNodeWrites) {
+  Environment env;
+  Kickoff k(0x7);
+  env.attach(k);
+  env.run();
+  ASSERT_FALSE(env.log().empty());
+  EXPECT_EQ(env.log()[0].node, "kickoff");
+  EXPECT_EQ(env.log()[0].text, "sent kickoff");
+}
+
+TEST(Environment, BusDeliveryConsumesSimTime) {
+  Environment env(/*bus_window_us=*/250);
+  Kickoff k(0x5);
+  Echo e("echo", 0x5, 0x6);
+  env.attach(k);
+  env.attach(e);
+  env.run();
+  ASSERT_EQ(env.bus().trace().size(), 2u);
+  EXPECT_EQ(env.bus().trace()[0].timestamp_us, 250u);
+  EXPECT_EQ(env.bus().trace()[1].timestamp_us, 500u);
+}
+
+TEST(Environment, DetachedNodeOutputThrows) {
+  Echo e("stray", 0, 0);
+  can::CanFrame f;
+  // Force the protected call through on_message by... calling directly.
+  EXPECT_THROW(e.on_message(f), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ecucsp::sim

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "translate/stencil.hpp"
+
+namespace ecucsp::stencil {
+namespace {
+
+TEST(Stencil, LiteralTextPassesThrough) {
+  EXPECT_EQ(Template("plain text").render({}), "plain text");
+}
+
+TEST(Stencil, SimpleSubstitution) {
+  EXPECT_EQ(Template("channel $name$ : $type$")
+                .render({{"name", std::string("send")},
+                         {"type", std::string("Msg")}}),
+            "channel send : Msg");
+}
+
+TEST(Stencil, MissingAttributeRendersEmpty) {
+  EXPECT_EQ(Template("[$gone$]").render({}), "[]");
+}
+
+TEST(Stencil, ListWithSeparator) {
+  EXPECT_EQ(Template("datatype M = $ctors; separator=\" | \"$")
+                .render({{"ctors", std::vector<std::string>{"a", "b", "c"}}}),
+            "datatype M = a | b | c");
+}
+
+TEST(Stencil, ListWithoutSeparatorConcatenates) {
+  EXPECT_EQ(Template("$xs$").render(
+                {{"xs", std::vector<std::string>{"1", "2", "3"}}}),
+            "123");
+}
+
+TEST(Stencil, EscapedDollar) {
+  EXPECT_EQ(Template("cost: $$5 and $n$").render({{"n", std::string("x")}}),
+            "cost: $5 and x");
+}
+
+TEST(Stencil, MultiplePlaceholdersAndReuse) {
+  Template t("$a$-$b$-$a$");
+  EXPECT_EQ(t.render({{"a", std::string("x")}, {"b", std::string("y")}}),
+            "x-y-x");
+  EXPECT_EQ(t.placeholders(),
+            (std::vector<std::string>{"a", "b", "a"}));
+}
+
+TEST(Stencil, UnterminatedPlaceholderThrows) {
+  EXPECT_THROW(Template("oops $name"), TemplateError);
+}
+
+TEST(Stencil, EmptyPlaceholderThrows) {
+  EXPECT_THROW(Template("$$$ $"), TemplateError);  // "$$" ok, then "$ $" empty
+}
+
+TEST(Stencil, UnknownOptionThrows) {
+  EXPECT_THROW(Template("$xs; frobnicate=\"z\"$"), TemplateError);
+}
+
+TEST(Stencil, UnquotedSeparatorThrows) {
+  EXPECT_THROW(Template("$xs; separator=,$"), TemplateError);
+}
+
+TEST(Stencil, GroupLookup) {
+  TemplateGroup g;
+  g.define("def", "$name$ = $body$");
+  EXPECT_TRUE(g.contains("def"));
+  EXPECT_FALSE(g.contains("nope"));
+  EXPECT_EQ(g.render("def", {{"name", std::string("P")},
+                             {"body", std::string("STOP")}}),
+            "P = STOP");
+  EXPECT_THROW(g.render("nope", {}), TemplateError);
+}
+
+TEST(Stencil, GroupRedefinitionReplaces) {
+  TemplateGroup g;
+  g.define("t", "one");
+  g.define("t", "two");
+  EXPECT_EQ(g.render("t", {}), "two");
+}
+
+}  // namespace
+}  // namespace ecucsp::stencil
