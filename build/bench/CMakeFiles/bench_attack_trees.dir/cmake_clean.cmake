@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_trees.dir/bench_attack_trees.cpp.o"
+  "CMakeFiles/bench_attack_trees.dir/bench_attack_trees.cpp.o.d"
+  "bench_attack_trees"
+  "bench_attack_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intruder_statespace.dir/bench_intruder_statespace.cpp.o"
+  "CMakeFiles/bench_intruder_statespace.dir/bench_intruder_statespace.cpp.o.d"
+  "bench_intruder_statespace"
+  "bench_intruder_statespace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intruder_statespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

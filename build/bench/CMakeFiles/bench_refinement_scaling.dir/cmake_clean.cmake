@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_refinement_scaling.dir/bench_refinement_scaling.cpp.o"
+  "CMakeFiles/bench_refinement_scaling.dir/bench_refinement_scaling.cpp.o.d"
+  "bench_refinement_scaling"
+  "bench_refinement_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_refinement_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

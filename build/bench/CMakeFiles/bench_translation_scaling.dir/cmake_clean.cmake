@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_translation_scaling.dir/bench_translation_scaling.cpp.o"
+  "CMakeFiles/bench_translation_scaling.dir/bench_translation_scaling.cpp.o.d"
+  "bench_translation_scaling"
+  "bench_translation_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_translation_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/can_simulation.dir/can_simulation.cpp.o"
+  "CMakeFiles/can_simulation.dir/can_simulation.cpp.o.d"
+  "can_simulation"
+  "can_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/can_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

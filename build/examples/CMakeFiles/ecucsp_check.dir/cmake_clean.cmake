@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecucsp_check.dir/ecucsp_check.cpp.o"
+  "CMakeFiles/ecucsp_check.dir/ecucsp_check.cpp.o.d"
+  "ecucsp_check"
+  "ecucsp_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecucsp_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecucsp_extract.dir/ecucsp_extract.cpp.o"
+  "CMakeFiles/ecucsp_extract.dir/ecucsp_extract.cpp.o.d"
+  "ecucsp_extract"
+  "ecucsp_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecucsp_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for needham_schroeder.
+# This may be replaced when dependencies are built.

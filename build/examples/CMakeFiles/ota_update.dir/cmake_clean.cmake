@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ota_update.dir/ota_update.cpp.o"
+  "CMakeFiles/ota_update.dir/ota_update.cpp.o.d"
+  "ota_update"
+  "ota_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ota_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_end_to_end.dir/pipeline_end_to_end.cpp.o"
+  "CMakeFiles/pipeline_end_to_end.dir/pipeline_end_to_end.cpp.o.d"
+  "pipeline_end_to_end"
+  "pipeline_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

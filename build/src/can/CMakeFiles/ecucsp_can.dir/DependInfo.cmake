@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/can/asc.cpp" "src/can/CMakeFiles/ecucsp_can.dir/asc.cpp.o" "gcc" "src/can/CMakeFiles/ecucsp_can.dir/asc.cpp.o.d"
+  "/root/repo/src/can/bus.cpp" "src/can/CMakeFiles/ecucsp_can.dir/bus.cpp.o" "gcc" "src/can/CMakeFiles/ecucsp_can.dir/bus.cpp.o.d"
+  "/root/repo/src/can/dbc.cpp" "src/can/CMakeFiles/ecucsp_can.dir/dbc.cpp.o" "gcc" "src/can/CMakeFiles/ecucsp_can.dir/dbc.cpp.o.d"
+  "/root/repo/src/can/frame.cpp" "src/can/CMakeFiles/ecucsp_can.dir/frame.cpp.o" "gcc" "src/can/CMakeFiles/ecucsp_can.dir/frame.cpp.o.d"
+  "/root/repo/src/can/signal.cpp" "src/can/CMakeFiles/ecucsp_can.dir/signal.cpp.o" "gcc" "src/can/CMakeFiles/ecucsp_can.dir/signal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

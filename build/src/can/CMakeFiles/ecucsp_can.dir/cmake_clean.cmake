@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecucsp_can.dir/asc.cpp.o"
+  "CMakeFiles/ecucsp_can.dir/asc.cpp.o.d"
+  "CMakeFiles/ecucsp_can.dir/bus.cpp.o"
+  "CMakeFiles/ecucsp_can.dir/bus.cpp.o.d"
+  "CMakeFiles/ecucsp_can.dir/dbc.cpp.o"
+  "CMakeFiles/ecucsp_can.dir/dbc.cpp.o.d"
+  "CMakeFiles/ecucsp_can.dir/frame.cpp.o"
+  "CMakeFiles/ecucsp_can.dir/frame.cpp.o.d"
+  "CMakeFiles/ecucsp_can.dir/signal.cpp.o"
+  "CMakeFiles/ecucsp_can.dir/signal.cpp.o.d"
+  "libecucsp_can.a"
+  "libecucsp_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecucsp_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

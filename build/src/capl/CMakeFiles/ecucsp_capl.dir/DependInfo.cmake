@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capl/interp.cpp" "src/capl/CMakeFiles/ecucsp_capl.dir/interp.cpp.o" "gcc" "src/capl/CMakeFiles/ecucsp_capl.dir/interp.cpp.o.d"
+  "/root/repo/src/capl/lexer.cpp" "src/capl/CMakeFiles/ecucsp_capl.dir/lexer.cpp.o" "gcc" "src/capl/CMakeFiles/ecucsp_capl.dir/lexer.cpp.o.d"
+  "/root/repo/src/capl/parser.cpp" "src/capl/CMakeFiles/ecucsp_capl.dir/parser.cpp.o" "gcc" "src/capl/CMakeFiles/ecucsp_capl.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/can/CMakeFiles/ecucsp_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecucsp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecucsp_capl.dir/interp.cpp.o"
+  "CMakeFiles/ecucsp_capl.dir/interp.cpp.o.d"
+  "CMakeFiles/ecucsp_capl.dir/lexer.cpp.o"
+  "CMakeFiles/ecucsp_capl.dir/lexer.cpp.o.d"
+  "CMakeFiles/ecucsp_capl.dir/parser.cpp.o"
+  "CMakeFiles/ecucsp_capl.dir/parser.cpp.o.d"
+  "libecucsp_capl.a"
+  "libecucsp_capl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecucsp_capl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecucsp_core.dir/context.cpp.o"
+  "CMakeFiles/ecucsp_core.dir/context.cpp.o.d"
+  "CMakeFiles/ecucsp_core.dir/value.cpp.o"
+  "CMakeFiles/ecucsp_core.dir/value.cpp.o.d"
+  "libecucsp_core.a"
+  "libecucsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecucsp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cspm/eval.cpp" "src/cspm/CMakeFiles/ecucsp_cspm.dir/eval.cpp.o" "gcc" "src/cspm/CMakeFiles/ecucsp_cspm.dir/eval.cpp.o.d"
+  "/root/repo/src/cspm/lexer.cpp" "src/cspm/CMakeFiles/ecucsp_cspm.dir/lexer.cpp.o" "gcc" "src/cspm/CMakeFiles/ecucsp_cspm.dir/lexer.cpp.o.d"
+  "/root/repo/src/cspm/parser.cpp" "src/cspm/CMakeFiles/ecucsp_cspm.dir/parser.cpp.o" "gcc" "src/cspm/CMakeFiles/ecucsp_cspm.dir/parser.cpp.o.d"
+  "/root/repo/src/cspm/printer.cpp" "src/cspm/CMakeFiles/ecucsp_cspm.dir/printer.cpp.o" "gcc" "src/cspm/CMakeFiles/ecucsp_cspm.dir/printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ecucsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/refine/CMakeFiles/ecucsp_refine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecucsp_cspm.dir/eval.cpp.o"
+  "CMakeFiles/ecucsp_cspm.dir/eval.cpp.o.d"
+  "CMakeFiles/ecucsp_cspm.dir/lexer.cpp.o"
+  "CMakeFiles/ecucsp_cspm.dir/lexer.cpp.o.d"
+  "CMakeFiles/ecucsp_cspm.dir/parser.cpp.o"
+  "CMakeFiles/ecucsp_cspm.dir/parser.cpp.o.d"
+  "CMakeFiles/ecucsp_cspm.dir/printer.cpp.o"
+  "CMakeFiles/ecucsp_cspm.dir/printer.cpp.o.d"
+  "libecucsp_cspm.a"
+  "libecucsp_cspm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecucsp_cspm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ecucsp_cspm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecucsp_ota.dir/ota.cpp.o"
+  "CMakeFiles/ecucsp_ota.dir/ota.cpp.o.d"
+  "libecucsp_ota.a"
+  "libecucsp_ota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecucsp_ota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/refine/check.cpp" "src/refine/CMakeFiles/ecucsp_refine.dir/check.cpp.o" "gcc" "src/refine/CMakeFiles/ecucsp_refine.dir/check.cpp.o.d"
+  "/root/repo/src/refine/dot.cpp" "src/refine/CMakeFiles/ecucsp_refine.dir/dot.cpp.o" "gcc" "src/refine/CMakeFiles/ecucsp_refine.dir/dot.cpp.o.d"
+  "/root/repo/src/refine/lts.cpp" "src/refine/CMakeFiles/ecucsp_refine.dir/lts.cpp.o" "gcc" "src/refine/CMakeFiles/ecucsp_refine.dir/lts.cpp.o.d"
+  "/root/repo/src/refine/minimize.cpp" "src/refine/CMakeFiles/ecucsp_refine.dir/minimize.cpp.o" "gcc" "src/refine/CMakeFiles/ecucsp_refine.dir/minimize.cpp.o.d"
+  "/root/repo/src/refine/normalize.cpp" "src/refine/CMakeFiles/ecucsp_refine.dir/normalize.cpp.o" "gcc" "src/refine/CMakeFiles/ecucsp_refine.dir/normalize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ecucsp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

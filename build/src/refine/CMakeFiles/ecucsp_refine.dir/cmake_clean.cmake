@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecucsp_refine.dir/check.cpp.o"
+  "CMakeFiles/ecucsp_refine.dir/check.cpp.o.d"
+  "CMakeFiles/ecucsp_refine.dir/dot.cpp.o"
+  "CMakeFiles/ecucsp_refine.dir/dot.cpp.o.d"
+  "CMakeFiles/ecucsp_refine.dir/lts.cpp.o"
+  "CMakeFiles/ecucsp_refine.dir/lts.cpp.o.d"
+  "CMakeFiles/ecucsp_refine.dir/minimize.cpp.o"
+  "CMakeFiles/ecucsp_refine.dir/minimize.cpp.o.d"
+  "CMakeFiles/ecucsp_refine.dir/normalize.cpp.o"
+  "CMakeFiles/ecucsp_refine.dir/normalize.cpp.o.d"
+  "libecucsp_refine.a"
+  "libecucsp_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecucsp_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ecucsp_refine.
+# This may be replaced when dependencies are built.

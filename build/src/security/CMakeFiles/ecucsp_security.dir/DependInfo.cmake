@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/attack_tree.cpp" "src/security/CMakeFiles/ecucsp_security.dir/attack_tree.cpp.o" "gcc" "src/security/CMakeFiles/ecucsp_security.dir/attack_tree.cpp.o.d"
+  "/root/repo/src/security/intruder.cpp" "src/security/CMakeFiles/ecucsp_security.dir/intruder.cpp.o" "gcc" "src/security/CMakeFiles/ecucsp_security.dir/intruder.cpp.o.d"
+  "/root/repo/src/security/intruder_factored.cpp" "src/security/CMakeFiles/ecucsp_security.dir/intruder_factored.cpp.o" "gcc" "src/security/CMakeFiles/ecucsp_security.dir/intruder_factored.cpp.o.d"
+  "/root/repo/src/security/mac.cpp" "src/security/CMakeFiles/ecucsp_security.dir/mac.cpp.o" "gcc" "src/security/CMakeFiles/ecucsp_security.dir/mac.cpp.o.d"
+  "/root/repo/src/security/nspk.cpp" "src/security/CMakeFiles/ecucsp_security.dir/nspk.cpp.o" "gcc" "src/security/CMakeFiles/ecucsp_security.dir/nspk.cpp.o.d"
+  "/root/repo/src/security/properties.cpp" "src/security/CMakeFiles/ecucsp_security.dir/properties.cpp.o" "gcc" "src/security/CMakeFiles/ecucsp_security.dir/properties.cpp.o.d"
+  "/root/repo/src/security/secoc.cpp" "src/security/CMakeFiles/ecucsp_security.dir/secoc.cpp.o" "gcc" "src/security/CMakeFiles/ecucsp_security.dir/secoc.cpp.o.d"
+  "/root/repo/src/security/terms.cpp" "src/security/CMakeFiles/ecucsp_security.dir/terms.cpp.o" "gcc" "src/security/CMakeFiles/ecucsp_security.dir/terms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ecucsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/refine/CMakeFiles/ecucsp_refine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecucsp_security.dir/attack_tree.cpp.o"
+  "CMakeFiles/ecucsp_security.dir/attack_tree.cpp.o.d"
+  "CMakeFiles/ecucsp_security.dir/intruder.cpp.o"
+  "CMakeFiles/ecucsp_security.dir/intruder.cpp.o.d"
+  "CMakeFiles/ecucsp_security.dir/intruder_factored.cpp.o"
+  "CMakeFiles/ecucsp_security.dir/intruder_factored.cpp.o.d"
+  "CMakeFiles/ecucsp_security.dir/mac.cpp.o"
+  "CMakeFiles/ecucsp_security.dir/mac.cpp.o.d"
+  "CMakeFiles/ecucsp_security.dir/nspk.cpp.o"
+  "CMakeFiles/ecucsp_security.dir/nspk.cpp.o.d"
+  "CMakeFiles/ecucsp_security.dir/properties.cpp.o"
+  "CMakeFiles/ecucsp_security.dir/properties.cpp.o.d"
+  "CMakeFiles/ecucsp_security.dir/secoc.cpp.o"
+  "CMakeFiles/ecucsp_security.dir/secoc.cpp.o.d"
+  "CMakeFiles/ecucsp_security.dir/terms.cpp.o"
+  "CMakeFiles/ecucsp_security.dir/terms.cpp.o.d"
+  "libecucsp_security.a"
+  "libecucsp_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecucsp_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libecucsp_security.a"
+)

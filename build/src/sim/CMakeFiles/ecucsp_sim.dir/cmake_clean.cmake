@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecucsp_sim.dir/environment.cpp.o"
+  "CMakeFiles/ecucsp_sim.dir/environment.cpp.o.d"
+  "CMakeFiles/ecucsp_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/ecucsp_sim.dir/scheduler.cpp.o.d"
+  "libecucsp_sim.a"
+  "libecucsp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecucsp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

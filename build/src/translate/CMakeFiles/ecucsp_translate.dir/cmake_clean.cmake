@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecucsp_translate.dir/conformance.cpp.o"
+  "CMakeFiles/ecucsp_translate.dir/conformance.cpp.o.d"
+  "CMakeFiles/ecucsp_translate.dir/dbc_to_cspm.cpp.o"
+  "CMakeFiles/ecucsp_translate.dir/dbc_to_cspm.cpp.o.d"
+  "CMakeFiles/ecucsp_translate.dir/extractor.cpp.o"
+  "CMakeFiles/ecucsp_translate.dir/extractor.cpp.o.d"
+  "CMakeFiles/ecucsp_translate.dir/stencil.cpp.o"
+  "CMakeFiles/ecucsp_translate.dir/stencil.cpp.o.d"
+  "libecucsp_translate.a"
+  "libecucsp_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecucsp_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

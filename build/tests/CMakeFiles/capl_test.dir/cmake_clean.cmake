@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capl_test.dir/capl_test.cpp.o"
+  "CMakeFiles/capl_test.dir/capl_test.cpp.o.d"
+  "capl_test"
+  "capl_test.pdb"
+  "capl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

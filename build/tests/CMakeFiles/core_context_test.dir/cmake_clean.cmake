@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_context_test.dir/core_context_test.cpp.o"
+  "CMakeFiles/core_context_test.dir/core_context_test.cpp.o.d"
+  "core_context_test"
+  "core_context_test.pdb"
+  "core_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

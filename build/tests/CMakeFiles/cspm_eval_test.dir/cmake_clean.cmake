@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cspm_eval_test.dir/cspm_eval_test.cpp.o"
+  "CMakeFiles/cspm_eval_test.dir/cspm_eval_test.cpp.o.d"
+  "cspm_eval_test"
+  "cspm_eval_test.pdb"
+  "cspm_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cspm_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cspm_lexer_test.dir/cspm_lexer_test.cpp.o"
+  "CMakeFiles/cspm_lexer_test.dir/cspm_lexer_test.cpp.o.d"
+  "cspm_lexer_test"
+  "cspm_lexer_test.pdb"
+  "cspm_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cspm_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

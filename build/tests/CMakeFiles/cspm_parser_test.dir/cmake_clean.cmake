@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cspm_parser_test.dir/cspm_parser_test.cpp.o"
+  "CMakeFiles/cspm_parser_test.dir/cspm_parser_test.cpp.o.d"
+  "cspm_parser_test"
+  "cspm_parser_test.pdb"
+  "cspm_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cspm_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

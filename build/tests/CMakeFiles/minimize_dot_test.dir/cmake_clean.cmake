@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimize_dot_test.dir/minimize_dot_test.cpp.o"
+  "CMakeFiles/minimize_dot_test.dir/minimize_dot_test.cpp.o.d"
+  "minimize_dot_test"
+  "minimize_dot_test.pdb"
+  "minimize_dot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimize_dot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for minimize_dot_test.
+# This may be replaced when dependencies are built.

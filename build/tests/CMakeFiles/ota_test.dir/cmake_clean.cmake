@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ota_test.dir/ota_test.cpp.o"
+  "CMakeFiles/ota_test.dir/ota_test.cpp.o.d"
+  "ota_test"
+  "ota_test.pdb"
+  "ota_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ota_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stencil_test.cpp" "tests/CMakeFiles/stencil_test.dir/stencil_test.cpp.o" "gcc" "tests/CMakeFiles/stencil_test.dir/stencil_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/translate/CMakeFiles/ecucsp_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/capl/CMakeFiles/ecucsp_capl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecucsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/can/CMakeFiles/ecucsp_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/cspm/CMakeFiles/ecucsp_cspm.dir/DependInfo.cmake"
+  "/root/repo/build/src/refine/CMakeFiles/ecucsp_refine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecucsp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

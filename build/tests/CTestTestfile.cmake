@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_value_test[1]_include.cmake")
+include("/root/repo/build/tests/core_context_test[1]_include.cmake")
+include("/root/repo/build/tests/refine_test[1]_include.cmake")
+include("/root/repo/build/tests/refine_laws_test[1]_include.cmake")
+include("/root/repo/build/tests/cspm_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/cspm_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/cspm_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/can_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/capl_test[1]_include.cmake")
+include("/root/repo/build/tests/stencil_test[1]_include.cmake")
+include("/root/repo/build/tests/extractor_test[1]_include.cmake")
+include("/root/repo/build/tests/security_test[1]_include.cmake")
+include("/root/repo/build/tests/ota_test[1]_include.cmake")
+include("/root/repo/build/tests/minimize_dot_test[1]_include.cmake")
