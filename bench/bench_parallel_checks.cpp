@@ -1,0 +1,87 @@
+// Parallel batch-verification bench: the OTA requirement suite (Table III
+// x attacker models, plus the extended Update Server properties) run
+// through the src/verify scheduler at increasing worker counts.
+//
+// The requirement models themselves are tiny — the paper's point is that
+// the *number* of independent checks grows multiplicatively (requirements x
+// attacker models x variants) — so each task is dilated with hidden
+// independent cyclers (see ota_batch.hpp) to give it FDR-realistic state
+// counts without changing any verdict. The bench verifies on every run
+// that all worker counts produce byte-identical outcomes in submission
+// order, then reports the wall-clock speedup of N workers over 1.
+//
+// Note: the achievable speedup is capped by the machine's core count; on a
+// single-core container every configuration degenerates to ~1.0x.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "verify/ota_batch.hpp"
+#include "verify/scheduler.hpp"
+
+using namespace ecucsp;
+using namespace ecucsp::verify;
+
+namespace {
+
+std::vector<CheckTask> build_suite(std::size_t dilation) {
+  OtaMatrixOptions opts;
+  opts.dilation = dilation;
+  std::vector<CheckTask> tasks = ota_requirement_matrix(opts);
+  for (CheckTask& t : ota_extended_batch(opts)) tasks.push_back(std::move(t));
+  return tasks;
+}
+
+/// Verdict fingerprint: everything that must be scheduling-invariant
+/// (status, counterexample, state counts) — i.e. all fields except timing.
+std::vector<std::string> fingerprint(const BatchResult& batch) {
+  std::vector<std::string> out;
+  out.reserve(batch.outcomes.size());
+  for (const TaskOutcome& o : batch.outcomes) {
+    out.push_back(o.name + "|" + std::string(to_string(o.status)) + "|" +
+                  o.counterexample + "|" + std::to_string(o.stats.impl_states));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Tune dilation so a full single-threaded sweep takes on the order of a
+  // second: enough work for parallelism to matter, short enough for CI.
+  const std::size_t dilation =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6;
+  const std::vector<CheckTask> suite = build_suite(dilation);
+
+  std::printf("OTA requirement batch: %zu checks, dilation %zu\n\n",
+              suite.size(), dilation);
+  std::printf("%-6s| %-10s| %-10s| %-8s| %s\n", "jobs", "wall (ms)",
+              "cpu (ms)", "speedup", "verdicts");
+  std::printf("------+-----------+-----------+---------+---------\n");
+
+  std::vector<std::string> reference;
+  double wall_1 = 0.0;
+  bool ok = true;
+  for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
+    VerifyScheduler sched({.jobs = jobs});
+    const BatchResult batch = sched.run(suite);
+    const double wall_ms = batch.wall.count() / 1e6;
+    if (jobs == 1) {
+      wall_1 = wall_ms;
+      reference = fingerprint(batch);
+    }
+    const bool deterministic = fingerprint(batch) == reference;
+    const bool as_expected = batch.all_as_expected();
+    ok &= deterministic && as_expected;
+    std::printf("%-6u| %9.1f | %9.1f | %6.2fx | %s%s\n", jobs, wall_ms,
+                batch.cpu.count() / 1e6, wall_1 / wall_ms,
+                as_expected ? "as expected" : "WRONG VERDICTS",
+                deterministic ? "" : ", NONDETERMINISTIC");
+  }
+
+  std::printf("\n%s\n", ok ? "all worker counts agree with the sequential "
+                             "reference in submission order"
+                           : "MISMATCH between worker counts");
+  return ok ? 0 : 1;
+}

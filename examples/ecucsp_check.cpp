@@ -1,16 +1,31 @@
-// ecucsp_check: a command-line refinement checker for CSPm scripts — the
-// library's stand-in for invoking FDR on a .csp file.
+// ecucsp_check: a command-line refinement checker — the library's stand-in
+// for invoking FDR on a .csp file, now with FDR-cluster-style batching.
 //
-//   $ ./ecucsp_check model.csp [more.csp ...]
+//   $ ./ecucsp_check model.csp [more.csp ...]         # sequential, one Context
+//   $ ./ecucsp_check --jobs 8 model.csp [more.csp...] # one worker per assert
+//   $ ./ecucsp_check --jobs 8 --matrix                # built-in OTA R01-R05
+//                                                     #   x attacker matrix
 //
-// Loads each script into one shared Context (so an extracted implementation
-// model and a hand-written specification file can be checked together) and
-// runs every 'assert'. Exit code 0 iff all assertions pass.
+// Sequential mode loads every script into one shared Context (so an
+// extracted implementation model and a hand-written specification file can
+// be checked together) and runs every 'assert' in order. With --jobs N the
+// assertions become independent CheckTasks: each worker re-loads the
+// scripts into its own fresh Context and runs exactly one assertion, which
+// is safe because Contexts are never shared across tasks (core/context.hpp)
+// and scripts are pure declarations. --matrix instead runs the paper's
+// Table III requirement suite against all three attacker models in
+// parallel. Exit code 0 iff all checks come out as expected.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "cspm/eval.hpp"
+#include "verify/ota_batch.hpp"
+#include "verify/scheduler.hpp"
 
 using namespace ecucsp;
 
@@ -24,24 +39,129 @@ std::string slurp(const char* path) {
   return out.str();
 }
 
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] <script.csp> [script2.csp ...]\n"
+      "       %s [options] --matrix\n"
+      "Runs every 'assert' in the given CSPm scripts, or the built-in OTA\n"
+      "requirement x attacker matrix.\n"
+      "  --jobs N       run checks in parallel on N workers (0 = all cores;\n"
+      "                 default: sequential single-Context mode)\n"
+      "  --timeout MS   per-check wall-clock budget in milliseconds\n"
+      "  --max-states N per-check state budget (default 2^22)\n",
+      argv0, argv0);
+  return 2;
+}
+
+int report(const verify::BatchResult& batch) {
+  int unexpected = 0;
+  for (const verify::TaskOutcome& o : batch.outcomes) {
+    std::printf("check %-58.58s %s  (%zu states, %.1f ms)%s\n", o.name.c_str(),
+                std::string(verify::to_string(o.status)).c_str(),
+                o.stats.impl_states, o.wall.count() / 1e6,
+                o.as_expected() ? "" : "  UNEXPECTED");
+    if (!o.counterexample.empty()) std::printf("  %s\n", o.counterexample.c_str());
+    if (!o.error.empty()) std::printf("  %s\n", o.error.c_str());
+    if (!o.as_expected()) ++unexpected;
+  }
+  std::printf(
+      "%zu check(s): %zu passed, %zu failed, %zu timed out, %zu error(s); "
+      "wall %.1f ms, cpu %.1f ms, speedup %.2fx\n",
+      batch.outcomes.size(), batch.count(verify::TaskStatus::Passed),
+      batch.count(verify::TaskStatus::Failed),
+      batch.count(verify::TaskStatus::TimedOut),
+      batch.count(verify::TaskStatus::Error) +
+          batch.count(verify::TaskStatus::StateLimit),
+      batch.wall.count() / 1e6, batch.cpu.count() / 1e6, batch.speedup());
+  return unexpected == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <script.csp> [script2.csp ...]\n"
-                 "Runs every 'assert' in the given CSPm scripts.\n",
-                 argv[0]);
-    return 2;
-  }
-  Context ctx;
-  cspm::Evaluator ev(ctx);
-  try {
-    for (int i = 1; i < argc; ++i) {
-      ev.load_source(slurp(argv[i]));
-      std::printf("loaded %s\n", argv[i]);
+  bool parallel = false;
+  bool matrix = false;
+  unsigned jobs = 1;
+  std::optional<std::chrono::milliseconds> timeout;
+  std::size_t max_states = 1u << 22;
+  std::vector<const char*> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      parallel = true;
+      jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+      timeout = std::chrono::milliseconds(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--max-states") == 0 && i + 1 < argc) {
+      max_states = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--matrix") == 0) {
+      matrix = true;
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      paths.push_back(argv[i]);
     }
-    const auto results = ev.check_assertions();
+  }
+  if (!matrix && paths.empty()) return usage(argv[0]);
+
+  try {
+    if (matrix) {
+      verify::OtaMatrixOptions opts;
+      opts.timeout = timeout;
+      opts.max_states = max_states;
+      std::vector<verify::CheckTask> tasks =
+          verify::ota_requirement_matrix(opts);
+      for (verify::CheckTask& t : verify::ota_extended_batch(opts)) {
+        tasks.push_back(std::move(t));
+      }
+      verify::VerifyScheduler sched({.jobs = parallel ? jobs : 1});
+      std::printf("OTA requirement x attacker matrix on %u worker(s)\n",
+                  sched.jobs());
+      return report(sched.run(tasks));
+    }
+
+    if (parallel) {
+      // One task per assertion; every worker re-loads the scripts into its
+      // own Context. Count the assertions with a throwaway evaluator first.
+      std::vector<std::string> sources;
+      for (const char* p : paths) sources.push_back(slurp(p));
+      std::size_t n_asserts = 0;
+      {
+        Context ctx;
+        cspm::Evaluator ev(ctx);
+        for (const std::string& s : sources) ev.load_source(s);
+        n_asserts = ev.assertion_count();
+      }
+      if (n_asserts == 0) {
+        std::printf("no assertions found\n");
+        return 0;
+      }
+      std::vector<verify::CheckTask> tasks(n_asserts);
+      for (std::size_t i = 0; i < n_asserts; ++i) {
+        tasks[i].name = "assert #" + std::to_string(i + 1);
+        tasks[i].sources = sources;
+        tasks[i].assertion_index = i;
+        tasks[i].timeout = timeout;
+        tasks[i].max_states = max_states;
+        // A user assertion is expected to hold, so a failure (or timeout)
+        // drives the exit code just as it does in sequential mode.
+        tasks[i].expected = true;
+      }
+      verify::VerifyScheduler sched({.jobs = jobs});
+      std::printf("%zu assertion(s) on %u worker(s)\n", n_asserts,
+                  sched.jobs());
+      return report(sched.run(tasks));
+    }
+
+    // Sequential legacy mode: one shared Context, assertions in order.
+    Context ctx;
+    cspm::Evaluator ev(ctx);
+    for (const char* p : paths) {
+      ev.load_source(slurp(p));
+      std::printf("loaded %s\n", p);
+    }
+    const auto results = ev.check_assertions(max_states);
     if (results.empty()) {
       std::printf("no assertions found\n");
       return 0;

@@ -7,8 +7,17 @@
 // normalisation, refinement checking, the CSPm evaluator, the CAPL model
 // extractor — works against a Context.
 //
-// Contexts are deliberately not thread-safe: one verification task = one
-// Context. Run independent checks on independent Contexts.
+// Threading contract — this is what makes src/verify's task-level
+// parallelism lock-free:
+//   * A Context is deliberately NOT thread-safe. Every method, including
+//     const ones, may touch the interner/arena caches.
+//   * One verification task = one Context, built and destroyed on the
+//     worker thread that runs the task. Nothing that borrows from a
+//     Context (ProcessRef, EventId, Counterexample, compiled Lts) may
+//     outlive it or cross to another thread; flatten to plain strings
+//     first (see verify::render).
+//   * Run independent checks on independent Contexts. Two threads may each
+//     own a Context; two threads must never share one, even read-only.
 #pragma once
 
 #include <deque>

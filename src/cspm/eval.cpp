@@ -159,41 +159,49 @@ CVal Evaluator::evaluate_expression(const std::string& source) {
 
 std::vector<AssertionResult> Evaluator::check_assertions(std::size_t max_states) {
   std::vector<AssertionResult> out;
-  for (const AssertionAst* a : assertions_) {
-    AssertionResult r;
-    r.kind = a->kind;
-    r.line = a->line;
-    const ProcessRef lhs = eval_process(*a->lhs, {});
-    switch (a->kind) {
-      case AssertionAst::Kind::RefinesT:
-      case AssertionAst::Kind::RefinesF:
-      case AssertionAst::Kind::RefinesFD: {
-        const ProcessRef rhs = eval_process(*a->rhs, {});
-        const Model m = a->kind == AssertionAst::Kind::RefinesT ? Model::Traces
-                        : a->kind == AssertionAst::Kind::RefinesF
-                            ? Model::Failures
-                            : Model::FailuresDivergences;
-        r.description = print_expr(*a->lhs) + " [" + ecucsp::to_string(m) +
-                        "= " + print_expr(*a->rhs);
-        r.result = check_refinement(ctx_, lhs, rhs, m, max_states);
-        break;
-      }
-      case AssertionAst::Kind::DeadlockFree:
-        r.description = print_expr(*a->lhs) + " :[deadlock free]";
-        r.result = check_deadlock_free(ctx_, lhs, max_states);
-        break;
-      case AssertionAst::Kind::DivergenceFree:
-        r.description = print_expr(*a->lhs) + " :[divergence free]";
-        r.result = check_divergence_free(ctx_, lhs, max_states);
-        break;
-      case AssertionAst::Kind::Deterministic:
-        r.description = print_expr(*a->lhs) + " :[deterministic]";
-        r.result = check_deterministic(ctx_, lhs, max_states);
-        break;
-    }
-    out.push_back(std::move(r));
+  out.reserve(assertions_.size());
+  for (std::size_t i = 0; i < assertions_.size(); ++i) {
+    out.push_back(check_assertion(i, max_states));
   }
   return out;
+}
+
+AssertionResult Evaluator::check_assertion(std::size_t index,
+                                           std::size_t max_states,
+                                           CancelToken* cancel) {
+  const AssertionAst* a = assertions_.at(index);
+  AssertionResult r;
+  r.kind = a->kind;
+  r.line = a->line;
+  const ProcessRef lhs = eval_process(*a->lhs, {});
+  switch (a->kind) {
+    case AssertionAst::Kind::RefinesT:
+    case AssertionAst::Kind::RefinesF:
+    case AssertionAst::Kind::RefinesFD: {
+      const ProcessRef rhs = eval_process(*a->rhs, {});
+      const Model m = a->kind == AssertionAst::Kind::RefinesT ? Model::Traces
+                      : a->kind == AssertionAst::Kind::RefinesF
+                          ? Model::Failures
+                          : Model::FailuresDivergences;
+      r.description = print_expr(*a->lhs) + " [" + ecucsp::to_string(m) +
+                      "= " + print_expr(*a->rhs);
+      r.result = check_refinement(ctx_, lhs, rhs, m, max_states, cancel);
+      break;
+    }
+    case AssertionAst::Kind::DeadlockFree:
+      r.description = print_expr(*a->lhs) + " :[deadlock free]";
+      r.result = check_deadlock_free(ctx_, lhs, max_states, cancel);
+      break;
+    case AssertionAst::Kind::DivergenceFree:
+      r.description = print_expr(*a->lhs) + " :[divergence free]";
+      r.result = check_divergence_free(ctx_, lhs, max_states, cancel);
+      break;
+    case AssertionAst::Kind::Deterministic:
+      r.description = print_expr(*a->lhs) + " :[deterministic]";
+      r.result = check_deterministic(ctx_, lhs, max_states, cancel);
+      break;
+  }
+  return r;
 }
 
 // --- lookup & calls ------------------------------------------------------------------
@@ -239,6 +247,18 @@ CVal Evaluator::reference_definition(const DefinitionAst& def,
       return CVal::of_process(ctx_.var(def.name, key.args));
     }
     if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+    // Each distinct in-flight instantiation deepens the eager unfolding by
+    // one C++ stack frame; only a reference to an instantiation already in
+    // progress is tied lazily. A definition recursing through an unbounded
+    // argument (COUNT(n) = a -> COUNT(n+1)) would therefore overflow the
+    // stack — fail with a diagnosable error well before that.
+    constexpr std::size_t kMaxInstantiationDepth = 1000;
+    if (in_progress_.size() >= kMaxInstantiationDepth) {
+      error(where, "'" + def.name +
+                       "' exceeds the maximum process-instantiation depth (" +
+                       std::to_string(kMaxInstantiationDepth) +
+                       "); recursion through an unbounded argument?");
+    }
     Env env;
     for (std::size_t i = 0; i < args.size(); ++i) {
       env[def.params[i]] = args[i];

@@ -99,6 +99,16 @@ class Evaluator {
   std::vector<AssertionResult> check_assertions(
       std::size_t max_states = 1u << 22);
 
+  /// Number of 'assert' declarations across the loaded scripts.
+  std::size_t assertion_count() const { return assertions_.size(); }
+
+  /// Run a single assertion by script order. The optional CancelToken is
+  /// polled inside the underlying check; this is what lets the src/verify
+  /// scheduler run one assertion per worker with a per-check deadline.
+  AssertionResult check_assertion(std::size_t index,
+                                  std::size_t max_states = 1u << 22,
+                                  CancelToken* cancel = nullptr);
+
   Context& context() { return ctx_; }
 
  private:

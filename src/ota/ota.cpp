@@ -150,33 +150,42 @@ std::unique_ptr<OtaModel> build_ota_model() {
   return model;
 }
 
-CheckResult check_requirement(OtaModel& model, std::string_view id) {
+CheckResult check_requirement_on(OtaModel& model, std::string_view id,
+                                 ProcessRef system) {
   Context& ctx = model.ctx;
   if (id == "R01") {
     // The very first network action is the inventory request.
     const ProcessRef spec =
         ctx.prefix(model.send_reqSw, ctx.run(ctx.alphabet()));
-    return check_refinement(ctx, spec, model.system_plain, Model::Traces);
+    return check_refinement(ctx, spec, system, Model::Traces);
   }
   if (id == "R02") {
-    return security::check_response(ctx, model.system_plain, model.send_reqSw,
+    return security::check_response(ctx, system, model.send_reqSw,
                                     model.rec_rptSw);
   }
   if (id == "R03") {
-    return security::check_response(ctx, model.system_plain, model.send_reqApp,
+    return security::check_response(ctx, system, model.send_reqApp,
                                     model.install);
   }
   if (id == "R04") {
-    return security::check_response(ctx, model.system_plain, model.install,
+    return security::check_response(ctx, system, model.install,
                                     model.rec_rptUpd);
   }
   if (id == "R05") {
-    // Shared keys make MACs unforgeable: under attack, installation still
-    // requires a genuine update request.
-    return security::check_precedence_witness(
-        ctx, model.system_attacked, model.send_reqApp, model.install);
+    // Installation requires a prior genuine update request.
+    return security::check_precedence_witness(ctx, system, model.send_reqApp,
+                                              model.install);
   }
   throw std::out_of_range("unknown requirement id '" + std::string(id) + "'");
+}
+
+CheckResult check_requirement(OtaModel& model, std::string_view id) {
+  // The paper's default reading: R01-R04 are functional requirements of the
+  // benign system; R05 ("shared keys make MACs unforgeable") is checked on
+  // the MAC-verifying ECU under active attack.
+  const ProcessRef system =
+      id == "R05" ? model.system_attacked : model.system_plain;
+  return check_requirement_on(model, id, system);
 }
 
 // --- extended scope: Update Server (Section VIII-A) ----------------------------

@@ -81,6 +81,13 @@ std::unique_ptr<OtaModel> build_ota_model();
 /// ("R01".."R05"). Throws std::out_of_range for unknown ids.
 CheckResult check_requirement(OtaModel& model, std::string_view id);
 
+/// Same, but against an explicit system variant (`model.system_plain`,
+/// `model.system_attacked` or `model.system_unprotected`). This is what the
+/// src/verify batch scheduler uses to sweep the full requirement x attacker
+/// matrix; check_requirement picks the paper's default pairing.
+CheckResult check_requirement_on(OtaModel& model, std::string_view id,
+                                 ProcessRef system);
+
 // --- extended scope: the Update Server (paper Section VIII-A) ---------------
 //
 // The paper restricts its demonstration to VMG + ECU and names the Update

@@ -119,14 +119,15 @@ bool acceptance_allowed(const NormNode& spec, const EventSet& acceptance) {
 }  // namespace
 
 CheckResult check_refinement(Context& ctx, ProcessRef spec, ProcessRef impl,
-                             Model model, std::size_t max_states) {
+                             Model model, std::size_t max_states,
+                             CancelToken* cancel) {
   CheckResult result;
 
-  const Lts spec_lts = compile_lts(ctx, spec, max_states);
+  const Lts spec_lts = compile_lts(ctx, spec, max_states, cancel);
   const bool with_div = model == Model::FailuresDivergences;
   const NormLts norm = normalize(spec_lts, with_div);
 
-  const Lts impl_lts = compile_lts(ctx, impl, max_states);
+  const Lts impl_lts = compile_lts(ctx, impl, max_states, cancel);
   std::vector<bool> impl_diverges;
   if (with_div) impl_diverges = impl_lts.divergent_states();
 
@@ -164,6 +165,7 @@ CheckResult check_refinement(Context& ctx, ProcessRef spec, ProcessRef impl,
   push(Key{norm.root, impl_lts.root}, -1, TAU);
 
   while (!frontier.empty()) {
+    if (cancel) cancel->poll();
     const std::size_t idx = frontier.front();
     frontier.pop_front();
     const Key key = keys[idx];
@@ -215,9 +217,9 @@ CheckResult check_refinement(Context& ctx, ProcessRef spec, ProcessRef impl,
 }
 
 CheckResult check_deadlock_free(Context& ctx, ProcessRef p,
-                                std::size_t max_states) {
+                                std::size_t max_states, CancelToken* cancel) {
   CheckResult result;
-  const Lts lts = compile_lts(ctx, p, max_states);
+  const Lts lts = compile_lts(ctx, p, max_states, cancel);
   result.stats.impl_states = lts.state_count();
   result.stats.impl_transitions = lts.transition_count();
 
@@ -264,9 +266,10 @@ CheckResult check_deadlock_free(Context& ctx, ProcessRef p,
 }
 
 CheckResult check_divergence_free(Context& ctx, ProcessRef p,
-                                  std::size_t max_states) {
+                                  std::size_t max_states,
+                                  CancelToken* cancel) {
   CheckResult result;
-  const Lts lts = compile_lts(ctx, p, max_states);
+  const Lts lts = compile_lts(ctx, p, max_states, cancel);
   result.stats.impl_states = lts.state_count();
   result.stats.impl_transitions = lts.transition_count();
   const std::vector<bool> diverges = lts.divergent_states();
@@ -305,9 +308,9 @@ CheckResult check_divergence_free(Context& ctx, ProcessRef p,
 }
 
 CheckResult check_deterministic(Context& ctx, ProcessRef p,
-                                std::size_t max_states) {
+                                std::size_t max_states, CancelToken* cancel) {
   CheckResult result;
-  const Lts lts = compile_lts(ctx, p, max_states);
+  const Lts lts = compile_lts(ctx, p, max_states, cancel);
   result.stats.impl_states = lts.state_count();
   result.stats.impl_transitions = lts.transition_count();
   const NormLts norm = normalize(lts, /*with_divergence=*/true);
@@ -319,6 +322,8 @@ CheckResult check_deterministic(Context& ctx, ProcessRef p,
   std::deque<NormId> frontier{norm.root};
   seen[norm.root] = true;
   edges[norm.root] = {-1, TAU};
+  // Normal-form edges carry visible events only, so unlike rebuild_trace
+  // there is no tau to elide: every non-root edge contributes to the trace.
   const auto trace_to = [&](NormId n) {
     std::vector<EventId> trace;
     std::int64_t at = n;
@@ -328,9 +333,6 @@ CheckResult check_deterministic(Context& ctx, ProcessRef p,
       at = e.parent;
     }
     std::reverse(trace.begin(), trace.end());
-    if (!trace.empty() && edges[norm.root].parent == -1 && trace.size() > 0) {
-      // root has no inbound event; nothing to strip (events stored per edge)
-    }
     return trace;
   };
 

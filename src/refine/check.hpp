@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/context.hpp"
 #include "refine/lts.hpp"
 #include "refine/normalize.hpp"
@@ -65,15 +66,25 @@ struct CheckResult {
 };
 
 /// Does `impl` refine `spec` in the given semantic model?
+///
+/// All check entry points take an optional CancelToken. When given it is
+/// polled periodically inside every exploration loop (LTS compilation and
+/// the product-space BFS); a fired token aborts the check by throwing
+/// CheckCancelled. This is the hook the src/verify batch scheduler uses to
+/// impose per-check wall-clock deadlines without pre-empting threads.
 CheckResult check_refinement(Context& ctx, ProcessRef spec, ProcessRef impl,
-                             Model model, std::size_t max_states = 1u << 22);
+                             Model model, std::size_t max_states = 1u << 22,
+                             CancelToken* cancel = nullptr);
 
 CheckResult check_deadlock_free(Context& ctx, ProcessRef p,
-                                std::size_t max_states = 1u << 22);
+                                std::size_t max_states = 1u << 22,
+                                CancelToken* cancel = nullptr);
 CheckResult check_divergence_free(Context& ctx, ProcessRef p,
-                                  std::size_t max_states = 1u << 22);
+                                  std::size_t max_states = 1u << 22,
+                                  CancelToken* cancel = nullptr);
 CheckResult check_deterministic(Context& ctx, ProcessRef p,
-                                std::size_t max_states = 1u << 22);
+                                std::size_t max_states = 1u << 22,
+                                CancelToken* cancel = nullptr);
 
 /// All finite traces of `p` up to the given length, visible events only.
 /// Exponential; intended for tests and the attack-tree semantics checks.

@@ -4,8 +4,10 @@
 
 namespace ecucsp {
 
-Lts compile_lts(Context& ctx, ProcessRef root, std::size_t max_states) {
+Lts compile_lts(Context& ctx, ProcessRef root, std::size_t max_states,
+                CancelToken* cancel) {
   Lts lts;
+  if (cancel) cancel->poll_now();
   std::unordered_map<ProcessRef, StateId> ids;
 
   const auto state_of = [&](ProcessRef term) -> StateId {
@@ -24,6 +26,7 @@ Lts compile_lts(Context& ctx, ProcessRef root, std::size_t max_states) {
   // term_of grows as we discover states; process it like a worklist.
   std::vector<bool> expanded;
   while (!frontier.empty()) {
+    if (cancel) cancel->poll();
     const StateId s = frontier.front();
     frontier.pop_front();
     if (s < expanded.size() && expanded[s]) continue;

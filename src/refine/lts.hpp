@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/context.hpp"
 
 namespace ecucsp {
@@ -50,7 +51,11 @@ class StateLimitExceeded : public std::runtime_error {
 };
 
 /// Explore `root` breadth-first. Throws StateLimitExceeded beyond max_states.
+/// If `cancel` is given it is polled periodically during exploration and the
+/// search aborts with CheckCancelled when the token fires — compilation is
+/// the dominant cost of a check, so this is where deadlines mostly trip.
 Lts compile_lts(Context& ctx, ProcessRef root,
-                std::size_t max_states = 1u << 22);
+                std::size_t max_states = 1u << 22,
+                CancelToken* cancel = nullptr);
 
 }  // namespace ecucsp

@@ -1,0 +1,157 @@
+#include "verify/ota_batch.hpp"
+
+#include <iterator>
+
+#include "ota/ota.hpp"
+
+namespace ecucsp::verify {
+
+std::string_view to_string(AttackerVariant v) {
+  switch (v) {
+    case AttackerVariant::None:
+      return "no attacker";
+    case AttackerVariant::MacEcu:
+      return "attack vs MAC ECU";
+    case AttackerVariant::UnprotectedEcu:
+      return "attack vs open ECU";
+  }
+  return "?";
+}
+
+namespace {
+
+ProcessRef system_of(ota::OtaModel& m, AttackerVariant v) {
+  switch (v) {
+    case AttackerVariant::None:
+      return m.system_plain;
+    case AttackerVariant::MacEcu:
+      return m.system_attacked;
+    case AttackerVariant::UnprotectedEcu:
+      return m.system_unprotected;
+  }
+  return m.system_plain;
+}
+
+/// system ||| (k hidden three-phase cyclers). The cyclers touch a private
+/// channel only and are hidden, so every visible trace — and hence every
+/// verdict of the trace-model requirement checks — is untouched, while the
+/// interleaving multiplies the explored product space by ~3^k.
+ProcessRef dilate(Context& ctx, ProcessRef system, std::size_t k) {
+  if (k == 0) return system;
+  std::vector<Value> ids, phases;
+  for (std::size_t i = 0; i < k; ++i) ids.push_back(Value::integer(static_cast<std::int64_t>(i)));
+  for (int p = 0; p < 3; ++p) phases.push_back(Value::integer(p));
+  const ChannelId dil = ctx.channel("verify_dil", {ids, phases});
+
+  ctx.define("VERIFY_DIL", [dil](Context& cx, std::span<const Value> args) {
+    const Value id = args[0];
+    const std::int64_t phase = args[1].as_int();
+    const std::int64_t next = (phase + 1) % 3;
+    return cx.prefix(cx.event(dil, {id, Value::integer(phase)}),
+                     cx.var("VERIFY_DIL", {id, Value::integer(next)}));
+  });
+
+  ProcessRef cyclers = ctx.var("VERIFY_DIL", {ids[0], Value::integer(0)});
+  for (std::size_t i = 1; i < k; ++i) {
+    cyclers = ctx.interleave(
+        cyclers, ctx.var("VERIFY_DIL", {ids[i], Value::integer(0)}));
+  }
+  return ctx.hide(ctx.interleave(system, cyclers), ctx.events_of(dil));
+}
+
+}  // namespace
+
+std::vector<CheckTask> ota_requirement_matrix(OtaMatrixOptions options) {
+  // Ground truth for every cell, pinned by tests/verify_scheduler_test.cpp
+  // and re-verified on every bench run.
+  struct Cell {
+    const char* id;
+    AttackerVariant variant;
+    bool expected;
+  };
+  const Cell cells[] = {
+      // R01: the inventory request is the first network action. An active
+      // injector can always put a forged frame on the bus first, so R01 is a
+      // benign-environment requirement only.
+      {"R01", AttackerVariant::None, true},
+      {"R01", AttackerVariant::MacEcu, false},
+      {"R01", AttackerVariant::UnprotectedEcu, false},
+      // R02: every inventory request is answered by a diagnosis report.
+      // Holds even for the open ECU: its reply to a forged request is a
+      // *genuine* report, which the VMG only synchronises on after having
+      // sent a genuine request — the bus handshake masks the gullibility.
+      {"R02", AttackerVariant::None, true},
+      {"R02", AttackerVariant::MacEcu, true},
+      {"R02", AttackerVariant::UnprotectedEcu, true},
+      // R03: update requests lead to installation; the open ECU installs on
+      // forged requests, so installation precedes the genuine request.
+      {"R03", AttackerVariant::None, true},
+      {"R03", AttackerVariant::MacEcu, true},
+      {"R03", AttackerVariant::UnprotectedEcu, false},
+      // R04: every installation is reported back.
+      {"R04", AttackerVariant::None, true},
+      {"R04", AttackerVariant::MacEcu, true},
+      {"R04", AttackerVariant::UnprotectedEcu, true},
+      // R05: installation only after a genuine update request — the paper's
+      // headline MAC argument, and its failure mode without verification.
+      {"R05", AttackerVariant::None, true},
+      {"R05", AttackerVariant::MacEcu, true},
+      {"R05", AttackerVariant::UnprotectedEcu, false},
+  };
+
+  std::vector<CheckTask> tasks;
+  tasks.reserve(std::size(cells));
+  for (const Cell& cell : cells) {
+    CheckTask t;
+    t.name = std::string(cell.id) + " / " + std::string(to_string(cell.variant));
+    t.expected = cell.expected;
+    t.timeout = options.timeout;
+    t.max_states = options.max_states;
+    const std::string id = cell.id;
+    const AttackerVariant variant = cell.variant;
+    const std::size_t dilation = options.dilation;
+    const std::size_t max_states = options.max_states;
+    t.custom = [id, variant, dilation, max_states](CancelToken& token) {
+      token.poll_now();
+      auto m = ota::build_ota_model();
+      const ProcessRef system =
+          dilate(m->ctx, system_of(*m, variant), dilation);
+      // The requirement builders run plain check_refinement internally; the
+      // compile of the (possibly dilated) system dominates, so pre-compiling
+      // it here under the token gives timeouts a hook into custom tasks too.
+      compile_lts(m->ctx, system, max_states, &token);
+      return render(m->ctx, ota::check_requirement_on(*m, id, system));
+    };
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+std::vector<CheckTask> ota_extended_batch(OtaMatrixOptions options) {
+  struct Prop {
+    const char* id;
+    bool expected;
+  };
+  const Prop props[] = {
+      {"E1", true}, {"E2", true}, {"E3", true}, {"E4", true}, {"E5", false},
+  };
+  std::vector<CheckTask> tasks;
+  tasks.reserve(std::size(props));
+  for (const Prop& p : props) {
+    CheckTask t;
+    t.name = std::string("extended ") + p.id;
+    t.expected = p.expected;
+    t.timeout = options.timeout;
+    t.max_states = options.max_states;
+    const std::string id = p.id;
+    t.custom = [id](CancelToken& token) {
+      token.poll_now();
+      auto m = ota::build_ota_extended_model();
+      return render(m->ctx, ota::check_extended_property(*m, id));
+    };
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+}  // namespace ecucsp::verify

@@ -349,5 +349,17 @@ TEST_F(CspmEvalTest, SetComprehensionInProcessContext) {
   EXPECT_EQ(ctx.transitions(ev.process("P")).size(), 4u);  // 0,3,6,9
 }
 
+TEST_F(CspmEvalTest, UnboundedParameterRecursionIsAnErrorNotACrash) {
+  // Each distinct instantiation unfolds eagerly (only an already-in-progress
+  // key is tied lazily), so COUNT(n) = a -> COUNT(n+1) would chase n to
+  // infinity and overflow the C++ stack. The evaluator must refuse with a
+  // diagnosable error instead; the verify scheduler maps it to TaskStatus::
+  // Error and keeps the worker alive.
+  ev.load_source(
+      "channel a\n"
+      "COUNT(n) = a -> COUNT(n+1)\n");
+  EXPECT_THROW(ev.evaluate_expression("COUNT(0)"), EvalError);
+}
+
 }  // namespace
 }  // namespace ecucsp::cspm

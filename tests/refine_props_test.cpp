@@ -1,0 +1,391 @@
+// Property-based tests, second wave: algebraic laws of CSP checked on
+// randomly generated terms, complementing refine_laws_test.cpp with the
+// unit/zero/distribution laws and the monotonicity (pre-congruence)
+// properties the verify scheduler's determinism argument leans on.
+//
+// The generator is a small seeded PRNG over a four-event alphabet; every
+// assertion message carries the seed so failures reproduce exactly. Each
+// law runs across TERMS_PER_SEED terms x 50 seeds = 200 generated terms.
+//
+// Tick discipline: laws stated over "tick-free" terms (no SKIP, no
+// sequencing) are exactly the ones distributed termination would break —
+// e.g. P ||| STOP = P fails for P = SKIP because STOP never agrees to
+// terminate. The generator has a tick_free mode for those laws.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "refine/check.hpp"
+
+namespace ecucsp {
+namespace {
+
+constexpr int TERMS_PER_SEED = 4;  // x 50 seeds = 200 terms per law
+
+struct TermGen {
+  Context& ctx;
+  std::mt19937 rng;
+  std::vector<EventId> alphabet;
+  bool tick_free = false;
+
+  TermGen(Context& c, unsigned seed, bool tick_free_mode = false)
+      : ctx(c), rng(seed), tick_free(tick_free_mode) {
+    for (const char* name : {"a", "b", "c", "d"}) {
+      alphabet.push_back(ctx.event(ctx.channel(name)));
+    }
+  }
+
+  EventId event() {
+    return alphabet[std::uniform_int_distribution<std::size_t>(
+        0, alphabet.size() - 1)(rng)];
+  }
+
+  EventSet event_set() {
+    std::vector<EventId> out;
+    for (EventId e : alphabet) {
+      if (std::uniform_int_distribution<int>(0, 1)(rng)) out.push_back(e);
+    }
+    return EventSet(std::move(out));
+  }
+
+  ProcessRef process(int depth) {
+    // Leaves only at depth 0; SKIP/seq excluded in tick-free mode.
+    const int max_pick = depth <= 0 ? (tick_free ? 1 : 2) : (tick_free ? 8 : 10);
+    switch (std::uniform_int_distribution<int>(0, max_pick)(rng)) {
+      case 0:
+        return ctx.stop();
+      case 1:
+        return ctx.prefix(event(),
+                          depth <= 0 ? ctx.stop() : process(depth - 1));
+      case 2:
+        return tick_free ? ctx.ext_choice(process(depth - 1), process(depth - 1))
+                         : ctx.skip();
+      case 3:
+        return ctx.ext_choice(process(depth - 1), process(depth - 1));
+      case 4:
+        return ctx.int_choice(process(depth - 1), process(depth - 1));
+      case 5:
+        return ctx.par(process(depth - 1), event_set(), process(depth - 1));
+      case 6:
+        return ctx.interleave(process(depth - 1), process(depth - 1));
+      case 7:
+        return ctx.hide(process(depth - 1), event_set());
+      case 8: {
+        const EventId from = event();
+        const EventId to = event();
+        return ctx.rename(process(depth - 1), {{from, to}});
+      }
+      case 9:
+        return ctx.sliding(process(depth - 1), process(depth - 1));
+      default:
+        return ctx.seq(process(depth - 1), process(depth - 1));
+    }
+  }
+};
+
+bool equiv(Context& ctx, ProcessRef p, ProcessRef q, Model m) {
+  return check_refinement(ctx, p, q, m).passed &&
+         check_refinement(ctx, q, p, m).passed;
+}
+
+class RefineProps : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RefineProps, ExternalChoiceIsIdempotent) {
+  // P [] P =T P; also =F (both copies resolve identically, so the refusals
+  // of the choice are exactly P's).
+  Context ctx;
+  TermGen gen(ctx, GetParam());
+  for (int i = 0; i < TERMS_PER_SEED; ++i) {
+    const ProcessRef p = gen.process(3);
+    EXPECT_TRUE(equiv(ctx, ctx.ext_choice(p, p), p, Model::Traces))
+        << "seed=" << GetParam() << " term=" << i;
+    EXPECT_TRUE(equiv(ctx, ctx.ext_choice(p, p), p, Model::Failures))
+        << "seed=" << GetParam() << " term=" << i;
+  }
+}
+
+TEST_P(RefineProps, InterleaveUnitIsStopForTickFreeTerms) {
+  // P ||| STOP =T P for tick-free P. (With termination the law fails:
+  // SKIP ||| STOP cannot tick, so SKIP's <tick> trace disappears.)
+  Context ctx;
+  TermGen gen(ctx, GetParam(), /*tick_free=*/true);
+  for (int i = 0; i < TERMS_PER_SEED; ++i) {
+    const ProcessRef p = gen.process(3);
+    EXPECT_TRUE(equiv(ctx, ctx.interleave(p, ctx.stop()), p, Model::Traces))
+        << "seed=" << GetParam() << " term=" << i;
+  }
+}
+
+TEST_P(RefineProps, InterleaveIsCommutative) {
+  Context ctx;
+  TermGen gen(ctx, GetParam());
+  for (int i = 0; i < TERMS_PER_SEED; ++i) {
+    const ProcessRef p = gen.process(2);
+    const ProcessRef q = gen.process(2);
+    EXPECT_TRUE(
+        equiv(ctx, ctx.interleave(p, q), ctx.interleave(q, p), Model::Failures))
+        << "seed=" << GetParam() << " term=" << i;
+  }
+}
+
+TEST_P(RefineProps, InterleaveIsAssociative) {
+  Context ctx;
+  TermGen gen(ctx, GetParam());
+  for (int i = 0; i < TERMS_PER_SEED; ++i) {
+    const ProcessRef p = gen.process(2);
+    const ProcessRef q = gen.process(2);
+    const ProcessRef r = gen.process(2);
+    EXPECT_TRUE(equiv(ctx, ctx.interleave(ctx.interleave(p, q), r),
+                      ctx.interleave(p, ctx.interleave(q, r)), Model::Traces))
+        << "seed=" << GetParam() << " term=" << i;
+  }
+}
+
+TEST_P(RefineProps, ExternalChoiceIsCommutativeInTraces) {
+  Context ctx;
+  TermGen gen(ctx, GetParam());
+  for (int i = 0; i < TERMS_PER_SEED; ++i) {
+    const ProcessRef p = gen.process(2);
+    const ProcessRef q = gen.process(2);
+    EXPECT_TRUE(
+        equiv(ctx, ctx.ext_choice(p, q), ctx.ext_choice(q, p), Model::Traces))
+        << "seed=" << GetParam() << " term=" << i;
+  }
+}
+
+TEST_P(RefineProps, ExternalChoiceIsAssociativeInTraces) {
+  Context ctx;
+  TermGen gen(ctx, GetParam());
+  for (int i = 0; i < TERMS_PER_SEED; ++i) {
+    const ProcessRef p = gen.process(2);
+    const ProcessRef q = gen.process(2);
+    const ProcessRef r = gen.process(2);
+    EXPECT_TRUE(equiv(ctx, ctx.ext_choice(ctx.ext_choice(p, q), r),
+                      ctx.ext_choice(p, ctx.ext_choice(q, r)), Model::Traces))
+        << "seed=" << GetParam() << " term=" << i;
+  }
+}
+
+TEST_P(RefineProps, HidingNothingIsIdentity) {
+  // P \ {} = P in every model: no event is renamed to tau.
+  Context ctx;
+  TermGen gen(ctx, GetParam());
+  for (int i = 0; i < TERMS_PER_SEED; ++i) {
+    const ProcessRef p = gen.process(3);
+    const ProcessRef hidden = ctx.hide(p, EventSet{});
+    EXPECT_TRUE(equiv(ctx, hidden, p, Model::Traces))
+        << "seed=" << GetParam() << " term=" << i;
+    EXPECT_TRUE(equiv(ctx, hidden, p, Model::Failures))
+        << "seed=" << GetParam() << " term=" << i;
+  }
+}
+
+TEST_P(RefineProps, HidingComposesAsUnion) {
+  // (P \ A) \ B =T P \ (A u B).
+  Context ctx;
+  TermGen gen(ctx, GetParam());
+  for (int i = 0; i < TERMS_PER_SEED; ++i) {
+    const ProcessRef p = gen.process(2);
+    const EventSet a = gen.event_set();
+    const EventSet b = gen.event_set();
+    EXPECT_TRUE(equiv(ctx, ctx.hide(ctx.hide(p, a), b),
+                      ctx.hide(p, a.set_union(b)), Model::Traces))
+        << "seed=" << GetParam() << " term=" << i;
+  }
+}
+
+TEST_P(RefineProps, PrefixDistributesOverInternalChoice) {
+  // a -> (P |~| Q) =F (a -> P) |~| (a -> Q).
+  Context ctx;
+  TermGen gen(ctx, GetParam());
+  for (int i = 0; i < TERMS_PER_SEED; ++i) {
+    const ProcessRef p = gen.process(2);
+    const ProcessRef q = gen.process(2);
+    const EventId a = gen.event();
+    EXPECT_TRUE(equiv(ctx, ctx.prefix(a, ctx.int_choice(p, q)),
+                      ctx.int_choice(ctx.prefix(a, p), ctx.prefix(a, q)),
+                      Model::Failures))
+        << "seed=" << GetParam() << " term=" << i;
+  }
+}
+
+TEST_P(RefineProps, InternalChoiceIsAssociative) {
+  Context ctx;
+  TermGen gen(ctx, GetParam());
+  for (int i = 0; i < TERMS_PER_SEED; ++i) {
+    const ProcessRef p = gen.process(2);
+    const ProcessRef q = gen.process(2);
+    const ProcessRef r = gen.process(2);
+    EXPECT_TRUE(equiv(ctx, ctx.int_choice(ctx.int_choice(p, q), r),
+                      ctx.int_choice(p, ctx.int_choice(q, r)),
+                      Model::Failures))
+        << "seed=" << GetParam() << " term=" << i;
+  }
+}
+
+TEST_P(RefineProps, InternalChoiceRefinesBothOperands) {
+  // P |~| Q is refined by P and by Q in every model (resolution of the
+  // choice), and conversely refines neither unless they are equivalent.
+  Context ctx;
+  TermGen gen(ctx, GetParam());
+  for (int i = 0; i < TERMS_PER_SEED; ++i) {
+    const ProcessRef p = gen.process(2);
+    const ProcessRef q = gen.process(2);
+    const ProcessRef both = ctx.int_choice(p, q);
+    for (Model m : {Model::Traces, Model::Failures}) {
+      EXPECT_TRUE(check_refinement(ctx, both, p, m).passed)
+          << "seed=" << GetParam() << " term=" << i << " model=" << to_string(m);
+      EXPECT_TRUE(check_refinement(ctx, both, q, m).passed)
+          << "seed=" << GetParam() << " term=" << i << " model=" << to_string(m);
+    }
+  }
+}
+
+TEST_P(RefineProps, RunIsTheTopOfTraceRefinement) {
+  // TOP = ([] e:Sigma @ e -> TOP) [> SKIP is the top of the traces order:
+  // its traces are Sigma* plus every member of Sigma* extended with tick.
+  // The recursion matters — plain RUN(Sigma) [> SKIP loses the slide option
+  // after the first event (P [> Q continues as P', not P' [> Q), so it
+  // misses traces like <a, tick>. (RUN ||| SKIP would not work either:
+  // interleaving terminates only when both sides do, and RUN never ticks.)
+  Context ctx;
+  TermGen gen(ctx, GetParam());
+  ctx.define("PROPS_TOP", [&gen](Context& cx, std::span<const Value>) {
+    std::vector<ProcessRef> branches;
+    for (const EventId e : gen.alphabet) {
+      branches.push_back(cx.prefix(e, cx.var("PROPS_TOP")));
+    }
+    return cx.sliding(cx.ext_choice(branches), cx.skip());
+  });
+  const ProcessRef top = ctx.var("PROPS_TOP");
+  for (int i = 0; i < TERMS_PER_SEED; ++i) {
+    const ProcessRef p = gen.process(3);
+    EXPECT_TRUE(check_refinement(ctx, top, p, Model::Traces).passed)
+        << "seed=" << GetParam() << " term=" << i;
+  }
+}
+
+TEST_P(RefineProps, ExternalChoiceIsMonotone) {
+  // Refinement is a pre-congruence: P [=F Q implies P [] R [=F Q [] R.
+  // This is the compositionality fact that lets the batch scheduler check
+  // components independently.
+  Context ctx;
+  TermGen gen(ctx, GetParam());
+  for (int i = 0; i < TERMS_PER_SEED; ++i) {
+    const ProcessRef p = gen.process(2);
+    const ProcessRef q = gen.process(2);
+    const ProcessRef r = gen.process(2);
+    if (check_refinement(ctx, p, q, Model::Failures).passed) {
+      EXPECT_TRUE(check_refinement(ctx, ctx.ext_choice(p, r),
+                                   ctx.ext_choice(q, r), Model::Failures)
+                      .passed)
+          << "seed=" << GetParam() << " term=" << i;
+    }
+  }
+}
+
+TEST_P(RefineProps, InterleaveIsMonotoneInTraces) {
+  Context ctx;
+  TermGen gen(ctx, GetParam());
+  for (int i = 0; i < TERMS_PER_SEED; ++i) {
+    const ProcessRef p = gen.process(2);
+    const ProcessRef q = gen.process(2);
+    const ProcessRef r = gen.process(2);
+    if (check_refinement(ctx, p, q, Model::Traces).passed) {
+      EXPECT_TRUE(check_refinement(ctx, ctx.interleave(p, r),
+                                   ctx.interleave(q, r), Model::Traces)
+                      .passed)
+          << "seed=" << GetParam() << " term=" << i;
+    }
+  }
+}
+
+TEST_P(RefineProps, HidingIsMonotoneInTraces) {
+  Context ctx;
+  TermGen gen(ctx, GetParam());
+  for (int i = 0; i < TERMS_PER_SEED; ++i) {
+    const ProcessRef p = gen.process(2);
+    const ProcessRef q = gen.process(2);
+    const EventSet h = gen.event_set();
+    if (check_refinement(ctx, p, q, Model::Traces).passed) {
+      EXPECT_TRUE(
+          check_refinement(ctx, ctx.hide(p, h), ctx.hide(q, h), Model::Traces)
+              .passed)
+          << "seed=" << GetParam() << " term=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefineProps, ::testing::Range(0u, 50u));
+
+// --- regression pins for counterexample extraction corner cases -------------
+//
+// These pin the empty-trace / immediate-refusal behaviour the property
+// suites exercise implicitly: a violation in the very first state must
+// produce an empty counterexample trace (not a bogus event), and the
+// describe() rendering must stay stable for it.
+
+TEST(CounterexampleCorners, ImmediateTraceViolationHasEmptyTrace) {
+  Context ctx;
+  const EventId a = ctx.event(ctx.channel("a"));
+  const CheckResult r = check_refinement(
+      ctx, ctx.stop(), ctx.prefix(a, ctx.stop()), Model::Traces);
+  ASSERT_FALSE(r.passed);
+  ASSERT_TRUE(r.counterexample.has_value());
+  EXPECT_EQ(r.counterexample->kind, Counterexample::Kind::TraceViolation);
+  EXPECT_TRUE(r.counterexample->trace.empty());
+  EXPECT_EQ(r.counterexample->event, a);
+  EXPECT_EQ(r.counterexample->describe(ctx),
+            "trace violation: after <> the implementation performs 'a', "
+            "which the specification forbids");
+}
+
+TEST(CounterexampleCorners, ImmediateRefusalHasEmptyTraceAndAcceptance) {
+  // Spec insists on offering 'a'; STOP refuses everything at once.
+  Context ctx;
+  const EventId a = ctx.event(ctx.channel("a"));
+  const CheckResult r = check_refinement(ctx, ctx.prefix(a, ctx.stop()),
+                                         ctx.stop(), Model::Failures);
+  ASSERT_FALSE(r.passed);
+  ASSERT_TRUE(r.counterexample.has_value());
+  EXPECT_EQ(r.counterexample->kind, Counterexample::Kind::AcceptanceViolation);
+  EXPECT_TRUE(r.counterexample->trace.empty());
+  EXPECT_TRUE(r.counterexample->impl_acceptance.empty());
+}
+
+TEST(CounterexampleCorners, ImmediateDeadlockHasEmptyTrace) {
+  Context ctx;
+  const CheckResult r = check_deadlock_free(ctx, ctx.stop());
+  ASSERT_FALSE(r.passed);
+  EXPECT_EQ(r.counterexample->kind, Counterexample::Kind::Deadlock);
+  EXPECT_TRUE(r.counterexample->trace.empty());
+}
+
+TEST(CounterexampleCorners, ImmediateDivergenceHasEmptyTrace) {
+  // (a -> P) \ {a} diverges from the very first state.
+  Context ctx;
+  const EventId a = ctx.event(ctx.channel("a"));
+  ctx.define("LOOP_PROPS", [a](Context& cx, std::span<const Value>) {
+    return cx.prefix(a, cx.var("LOOP_PROPS"));
+  });
+  const ProcessRef diverging = ctx.hide(ctx.var("LOOP_PROPS"), EventSet{a});
+  const CheckResult r = check_divergence_free(ctx, diverging);
+  ASSERT_FALSE(r.passed);
+  EXPECT_EQ(r.counterexample->kind, Counterexample::Kind::Divergence);
+  EXPECT_TRUE(r.counterexample->trace.empty());
+}
+
+TEST(CounterexampleCorners, ImmediateNondeterminismHasEmptyTrace) {
+  // a -> STOP |~| b -> STOP is unstable-nondeterministic at the root.
+  Context ctx;
+  const EventId a = ctx.event(ctx.channel("a"));
+  const EventId b = ctx.event(ctx.channel("b"));
+  const CheckResult r = check_deterministic(
+      ctx, ctx.int_choice(ctx.prefix(a, ctx.stop()), ctx.prefix(b, ctx.stop())));
+  ASSERT_FALSE(r.passed);
+  EXPECT_EQ(r.counterexample->kind, Counterexample::Kind::Nondeterminism);
+  EXPECT_TRUE(r.counterexample->trace.empty());
+}
+
+}  // namespace
+}  // namespace ecucsp
