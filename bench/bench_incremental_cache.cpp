@@ -1,0 +1,247 @@
+// Incremental-verification bench: cold vs warm sweeps of the dilated OTA
+// requirement x attacker matrix through the persistent store.
+//
+// This is the perf artifact for the paper's edit-recheck loop: engineers
+// re-run the same requirement matrix after every model edit, so the cost
+// that matters is the *unchanged-rerun* cost. Four sweeps over the same
+// dilated suite:
+//
+//   uncached     no cache installed (the pre-store baseline)
+//   cold         empty cache: every cell explores, then stores
+//   warm-memory  same process: every cell served from the in-process tier
+//   warm-disk    memory tier dropped: every cell decoded from disk
+//
+// Every sweep must agree on verdicts and counterexamples cell for cell;
+// the bench fails (exit 1) on any mismatch, on a warm miss, or on a warm
+// LTS recompilation — the same coherence contract the CI job enforces.
+// Results go to stdout as a table and to BENCH_cache.json as a
+// machine-readable perf trajectory artifact.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "store/cache.hpp"
+#include "verify/ota_batch.hpp"
+#include "verify/scheduler.hpp"
+
+using namespace ecucsp;
+using namespace ecucsp::verify;
+
+namespace {
+
+std::vector<CheckTask> build_suite(std::size_t dilation) {
+  OtaMatrixOptions opts;
+  opts.dilation = dilation;
+  std::vector<CheckTask> tasks = ota_requirement_matrix(opts);
+  for (CheckTask& t : ota_extended_batch(opts)) tasks.push_back(std::move(t));
+  return tasks;
+}
+
+/// Cache-invariant outcome fingerprint: verdict + counterexample + semantic
+/// LTS sizes (not product-BFS progress, not timing).
+std::vector<std::string> fingerprint(const BatchResult& batch) {
+  std::vector<std::string> out;
+  out.reserve(batch.outcomes.size());
+  for (const TaskOutcome& o : batch.outcomes) {
+    out.push_back(o.name + "|" + std::string(to_string(o.status)) + "|" +
+                  o.counterexample + "|" +
+                  std::to_string(o.stats.impl_states) + "|" +
+                  std::to_string(o.stats.impl_transitions));
+  }
+  return out;
+}
+
+struct Sweep {
+  std::string phase;
+  double wall_ms = 0;
+  double cpu_ms = 0;
+  std::size_t cached_cells = 0;
+  std::uint64_t verdict_hits = 0;
+  std::uint64_t verdict_misses = 0;
+  std::uint64_t lts_misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t disk_bytes_written = 0;
+};
+
+Sweep measure(const std::string& phase, const std::vector<CheckTask>& suite,
+              unsigned jobs, store::VerificationCache* cache,
+              std::vector<std::string>* print, bool* ok,
+              const std::vector<std::string>& reference) {
+  // Stats deltas, so one cache instance can serve several sweeps.
+  const auto before_vh = cache ? cache->stats().verdict_hits.load() : 0;
+  const auto before_vm = cache ? cache->stats().verdict_misses.load() : 0;
+  const auto before_lm = cache ? cache->stats().lts_misses.load() : 0;
+  const auto before_st = cache ? cache->stats().stores.load() : 0;
+  const auto before_bw =
+      cache && cache->disk() ? cache->disk()->stats().bytes_written.load() : 0;
+
+  const BatchResult batch = VerifyScheduler({.jobs = jobs}).run(suite);
+
+  Sweep s;
+  s.phase = phase;
+  s.wall_ms = batch.wall.count() / 1e6;
+  s.cpu_ms = batch.cpu.count() / 1e6;
+  for (const TaskOutcome& o : batch.outcomes) s.cached_cells += o.cached;
+  if (cache) {
+    s.verdict_hits = cache->stats().verdict_hits.load() - before_vh;
+    s.verdict_misses = cache->stats().verdict_misses.load() - before_vm;
+    s.lts_misses = cache->stats().lts_misses.load() - before_lm;
+    s.stores = cache->stats().stores.load() - before_st;
+    if (cache->disk()) {
+      s.disk_bytes_written =
+          cache->disk()->stats().bytes_written.load() - before_bw;
+    }
+  }
+
+  *print = fingerprint(batch);
+  if (!batch.all_as_expected()) {
+    std::fprintf(stderr, "FAIL [%s]: unexpected verdicts\n", phase.c_str());
+    *ok = false;
+  }
+  if (!reference.empty() && *print != reference) {
+    std::fprintf(stderr, "FAIL [%s]: outcomes differ from the uncached reference\n",
+                 phase.c_str());
+    *ok = false;
+  }
+  return s;
+}
+
+void emit_json(const std::filesystem::path& path, std::size_t dilation,
+               unsigned jobs, std::size_t checks,
+               const std::vector<Sweep>& sweeps, double speedup_mem,
+               double speedup_disk, bool ok) {
+  std::FILE* f = std::fopen(path.string().c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"incremental_cache\",\n"
+               "  \"suite\": \"ota_matrix+extended\",\n"
+               "  \"dilation\": %zu,\n"
+               "  \"jobs\": %u,\n"
+               "  \"checks\": %zu,\n"
+               "  \"runs\": [\n",
+               dilation, jobs, checks);
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const Sweep& s = sweeps[i];
+    std::fprintf(
+        f,
+        "    {\"phase\": \"%s\", \"wall_ms\": %.3f, \"cpu_ms\": %.3f, "
+        "\"cached_cells\": %zu, \"verdict_hits\": %llu, "
+        "\"verdict_misses\": %llu, \"lts_misses\": %llu, \"stores\": %llu, "
+        "\"disk_bytes_written\": %llu}%s\n",
+        s.phase.c_str(), s.wall_ms, s.cpu_ms, s.cached_cells,
+        static_cast<unsigned long long>(s.verdict_hits),
+        static_cast<unsigned long long>(s.verdict_misses),
+        static_cast<unsigned long long>(s.lts_misses),
+        static_cast<unsigned long long>(s.stores),
+        static_cast<unsigned long long>(s.disk_bytes_written),
+        i + 1 < sweeps.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"speedup_warm_memory_vs_cold\": %.2f,\n"
+               "  \"speedup_warm_disk_vs_cold\": %.2f,\n"
+               "  \"coherent\": %s\n"
+               "}\n",
+               speedup_mem, speedup_disk, ok ? "true" : "false");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // bench_incremental_cache [dilation] [jobs] [output.json]
+  const std::size_t dilation =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6;
+  const unsigned jobs =
+      argc > 2 ? static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10)) : 1;
+  const std::filesystem::path json_path =
+      argc > 3 ? argv[3] : "BENCH_cache.json";
+
+  const std::vector<CheckTask> suite = build_suite(dilation);
+  const std::filesystem::path cache_dir =
+      std::filesystem::temp_directory_path() /
+      ("ecucsp_bench_cache_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(cache_dir);
+
+  std::printf(
+      "incremental cache bench: %zu checks, dilation %zu (~3^%zu states per "
+      "cell), %u worker(s)\n\n",
+      suite.size(), dilation, dilation, jobs);
+
+  bool ok = true;
+  std::vector<Sweep> sweeps;
+  std::vector<std::string> reference, print;
+
+  // Baseline: no cache installed at all.
+  sweeps.push_back(measure("uncached", suite, jobs, nullptr, &reference, &ok, {}));
+
+  {
+    store::VerificationCache cache(cache_dir);
+    ScopedCheckCache installed(&cache);
+
+    sweeps.push_back(measure("cold", suite, jobs, &cache, &print, &ok, reference));
+    if (sweeps.back().cached_cells != 0) {
+      std::fprintf(stderr, "FAIL [cold]: cells served from an empty cache\n");
+      ok = false;
+    }
+
+    sweeps.push_back(
+        measure("warm-memory", suite, jobs, &cache, &print, &ok, reference));
+    Sweep& mem = sweeps.back();
+    if (mem.cached_cells != suite.size() || mem.verdict_misses != 0 ||
+        mem.lts_misses != 0 || mem.stores != 0) {
+      std::fprintf(stderr,
+                   "FAIL [warm-memory]: %zu/%zu cells cached, %llu misses, "
+                   "%llu recompilations, %llu stores\n",
+                   mem.cached_cells, suite.size(),
+                   static_cast<unsigned long long>(mem.verdict_misses),
+                   static_cast<unsigned long long>(mem.lts_misses),
+                   static_cast<unsigned long long>(mem.stores));
+      ok = false;
+    }
+
+    cache.clear_memory();  // simulated process restart over a warm directory
+    sweeps.push_back(
+        measure("warm-disk", suite, jobs, &cache, &print, &ok, reference));
+    Sweep& disk = sweeps.back();
+    if (disk.cached_cells != suite.size() || disk.verdict_misses != 0 ||
+        disk.lts_misses != 0) {
+      std::fprintf(stderr, "FAIL [warm-disk]: %zu/%zu cells cached\n",
+                   disk.cached_cells, suite.size());
+      ok = false;
+    }
+  }
+
+  const double speedup_mem = sweeps[1].wall_ms / sweeps[2].wall_ms;
+  const double speedup_disk = sweeps[1].wall_ms / sweeps[3].wall_ms;
+
+  std::printf("%-12s| %10s | %10s | %6s | %6s | %6s | %6s\n", "phase",
+              "wall (ms)", "cpu (ms)", "cached", "miss", "lts-m", "stores");
+  std::printf("------------+------------+------------+--------+--------+--------+-------\n");
+  for (const Sweep& s : sweeps) {
+    std::printf("%-12s| %10.1f | %10.1f | %6zu | %6llu | %6llu | %6llu\n",
+                s.phase.c_str(), s.wall_ms, s.cpu_ms, s.cached_cells,
+                static_cast<unsigned long long>(s.verdict_misses),
+                static_cast<unsigned long long>(s.lts_misses),
+                static_cast<unsigned long long>(s.stores));
+  }
+  std::printf(
+      "\nwarm/cold speedup: %.1fx (memory tier), %.1fx (disk tier); "
+      "%s\n",
+      speedup_mem, speedup_disk,
+      ok ? "all sweeps byte-identical to the uncached reference"
+         : "COHERENCE FAILURE");
+
+  emit_json(json_path, dilation, jobs, suite.size(), sweeps, speedup_mem,
+            speedup_disk, ok);
+  std::printf("wrote %s\n", json_path.string().c_str());
+
+  std::filesystem::remove_all(cache_dir);
+  return ok ? 0 : 1;
+}

@@ -1,10 +1,12 @@
 // ecucsp_check: a command-line refinement checker — the library's stand-in
-// for invoking FDR on a .csp file, now with FDR-cluster-style batching.
+// for invoking FDR on a .csp file, now with FDR-cluster-style batching and
+// a persistent verification cache.
 //
 //   $ ./ecucsp_check model.csp [more.csp ...]         # sequential, one Context
 //   $ ./ecucsp_check --jobs 8 model.csp [more.csp...] # one worker per assert
 //   $ ./ecucsp_check --jobs 8 --matrix                # built-in OTA R01-R05
 //                                                     #   x attacker matrix
+//   $ ./ecucsp_check --matrix --cache-dir .ecucsp-cache --cache-stats
 //
 // Sequential mode loads every script into one shared Context (so an
 // extracted implementation model and a hand-written specification file can
@@ -15,15 +17,24 @@
 // and scripts are pure declarations. --matrix instead runs the paper's
 // Table III requirement suite against all three attacker models in
 // parallel. Exit code 0 iff all checks come out as expected.
+//
+// Caching: --cache-dir DIR (or the ECUCSP_CACHE_DIR environment variable)
+// installs a persistent content-addressed store consulted by every check;
+// a rerun of unchanged models serves each verdict from disk without any
+// state-space exploration. An in-memory tier is always installed so
+// repeated sub-terms within one run compile once even without a directory;
+// --no-cache disables both.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cspm/eval.hpp"
+#include "store/cache.hpp"
 #include "verify/ota_batch.hpp"
 #include "verify/scheduler.hpp"
 
@@ -32,10 +43,18 @@ using namespace ecucsp;
 namespace {
 
 std::string slurp(const char* path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error(std::string("cannot open ") + path);
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec) || ec) {
+    throw std::runtime_error(std::string("cannot read '") + path +
+                             "': not a regular file");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error(std::string("cannot open '") + path + "'");
   std::ostringstream out;
   out << in.rdbuf();
+  if (in.bad() || out.fail()) {
+    throw std::runtime_error(std::string("read error on '") + path + "'");
+  }
   return out.str();
 }
 
@@ -46,35 +65,75 @@ int usage(const char* argv0) {
       "       %s [options] --matrix\n"
       "Runs every 'assert' in the given CSPm scripts, or the built-in OTA\n"
       "requirement x attacker matrix.\n"
-      "  --jobs N       run checks in parallel on N workers (0 = all cores;\n"
-      "                 default: sequential single-Context mode)\n"
-      "  --timeout MS   per-check wall-clock budget in milliseconds\n"
-      "  --max-states N per-check state budget (default 2^22)\n",
+      "  --jobs N        run checks in parallel on N workers (0 = all cores;\n"
+      "                  default: sequential single-Context mode)\n"
+      "  --timeout MS    per-check wall-clock budget in milliseconds\n"
+      "  --max-states N  per-check state budget (default 2^22)\n"
+      "  --dilate K      (--matrix) interleave K hidden cyclers per cell,\n"
+      "                  growing each state space ~3^K without changing\n"
+      "                  verdicts\n"
+      "  --cache-dir D   persist verdicts and compiled LTSes under D\n"
+      "                  (default: $ECUCSP_CACHE_DIR if set)\n"
+      "  --no-cache      disable the verification cache entirely\n"
+      "  --cache-stats   print cache counters after the run\n",
       argv0, argv0);
   return 2;
 }
 
 int report(const verify::BatchResult& batch) {
   int unexpected = 0;
+  std::size_t cached = 0;
   for (const verify::TaskOutcome& o : batch.outcomes) {
-    std::printf("check %-58.58s %s  (%zu states, %.1f ms)%s\n", o.name.c_str(),
+    if (o.cached) ++cached;
+    std::printf("check %-58.58s %s  (%zu states, %.1f ms)%s%s\n",
+                o.name.c_str(),
                 std::string(verify::to_string(o.status)).c_str(),
                 o.stats.impl_states, o.wall.count() / 1e6,
+                o.cached ? "  (cached)" : "",
                 o.as_expected() ? "" : "  UNEXPECTED");
     if (!o.counterexample.empty()) std::printf("  %s\n", o.counterexample.c_str());
     if (!o.error.empty()) std::printf("  %s\n", o.error.c_str());
     if (!o.as_expected()) ++unexpected;
   }
   std::printf(
-      "%zu check(s): %zu passed, %zu failed, %zu timed out, %zu error(s); "
-      "wall %.1f ms, cpu %.1f ms, speedup %.2fx\n",
+      "%zu check(s): %zu passed, %zu failed, %zu timed out, %zu error(s), "
+      "%zu cached; wall %.1f ms, cpu %.1f ms, speedup %.2fx\n",
       batch.outcomes.size(), batch.count(verify::TaskStatus::Passed),
       batch.count(verify::TaskStatus::Failed),
       batch.count(verify::TaskStatus::TimedOut),
       batch.count(verify::TaskStatus::Error) +
           batch.count(verify::TaskStatus::StateLimit),
-      batch.wall.count() / 1e6, batch.cpu.count() / 1e6, batch.speedup());
+      cached, batch.wall.count() / 1e6, batch.cpu.count() / 1e6,
+      batch.speedup());
   return unexpected == 0 ? 0 : 1;
+}
+
+void print_cache_stats(const store::VerificationCache& cache) {
+  const store::CacheStats& s = cache.stats();
+  std::printf(
+      "cache: %llu verdict hit(s), %llu verdict miss(es), %llu LTS hit(s), "
+      "%llu LTS miss(es), %llu store(s), %llu decode failure(s)\n",
+      static_cast<unsigned long long>(s.verdict_hits.load()),
+      static_cast<unsigned long long>(s.verdict_misses.load()),
+      static_cast<unsigned long long>(s.lts_hits.load()),
+      static_cast<unsigned long long>(s.lts_misses.load()),
+      static_cast<unsigned long long>(s.stores.load()),
+      static_cast<unsigned long long>(s.decode_failures.load()));
+  std::printf("cache: %llu from memory, %llu from disk\n",
+              static_cast<unsigned long long>(s.memory_hits.load()),
+              static_cast<unsigned long long>(s.disk_hits.load()));
+  if (const store::ObjectStore* disk = cache.disk()) {
+    const store::ObjectStoreStats& d = disk->stats();
+    std::printf(
+        "cache: disk dir %s: %llu read(s) (%llu bytes), %llu write(s) "
+        "(%llu bytes), %llu corrupt object(s) dropped\n",
+        disk->dir().string().c_str(),
+        static_cast<unsigned long long>(d.hits.load()),
+        static_cast<unsigned long long>(d.bytes_read.load()),
+        static_cast<unsigned long long>(d.puts.load()),
+        static_cast<unsigned long long>(d.bytes_written.load()),
+        static_cast<unsigned long long>(d.corrupt_dropped.load()));
+  }
 }
 
 }  // namespace
@@ -82,10 +141,18 @@ int report(const verify::BatchResult& batch) {
 int main(int argc, char** argv) {
   bool parallel = false;
   bool matrix = false;
+  bool no_cache = false;
+  bool cache_stats = false;
   unsigned jobs = 1;
   std::optional<std::chrono::milliseconds> timeout;
   std::size_t max_states = 1u << 22;
+  std::size_t dilation = 0;
+  std::optional<std::filesystem::path> cache_dir;
   std::vector<const char*> paths;
+
+  if (const char* env = std::getenv("ECUCSP_CACHE_DIR"); env && *env) {
+    cache_dir = env;
+  }
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
@@ -95,6 +162,14 @@ int main(int argc, char** argv) {
       timeout = std::chrono::milliseconds(std::atol(argv[++i]));
     } else if (std::strcmp(argv[i], "--max-states") == 0 && i + 1 < argc) {
       max_states = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--dilate") == 0 && i + 1 < argc) {
+      dilation = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc) {
+      cache_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      no_cache = true;
+    } else if (std::strcmp(argv[i], "--cache-stats") == 0) {
+      cache_stats = true;
     } else if (std::strcmp(argv[i], "--matrix") == 0) {
       matrix = true;
     } else if (argv[i][0] == '-') {
@@ -105,11 +180,23 @@ int main(int argc, char** argv) {
   }
   if (!matrix && paths.empty()) return usage(argv[0]);
 
+  // The cache outlives the scheduler (workers may still be storing results
+  // while the batch drains), and Scoped installation guarantees the global
+  // hook never dangles past main.
+  std::optional<store::VerificationCache> cache;
+  std::optional<ScopedCheckCache> installed;
+  if (!no_cache) {
+    cache.emplace(cache_dir);
+    installed.emplace(&*cache);
+  }
+
   try {
+    int exit_code = 0;
     if (matrix) {
       verify::OtaMatrixOptions opts;
       opts.timeout = timeout;
       opts.max_states = max_states;
+      opts.dilation = dilation;
       std::vector<verify::CheckTask> tasks =
           verify::ota_requirement_matrix(opts);
       for (verify::CheckTask& t : verify::ota_extended_batch(opts)) {
@@ -118,10 +205,8 @@ int main(int argc, char** argv) {
       verify::VerifyScheduler sched({.jobs = parallel ? jobs : 1});
       std::printf("OTA requirement x attacker matrix on %u worker(s)\n",
                   sched.jobs());
-      return report(sched.run(tasks));
-    }
-
-    if (parallel) {
+      exit_code = report(sched.run(tasks));
+    } else if (parallel) {
       // One task per assertion; every worker re-loads the scripts into its
       // own Context. Count the assertions with a throwaway evaluator first.
       std::vector<std::string> sources;
@@ -151,34 +236,39 @@ int main(int argc, char** argv) {
       verify::VerifyScheduler sched({.jobs = jobs});
       std::printf("%zu assertion(s) on %u worker(s)\n", n_asserts,
                   sched.jobs());
-      return report(sched.run(tasks));
-    }
-
-    // Sequential legacy mode: one shared Context, assertions in order.
-    Context ctx;
-    cspm::Evaluator ev(ctx);
-    for (const char* p : paths) {
-      ev.load_source(slurp(p));
-      std::printf("loaded %s\n", p);
-    }
-    const auto results = ev.check_assertions(max_states);
-    if (results.empty()) {
-      std::printf("no assertions found\n");
-      return 0;
-    }
-    int failures = 0;
-    for (const cspm::AssertionResult& r : results) {
-      std::printf("assert %-58.58s ", r.description.c_str());
-      if (r.result.passed) {
-        std::printf("passed  (%zu states)\n", r.result.stats.impl_states);
-      } else {
-        ++failures;
-        std::printf("FAILED\n  %s\n",
-                    r.result.counterexample->describe(ctx).c_str());
+      exit_code = report(sched.run(tasks));
+    } else {
+      // Sequential legacy mode: one shared Context, assertions in order.
+      Context ctx;
+      cspm::Evaluator ev(ctx);
+      for (const char* p : paths) {
+        ev.load_source(slurp(p));
+        std::printf("loaded %s\n", p);
       }
+      const auto results = ev.check_assertions(max_states);
+      if (results.empty()) {
+        std::printf("no assertions found\n");
+        return 0;
+      }
+      int failures = 0;
+      for (const cspm::AssertionResult& r : results) {
+        std::printf("assert %-58.58s ", r.description.c_str());
+        if (r.result.passed) {
+          std::printf("passed  (%zu states)%s\n", r.result.stats.impl_states,
+                      r.result.from_cache ? "  (cached)" : "");
+        } else {
+          ++failures;
+          std::printf("FAILED%s\n  %s\n",
+                      r.result.from_cache ? "  (cached)" : "",
+                      r.result.counterexample->describe(ctx).c_str());
+        }
+      }
+      std::printf("%zu assertion(s), %d failure(s)\n", results.size(),
+                  failures);
+      exit_code = failures == 0 ? 0 : 1;
     }
-    std::printf("%zu assertion(s), %d failure(s)\n", results.size(), failures);
-    return failures == 0 ? 0 : 1;
+    if (cache_stats && cache) print_cache_stats(*cache);
+    return exit_code;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

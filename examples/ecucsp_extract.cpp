@@ -10,6 +10,7 @@
 // SYSTEM. '--assert LINE' appends assertion (or any other) lines verbatim.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -23,10 +24,17 @@ using namespace ecucsp;
 namespace {
 
 std::string slurp(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec) || ec) {
+    throw std::runtime_error("cannot read '" + path + "': not a regular file");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
   std::ostringstream out;
   out << in.rdbuf();
+  if (in.bad() || out.fail()) {
+    throw std::runtime_error("read error on '" + path + "'");
+  }
   return out.str();
 }
 
@@ -68,6 +76,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> extra_lines;
   std::string dbc_path;
   bool emit_dbc_decls = false;
+  bool emit_fingerprint = false;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dbc") == 0 && i + 1 < argc) {
@@ -76,10 +85,15 @@ int main(int argc, char** argv) {
       extra_lines.push_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--dbc-decls") == 0) {
       emit_dbc_decls = true;
+    } else if (std::strcmp(argv[i], "--fingerprint") == 0) {
+      emit_fingerprint = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "usage: %s [--dbc FILE] [--dbc-decls] [--assert LINE]... "
-          "NAME:TX:RX=FILE...\n",
+          "usage: %s [--dbc FILE] [--dbc-decls] [--fingerprint] "
+          "[--assert LINE]... NAME:TX:RX=FILE...\n"
+          "  --fingerprint  prefix the output with a comment carrying the\n"
+          "                 content digest of the generated script (the\n"
+          "                 identity the verification cache keys on)\n",
           argv[0]);
       return 0;
     } else {
@@ -127,6 +141,9 @@ int main(int argc, char** argv) {
       result = translate::extract_system(sys, extra_lines);
     }
 
+    if (emit_fingerprint) {
+      std::printf("-- ecucsp-fingerprint: %s\n", result.fingerprint.c_str());
+    }
     if (emit_dbc_decls && !dbc_path.empty()) {
       std::fputs(translate::dbc_to_cspm(db).c_str(), stdout);
       std::fputs("\n", stdout);

@@ -151,41 +151,45 @@ std::unique_ptr<OtaModel> build_ota_model() {
 }
 
 CheckResult check_requirement_on(OtaModel& model, std::string_view id,
-                                 ProcessRef system) {
+                                 ProcessRef system, std::size_t max_states,
+                                 CancelToken* cancel) {
   Context& ctx = model.ctx;
   if (id == "R01") {
     // The very first network action is the inventory request.
     const ProcessRef spec =
         ctx.prefix(model.send_reqSw, ctx.run(ctx.alphabet()));
-    return check_refinement(ctx, spec, system, Model::Traces);
+    return check_refinement(ctx, spec, system, Model::Traces, max_states,
+                            cancel);
   }
   if (id == "R02") {
     return security::check_response(ctx, system, model.send_reqSw,
-                                    model.rec_rptSw);
+                                    model.rec_rptSw, max_states, cancel);
   }
   if (id == "R03") {
     return security::check_response(ctx, system, model.send_reqApp,
-                                    model.install);
+                                    model.install, max_states, cancel);
   }
   if (id == "R04") {
     return security::check_response(ctx, system, model.install,
-                                    model.rec_rptUpd);
+                                    model.rec_rptUpd, max_states, cancel);
   }
   if (id == "R05") {
     // Installation requires a prior genuine update request.
     return security::check_precedence_witness(ctx, system, model.send_reqApp,
-                                              model.install);
+                                              model.install, max_states,
+                                              cancel);
   }
   throw std::out_of_range("unknown requirement id '" + std::string(id) + "'");
 }
 
-CheckResult check_requirement(OtaModel& model, std::string_view id) {
+CheckResult check_requirement(OtaModel& model, std::string_view id,
+                              std::size_t max_states, CancelToken* cancel) {
   // The paper's default reading: R01-R04 are functional requirements of the
   // benign system; R05 ("shared keys make MACs unforgeable") is checked on
   // the MAC-verifying ECU under active attack.
   const ProcessRef system =
       id == "R05" ? model.system_attacked : model.system_plain;
-  return check_requirement_on(model, id, system);
+  return check_requirement_on(model, id, system, max_states, cancel);
 }
 
 // --- extended scope: Update Server (Section VIII-A) ----------------------------
@@ -324,28 +328,32 @@ std::unique_ptr<OtaExtendedModel> build_ota_extended_model() {
 }
 
 CheckResult check_extended_property(OtaExtendedModel& model,
-                                    std::string_view id) {
+                                    std::string_view id,
+                                    std::size_t max_states,
+                                    CancelToken* cancel) {
   Context& ctx = model.ctx;
   if (id == "E1") {
     // Installation requires prior server authorisation.
     return security::check_precedence(ctx, model.system, model.down_update,
-                                      model.install);
+                                      model.install, max_states, cancel);
   }
   if (id == "E2") {
     return security::check_precedence(ctx, model.system, model.install,
-                                      model.up_update_report);
+                                      model.up_update_report, max_states,
+                                      cancel);
   }
   if (id == "E3") {
-    return check_deadlock_free(ctx, model.system);
+    return check_deadlock_free(ctx, model.system, max_states, cancel);
   }
   if (id == "E4") {
     return security::check_precedence(ctx, model.system_attacked,
-                                      model.down_update, model.install);
+                                      model.down_update, model.install,
+                                      max_states, cancel);
   }
   if (id == "E5") {
     return security::check_precedence_witness(ctx, model.system_unprotected,
-                                              model.down_update,
-                                              model.install);
+                                              model.down_update, model.install,
+                                              max_states, cancel);
   }
   throw std::out_of_range("unknown extended property '" + std::string(id) +
                           "'");

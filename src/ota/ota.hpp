@@ -78,15 +78,21 @@ struct OtaModel {
 std::unique_ptr<OtaModel> build_ota_model();
 
 /// Run the refinement/property check that formalises requirement `id`
-/// ("R01".."R05"). Throws std::out_of_range for unknown ids.
-CheckResult check_requirement(OtaModel& model, std::string_view id);
+/// ("R01".."R05"). Throws std::out_of_range for unknown ids. The optional
+/// state budget and CancelToken reach every exploration loop inside the
+/// check, so batch schedulers can bound and abort cells directly.
+CheckResult check_requirement(OtaModel& model, std::string_view id,
+                              std::size_t max_states = 1u << 22,
+                              CancelToken* cancel = nullptr);
 
 /// Same, but against an explicit system variant (`model.system_plain`,
 /// `model.system_attacked` or `model.system_unprotected`). This is what the
 /// src/verify batch scheduler uses to sweep the full requirement x attacker
 /// matrix; check_requirement picks the paper's default pairing.
 CheckResult check_requirement_on(OtaModel& model, std::string_view id,
-                                 ProcessRef system);
+                                 ProcessRef system,
+                                 std::size_t max_states = 1u << 22,
+                                 CancelToken* cancel = nullptr);
 
 // --- extended scope: the Update Server (paper Section VIII-A) ---------------
 //
@@ -134,7 +140,9 @@ std::unique_ptr<OtaExtendedModel> build_ota_extended_model();
 ///   "E4": under CAN-side attack, E1 still holds for the MAC'd ECU
 ///   "E5": dropping MAC verification breaks E1 under attack (expected FAIL)
 CheckResult check_extended_property(OtaExtendedModel& model,
-                                    std::string_view id);
+                                    std::string_view id,
+                                    std::size_t max_states = 1u << 22,
+                                    CancelToken* cancel = nullptr);
 
 // --- timed scope: tock-CSP (paper Section VII-B) ----------------------------
 //

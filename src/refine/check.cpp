@@ -1,11 +1,41 @@
 #include "refine/check.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <set>
 #include <unordered_map>
 
 namespace ecucsp {
+
+namespace {
+
+std::atomic<CheckCache*> g_check_cache{nullptr};
+
+/// compile_lts through the installed cache's LTS tier: a hit skips the
+/// exploration entirely (the dominant cost of every check below).
+Lts compile_or_load(Context& ctx, ProcessRef root, std::size_t max_states,
+                    CancelToken* cancel) {
+  CheckCache* const cache = g_check_cache.load(std::memory_order_acquire);
+  if (cache) {
+    if (auto lts = cache->lookup_lts(ctx, root, max_states)) {
+      return std::move(*lts);
+    }
+  }
+  Lts lts = compile_lts(ctx, root, max_states, cancel);
+  if (cache) cache->store_lts(ctx, root, max_states, lts);
+  return lts;
+}
+
+}  // namespace
+
+CheckCache* set_check_cache(CheckCache* cache) {
+  return g_check_cache.exchange(cache, std::memory_order_acq_rel);
+}
+
+CheckCache* check_cache() {
+  return g_check_cache.load(std::memory_order_acquire);
+}
 
 std::string to_string(Model m) {
   switch (m) {
@@ -118,16 +148,37 @@ bool acceptance_allowed(const NormNode& spec, const EventSet& acceptance) {
 
 }  // namespace
 
-CheckResult check_refinement(Context& ctx, ProcessRef spec, ProcessRef impl,
-                             Model model, std::size_t max_states,
-                             CancelToken* cancel) {
+namespace {
+
+/// Consult the installed cache around `run`, which computes the verdict
+/// fresh. Cancellation/state-limit exceptions propagate before anything is
+/// stored, so only completed verdicts ever enter the cache.
+template <typename Run>
+CheckResult with_check_cache(Context& ctx, ProcessRef spec, ProcessRef impl,
+                             CheckOp op, Model model, std::size_t max_states,
+                             Run run) {
+  CheckCache* const cache = check_cache();
+  if (cache) {
+    if (auto hit = cache->lookup_check(ctx, spec, impl, op, model, max_states)) {
+      hit->from_cache = true;
+      return std::move(*hit);
+    }
+  }
+  CheckResult result = run();
+  if (cache) cache->store_check(ctx, spec, impl, op, model, max_states, result);
+  return result;
+}
+
+CheckResult refinement_uncached(Context& ctx, ProcessRef spec, ProcessRef impl,
+                                Model model, std::size_t max_states,
+                                CancelToken* cancel) {
   CheckResult result;
 
-  const Lts spec_lts = compile_lts(ctx, spec, max_states, cancel);
+  const Lts spec_lts = compile_or_load(ctx, spec, max_states, cancel);
   const bool with_div = model == Model::FailuresDivergences;
   const NormLts norm = normalize(spec_lts, with_div);
 
-  const Lts impl_lts = compile_lts(ctx, impl, max_states, cancel);
+  const Lts impl_lts = compile_or_load(ctx, impl, max_states, cancel);
   std::vector<bool> impl_diverges;
   if (with_div) impl_diverges = impl_lts.divergent_states();
 
@@ -216,10 +267,11 @@ CheckResult check_refinement(Context& ctx, ProcessRef spec, ProcessRef impl,
   return result;
 }
 
-CheckResult check_deadlock_free(Context& ctx, ProcessRef p,
-                                std::size_t max_states, CancelToken* cancel) {
+CheckResult deadlock_free_uncached(Context& ctx, ProcessRef p,
+                                   std::size_t max_states,
+                                   CancelToken* cancel) {
   CheckResult result;
-  const Lts lts = compile_lts(ctx, p, max_states, cancel);
+  const Lts lts = compile_or_load(ctx, p, max_states, cancel);
   result.stats.impl_states = lts.state_count();
   result.stats.impl_transitions = lts.transition_count();
 
@@ -265,11 +317,11 @@ CheckResult check_deadlock_free(Context& ctx, ProcessRef p,
   return result;
 }
 
-CheckResult check_divergence_free(Context& ctx, ProcessRef p,
-                                  std::size_t max_states,
-                                  CancelToken* cancel) {
+CheckResult divergence_free_uncached(Context& ctx, ProcessRef p,
+                                     std::size_t max_states,
+                                     CancelToken* cancel) {
   CheckResult result;
-  const Lts lts = compile_lts(ctx, p, max_states, cancel);
+  const Lts lts = compile_or_load(ctx, p, max_states, cancel);
   result.stats.impl_states = lts.state_count();
   result.stats.impl_transitions = lts.transition_count();
   const std::vector<bool> diverges = lts.divergent_states();
@@ -307,10 +359,11 @@ CheckResult check_divergence_free(Context& ctx, ProcessRef p,
   return result;
 }
 
-CheckResult check_deterministic(Context& ctx, ProcessRef p,
-                                std::size_t max_states, CancelToken* cancel) {
+CheckResult deterministic_uncached(Context& ctx, ProcessRef p,
+                                   std::size_t max_states,
+                                   CancelToken* cancel) {
   CheckResult result;
-  const Lts lts = compile_lts(ctx, p, max_states, cancel);
+  const Lts lts = compile_or_load(ctx, p, max_states, cancel);
   result.stats.impl_states = lts.state_count();
   result.stats.impl_transitions = lts.transition_count();
   const NormLts norm = normalize(lts, /*with_divergence=*/true);
@@ -370,10 +423,43 @@ CheckResult check_deterministic(Context& ctx, ProcessRef p,
   return result;
 }
 
+}  // namespace
+
+CheckResult check_refinement(Context& ctx, ProcessRef spec, ProcessRef impl,
+                             Model model, std::size_t max_states,
+                             CancelToken* cancel) {
+  return with_check_cache(
+      ctx, spec, impl, CheckOp::Refinement, model, max_states, [&] {
+        return refinement_uncached(ctx, spec, impl, model, max_states, cancel);
+      });
+}
+
+CheckResult check_deadlock_free(Context& ctx, ProcessRef p,
+                                std::size_t max_states, CancelToken* cancel) {
+  return with_check_cache(
+      ctx, nullptr, p, CheckOp::DeadlockFree, Model::Traces, max_states,
+      [&] { return deadlock_free_uncached(ctx, p, max_states, cancel); });
+}
+
+CheckResult check_divergence_free(Context& ctx, ProcessRef p,
+                                  std::size_t max_states,
+                                  CancelToken* cancel) {
+  return with_check_cache(
+      ctx, nullptr, p, CheckOp::DivergenceFree, Model::Traces, max_states,
+      [&] { return divergence_free_uncached(ctx, p, max_states, cancel); });
+}
+
+CheckResult check_deterministic(Context& ctx, ProcessRef p,
+                                std::size_t max_states, CancelToken* cancel) {
+  return with_check_cache(
+      ctx, nullptr, p, CheckOp::Deterministic, Model::Traces, max_states,
+      [&] { return deterministic_uncached(ctx, p, max_states, cancel); });
+}
+
 TraceMembership is_trace_of(Context& ctx, ProcessRef p,
                             const std::vector<EventId>& trace,
                             std::size_t max_states) {
-  const Lts lts = compile_lts(ctx, p, max_states);
+  const Lts lts = compile_or_load(ctx, p, max_states, nullptr);
   // Frontier of LTS states reachable on the consumed prefix, tau-closed.
   std::set<StateId> frontier{lts.root};
   const auto tau_close = [&](std::set<StateId>& states) {
@@ -419,7 +505,7 @@ TraceMembership is_trace_of(Context& ctx, ProcessRef p,
 std::vector<std::vector<EventId>> enumerate_traces(Context& ctx, ProcessRef p,
                                                    std::size_t max_length,
                                                    std::size_t max_states) {
-  const Lts lts = compile_lts(ctx, p, max_states);
+  const Lts lts = compile_or_load(ctx, p, max_states, nullptr);
   std::set<std::vector<EventId>> traces;
   // BFS over (state, trace) pairs, pruned by max_length; the visited set is
   // on pairs to keep this terminating on cyclic LTSs.

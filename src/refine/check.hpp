@@ -61,8 +61,70 @@ struct CheckResult {
   bool passed = false;
   std::optional<Counterexample> counterexample;
   CheckStats stats;
+  /// True when this verdict was served by the installed CheckCache instead
+  /// of a fresh exploration. Transient — never serialized into the store.
+  bool from_cache = false;
 
   explicit operator bool() const { return passed; }
+};
+
+// --- verification cache hook -------------------------------------------------
+
+/// Which entry point a cached verdict belongs to (part of the cache key:
+/// "deadlock free" and "deterministic" on the same term are different
+/// questions).
+enum class CheckOp : std::uint8_t {
+  Refinement = 0,
+  DeadlockFree = 1,
+  DivergenceFree = 2,
+  Deterministic = 3,
+};
+
+/// Interface consumed by the check entry points below. A cache implementation
+/// (src/store provides the persistent one) keys on content digests of the
+/// terms plus (op, model, max_states); any lookup is free to miss. All
+/// methods may be called concurrently from independent worker threads, each
+/// with its own Context — implementations must be thread-safe and must not
+/// retain anything Context-bound across calls.
+class CheckCache {
+ public:
+  virtual ~CheckCache() = default;
+
+  /// `spec` is nullptr for the unary checks (op != Refinement).
+  virtual std::optional<CheckResult> lookup_check(Context& ctx, ProcessRef spec,
+                                                  ProcessRef impl, CheckOp op,
+                                                  Model model,
+                                                  std::size_t max_states) = 0;
+  virtual void store_check(Context& ctx, ProcessRef spec, ProcessRef impl,
+                           CheckOp op, Model model, std::size_t max_states,
+                           const CheckResult& result) = 0;
+
+  /// LTS tier: lets a check that misses the verdict tier still skip the
+  /// exploration when the same term was compiled before (possibly under a
+  /// different spec, or by a different worker).
+  virtual std::optional<Lts> lookup_lts(Context& ctx, ProcessRef root,
+                                        std::size_t max_states) = 0;
+  virtual void store_lts(Context& ctx, ProcessRef root, std::size_t max_states,
+                         const Lts& lts) = 0;
+};
+
+/// Install a process-wide cache consulted by every check entry point and by
+/// their internal LTS compilations; nullptr uninstalls. Returns the previous
+/// cache. The engine itself stays lock-free — the cache serialises internally.
+CheckCache* set_check_cache(CheckCache* cache);
+CheckCache* check_cache();
+
+/// RAII installer (tests, CLI main, bench drivers).
+class ScopedCheckCache {
+ public:
+  explicit ScopedCheckCache(CheckCache* cache)
+      : prev_(set_check_cache(cache)) {}
+  ~ScopedCheckCache() { set_check_cache(prev_); }
+  ScopedCheckCache(const ScopedCheckCache&) = delete;
+  ScopedCheckCache& operator=(const ScopedCheckCache&) = delete;
+
+ private:
+  CheckCache* prev_;
 };
 
 /// Does `impl` refine `spec` in the given semantic model?

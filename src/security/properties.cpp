@@ -50,12 +50,14 @@ ProcessRef bounded_response_spec(Context& ctx, EventId tock, EventId request,
 CheckResult check_bounded_response(Context& ctx, ProcessRef system,
                                    EventId tock, EventId request,
                                    EventId response, int within,
-                                   std::size_t max_states) {
+                                   std::size_t max_states,
+                                   CancelToken* cancel) {
   const ProcessRef spec =
       bounded_response_spec(ctx, tock, request, response, within);
   const ProcessRef projected =
       project(ctx, system, EventSet{tock, request, response});
-  return check_refinement(ctx, spec, projected, Model::Traces, max_states);
+  return check_refinement(ctx, spec, projected, Model::Traces, max_states,
+                          cancel);
 }
 
 ProcessRef project(Context& ctx, ProcessRef system, const EventSet& keep) {
@@ -63,23 +65,28 @@ ProcessRef project(Context& ctx, ProcessRef system, const EventSet& keep) {
 }
 
 CheckResult check_response(Context& ctx, ProcessRef system, EventId request,
-                           EventId response, std::size_t max_states) {
+                           EventId response, std::size_t max_states,
+                           CancelToken* cancel) {
   const ProcessRef spec = response_spec(ctx, request, response);
   const ProcessRef projected =
       project(ctx, system, EventSet{request, response});
-  return check_refinement(ctx, spec, projected, Model::Traces, max_states);
+  return check_refinement(ctx, spec, projected, Model::Traces, max_states,
+                          cancel);
 }
 
 CheckResult check_precedence(Context& ctx, ProcessRef system, EventId pre,
-                             EventId post, std::size_t max_states) {
+                             EventId post, std::size_t max_states,
+                             CancelToken* cancel) {
   const ProcessRef spec = precedence_spec(ctx, pre, post);
   const ProcessRef projected = project(ctx, system, EventSet{pre, post});
-  return check_refinement(ctx, spec, projected, Model::Traces, max_states);
+  return check_refinement(ctx, spec, projected, Model::Traces, max_states,
+                          cancel);
 }
 
 CheckResult check_precedence_witness(Context& ctx, ProcessRef system,
                                      EventId pre, EventId post,
-                                     std::size_t max_states) {
+                                     std::size_t max_states,
+                                     CancelToken* cancel) {
   // SPEC: until `pre` happens, anything but `post` is allowed; afterwards
   // the process is unconstrained.
   const EventSet sigma = ctx.alphabet();
@@ -96,14 +103,15 @@ CheckResult check_precedence_witness(Context& ctx, ProcessRef system,
     }
     return cx.ext_choice(branches);
   });
-  return check_refinement(ctx, ctx.var(s), system, Model::Traces, max_states);
+  return check_refinement(ctx, ctx.var(s), system, Model::Traces, max_states,
+                          cancel);
 }
 
 CheckResult check_never(Context& ctx, ProcessRef system, EventId leak,
-                        std::size_t max_states) {
+                        std::size_t max_states, CancelToken* cancel) {
   const EventSet sigma = ctx.alphabet();
   return check_refinement(ctx, never_spec(ctx, leak, sigma), system,
-                          Model::Traces, max_states);
+                          Model::Traces, max_states, cancel);
 }
 
 }  // namespace ecucsp::security

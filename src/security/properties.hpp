@@ -39,7 +39,8 @@ ProcessRef bounded_response_spec(Context& ctx, EventId tock, EventId request,
 CheckResult check_bounded_response(Context& ctx, ProcessRef system,
                                    EventId tock, EventId request,
                                    EventId response, int within,
-                                   std::size_t max_states = 1u << 22);
+                                   std::size_t max_states = 1u << 22,
+                                   CancelToken* cancel = nullptr);
 
 /// Project `system` onto `keep`: hide every other currently-interned event.
 /// (Trace-model projection; hiding may introduce divergence, which the
@@ -47,19 +48,25 @@ CheckResult check_bounded_response(Context& ctx, ProcessRef system,
 ProcessRef project(Context& ctx, ProcessRef system, const EventSet& keep);
 
 /// Convenience wrappers running the projection + refinement in one step.
+/// Every wrapper forwards its optional CancelToken into the underlying
+/// refinement check, so batch schedulers can impose deadlines without a
+/// separate warm-up compilation.
 CheckResult check_response(Context& ctx, ProcessRef system, EventId request,
-                           EventId response,
-                           std::size_t max_states = 1u << 22);
+                           EventId response, std::size_t max_states = 1u << 22,
+                           CancelToken* cancel = nullptr);
 CheckResult check_precedence(Context& ctx, ProcessRef system, EventId pre,
-                             EventId post, std::size_t max_states = 1u << 22);
+                             EventId post, std::size_t max_states = 1u << 22,
+                             CancelToken* cancel = nullptr);
 
 /// Like check_precedence, but checks against the *unprojected* system so a
 /// failure's counterexample is the complete event trace — the attack
 /// scenario fed "back to software designers" in the paper's Figure 1.
 CheckResult check_precedence_witness(Context& ctx, ProcessRef system,
                                      EventId pre, EventId post,
-                                     std::size_t max_states = 1u << 22);
+                                     std::size_t max_states = 1u << 22,
+                                     CancelToken* cancel = nullptr);
 CheckResult check_never(Context& ctx, ProcessRef system, EventId leak,
-                        std::size_t max_states = 1u << 22);
+                        std::size_t max_states = 1u << 22,
+                        CancelToken* cancel = nullptr);
 
 }  // namespace ecucsp::security

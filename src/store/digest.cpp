@@ -1,0 +1,117 @@
+#include "store/digest.hpp"
+
+namespace ecucsp::store {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+// Lane A uses the standard FNV-1a offset basis; lane B a distinct one so
+// the lanes decorrelate even though they consume identical input.
+constexpr std::uint64_t kBasisA = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kBasisB = 0x9ae16a3b2f90404fULL;
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer: full avalanche over the lane state.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr char kHex[] = "0123456789abcdef";
+
+void hex64(std::uint64_t v, std::string& out) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kHex[(v >> shift) & 0xF]);
+  }
+}
+
+int unhex(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string Digest::hex() const {
+  std::string out;
+  out.reserve(32);
+  hex64(hi, out);
+  hex64(lo, out);
+  return out;
+}
+
+bool Digest::parse(std::string_view text, Digest& out) {
+  if (text.size() != 32) return false;
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 16; ++i) {
+    const int d = unhex(text[static_cast<std::size_t>(i)]);
+    if (d < 0) return false;
+    hi = (hi << 4) | static_cast<std::uint64_t>(d);
+  }
+  for (int i = 16; i < 32; ++i) {
+    const int d = unhex(text[static_cast<std::size_t>(i)]);
+    if (d < 0) return false;
+    lo = (lo << 4) | static_cast<std::uint64_t>(d);
+  }
+  out = Digest{hi, lo};
+  return true;
+}
+
+Hasher::Hasher() : a_(kBasisA), b_(kBasisB) {}
+
+Hasher& Hasher::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    a_ = (a_ ^ p[i]) * kFnvPrime;
+    b_ = (b_ ^ p[i]) * kFnvPrime;
+    // Cross-feed a rotated bit of the other lane so the two lanes do not
+    // stay a fixed xor apart (plain dual FNV-1a lanes would).
+    b_ ^= a_ >> 47;
+  }
+  return *this;
+}
+
+Hasher& Hasher::u8(std::uint8_t v) { return bytes(&v, 1); }
+
+Hasher& Hasher::u32(std::uint32_t v) {
+  unsigned char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  return u8(0x01).bytes(buf, sizeof buf);
+}
+
+Hasher& Hasher::u64(std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  return u8(0x02).bytes(buf, sizeof buf);
+}
+
+Hasher& Hasher::i64(std::int64_t v) {
+  return u8(0x03).u64(static_cast<std::uint64_t>(v));
+}
+
+Hasher& Hasher::str(std::string_view s) {
+  u8(0x04).u64(s.size());
+  return bytes(s.data(), s.size());
+}
+
+Hasher& Hasher::digest(const Digest& d) {
+  return u8(0x05).u64(d.hi).u64(d.lo);
+}
+
+Digest Hasher::finish() const {
+  // Finalize each lane over both lane states so every input bit reaches
+  // both output words.
+  return Digest{mix64(a_ ^ mix64(b_)), mix64(b_ + mix64(a_))};
+}
+
+Digest digest_bytes(std::string_view data) {
+  Hasher h;
+  h.str(data);
+  return h.finish();
+}
+
+}  // namespace ecucsp::store

@@ -1,0 +1,70 @@
+// Content digests for the verification store.
+//
+// Everything the store keys on — process terms, CSPm/CAPL source text,
+// compiled LTSes, verdicts — is addressed by a 128-bit structural digest.
+// The hash is a dual-lane FNV-1a (two independent 64-bit lanes with
+// distinct offset bases) finished through a splitmix64-style avalanche;
+// it is fast, dependency-free, stable across platforms and processes
+// (no pointer values, no std::hash, no ASLR leakage), and 128 bits is
+// far beyond birthday range for any realistic store population. It is
+// NOT cryptographic — the store trusts its own directory, it defends
+// against corruption and staleness, not against an adversary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace ecucsp::store {
+
+struct Digest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Digest&) const = default;
+  /// Lexicographic; gives order-independent encodings a canonical order.
+  bool operator<(const Digest& o) const {
+    return hi != o.hi ? hi < o.hi : lo < o.lo;
+  }
+
+  /// 32 lowercase hex characters; the on-disk object name.
+  std::string hex() const;
+  /// Inverse of hex(); returns false on malformed input.
+  static bool parse(std::string_view text, Digest& out);
+};
+
+struct DigestHash {
+  std::size_t operator()(const Digest& d) const {
+    return static_cast<std::size_t>(d.hi ^ d.lo);
+  }
+};
+
+/// Streaming hasher. Feed typed tokens (every primitive is framed with a
+/// tag byte, so "" + "ab" and "a" + "b" digest differently) and finish().
+class Hasher {
+ public:
+  Hasher();
+
+  Hasher& bytes(const void* data, std::size_t n);
+  Hasher& u8(std::uint8_t v);
+  Hasher& u32(std::uint32_t v);
+  Hasher& u64(std::uint64_t v);
+  Hasher& i64(std::int64_t v);
+  /// Length-framed string.
+  Hasher& str(std::string_view s);
+  /// Digest-of-digest (composing sub-object digests into a key).
+  Hasher& digest(const Digest& d);
+
+  Digest finish() const;
+
+ private:
+  std::uint64_t a_;
+  std::uint64_t b_;
+};
+
+/// One-shot digest of a byte string (source files, serialized payloads).
+Digest digest_bytes(std::string_view data);
+
+}  // namespace ecucsp::store

@@ -1,0 +1,119 @@
+#include "store/object_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <system_error>
+
+namespace ecucsp::store {
+
+namespace fs = std::filesystem;
+
+ObjectStore::ObjectStore(fs::path dir) : dir_(std::move(dir)) {}
+
+fs::path ObjectStore::path_of(const Digest& key) const {
+  const std::string hex = key.hex();
+  return dir_ / "objects" / hex.substr(0, 2) / hex.substr(2);
+}
+
+std::optional<std::vector<std::uint8_t>> ObjectStore::get(const Digest& key) {
+  const fs::path path = path_of(key);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> blob;
+  std::uint8_t buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    blob.insert(blob.end(), buf, buf + n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  stats_.hits.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_read.fetch_add(blob.size(), std::memory_order_relaxed);
+  return blob;
+}
+
+bool ObjectStore::put(const Digest& key, const std::vector<std::uint8_t>& blob) {
+  const fs::path path = path_of(key);
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  if (ec) return false;
+
+  // Unique temp name per (store instance, put) so two threads or processes
+  // writing the same key race only at the atomic rename, where either
+  // winner leaves an identical, complete object.
+  const std::uint64_t seq =
+      tmp_counter_.fetch_add(1, std::memory_order_relaxed);
+  const fs::path tmp = path.parent_path() /
+                       (".tmp." + std::to_string(seq) + "." +
+                        std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return false;
+  const std::size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != blob.size() || !flushed) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_written.fetch_add(blob.size(), std::memory_order_relaxed);
+  return true;
+}
+
+void ObjectStore::drop(const Digest& key) {
+  std::error_code ec;
+  if (fs::remove(path_of(key), ec) && !ec) {
+    stats_.corrupt_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t ObjectStore::trim(std::uint64_t max_bytes) {
+  struct Entry {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uint64_t size;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  const fs::path root = dir_ / "objects";
+  if (!fs::exists(root, ec) || ec) return 0;
+  for (fs::recursive_directory_iterator it(root, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec) || ec) continue;
+    Entry e;
+    e.path = it->path();
+    e.mtime = fs::last_write_time(e.path, ec);
+    if (ec) continue;
+    e.size = static_cast<std::uint64_t>(fs::file_size(e.path, ec));
+    if (ec) continue;
+    total += e.size;
+    entries.push_back(std::move(e));
+  }
+  if (total <= max_bytes) return 0;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  std::size_t evicted = 0;
+  for (const Entry& e : entries) {
+    if (total <= max_bytes) break;
+    if (fs::remove(e.path, ec) && !ec) {
+      total -= e.size;
+      ++evicted;
+      stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return evicted;
+}
+
+}  // namespace ecucsp::store

@@ -1,0 +1,68 @@
+// Content-addressed on-disk object store.
+//
+// Objects live at <dir>/objects/<hex[0:2]>/<hex[2:]>, named by the 128-bit
+// key digest. Writes are crash-safe: the blob goes to a unique temp file in
+// the same directory and is renamed into place (rename(2) is atomic within
+// a filesystem), so readers — including concurrent processes sharing the
+// cache directory — never observe a half-written object. Reads treat every
+// failure mode (missing file, truncation, garbage, foreign format version)
+// as a miss, never an error: the envelope layer (serialize.hpp) verifies
+// magic, version and payload digest, and a corrupt object is deleted on
+// sight so it cannot poison future runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "store/digest.hpp"
+
+namespace ecucsp::store {
+
+struct ObjectStoreStats {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> puts{0};
+  std::atomic<std::uint64_t> evictions{0};
+  std::atomic<std::uint64_t> corrupt_dropped{0};
+  std::atomic<std::uint64_t> bytes_read{0};
+  std::atomic<std::uint64_t> bytes_written{0};
+};
+
+class ObjectStore {
+ public:
+  /// The directory is created lazily on the first put; a store pointed at a
+  /// nonexistent directory simply misses on every get.
+  explicit ObjectStore(std::filesystem::path dir);
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+  /// Fetch the blob stored under `key`. Any I/O failure or corruption is a
+  /// miss (corrupt files are additionally unlinked).
+  std::optional<std::vector<std::uint8_t>> get(const Digest& key);
+
+  /// Store `blob` under `key` atomically. Failures (disk full, permission)
+  /// are swallowed — the cache is an accelerator, never a correctness
+  /// dependency. Returns true when the object landed.
+  bool put(const Digest& key, const std::vector<std::uint8_t>& blob);
+
+  /// Delete least-recently-modified objects until the store's total size is
+  /// at most `max_bytes`. Returns the number of objects evicted.
+  std::size_t trim(std::uint64_t max_bytes);
+
+  /// Remove a single object (used when a get finds corruption).
+  void drop(const Digest& key);
+
+  const ObjectStoreStats& stats() const { return stats_; }
+
+ private:
+  std::filesystem::path path_of(const Digest& key) const;
+
+  std::filesystem::path dir_;
+  ObjectStoreStats stats_;
+  std::atomic<std::uint64_t> tmp_counter_{0};
+};
+
+}  // namespace ecucsp::store

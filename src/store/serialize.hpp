@@ -1,0 +1,126 @@
+// Versioned binary serialization for store artifacts.
+//
+// Two artifact kinds are stored: compiled LTSes and check verdicts
+// (CheckResult incl. counterexample). Both are Context-bound in memory
+// (EventIds, ProcessRefs), so the wire format replaces every EventId with
+// its (channel name, field values) spelling and decodes by re-interning
+// into the caller's Context — decoding into a Context whose model declares
+// the same channels reproduces the exact in-memory artifact.
+//
+// Format discipline:
+//   * every payload is wrapped in an envelope: magic, kStoreFormatVersion,
+//     a kind byte, the payload length, the payload, and a trailing digest
+//     of the payload;
+//   * loads verify all of it and throw SerializeError on any mismatch —
+//     the store layer turns that into a cache miss, never a crash;
+//   * any change to the encoding bumps kStoreFormatVersion, which also
+//     participates in every cache key, so stale-format objects are simply
+//     never looked up (and unreadable if addressed directly).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "refine/check.hpp"
+#include "refine/lts.hpp"
+#include "store/digest.hpp"
+
+namespace ecucsp::store {
+
+/// Bump on any wire-format or digest-scheme change.
+inline constexpr std::uint32_t kStoreFormatVersion = 1;
+
+enum class ArtifactKind : std::uint8_t {
+  Lts = 1,
+  Verdict = 2,
+};
+
+class SerializeError : public std::runtime_error {
+ public:
+  explicit SerializeError(const std::string& what)
+      : std::runtime_error("store decode: " + what) {}
+};
+
+/// Little-endian byte sink: varint-coded unsigned ints, zigzag signed,
+/// length-framed strings.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void uv(std::uint64_t v);    // varint
+  void iv(std::int64_t v);     // zigzag varint
+  void str(std::string_view s);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked reader over a decoded payload; throws SerializeError on
+/// truncation or malformed varints.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint64_t uv();
+  std::int64_t iv();
+  std::string str();
+  bool at_end() const { return pos_ == data_.size(); }
+  std::size_t tell() const { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Wrap `payload` in the versioned, digest-sealed envelope.
+std::vector<std::uint8_t> seal(ArtifactKind kind,
+                               std::vector<std::uint8_t> payload);
+
+/// Verify magic/version/kind/length/digest; returns the payload view into
+/// `blob`. Throws SerializeError on any mismatch.
+std::span<const std::uint8_t> unseal(ArtifactKind kind,
+                                     std::span<const std::uint8_t> blob);
+
+// --- values and events -------------------------------------------------------
+
+void encode_value(ByteWriter& w, const Context& ctx, const Value& v);
+Value decode_value(ByteReader& r, Context& ctx);
+
+void encode_event(ByteWriter& w, const Context& ctx, EventId e);
+/// Re-interns by channel name + fields; throws SerializeError if the
+/// channel is unknown or the fields lie outside its declared domains.
+EventId decode_event(ByteReader& r, Context& ctx);
+
+void encode_event_set(ByteWriter& w, const Context& ctx, const EventSet& es);
+EventSet decode_event_set(ByteReader& r, Context& ctx);
+
+// --- LTS ---------------------------------------------------------------------
+
+/// Payload encoding (no envelope). term_of is reduced to one bit per state
+/// (Omega or not) — the only structural use downstream (deadlock checking
+/// distinguishes termination from deadlock); decode synthesises Omega/Stop
+/// terms accordingly, so richer per-state diagnostics do not survive a
+/// round-trip.
+std::vector<std::uint8_t> encode_lts(const Context& ctx, const Lts& lts);
+Lts decode_lts(ByteReader& r, Context& ctx);
+
+/// Envelope convenience: seal/unseal + payload encode/decode.
+std::vector<std::uint8_t> seal_lts(const Context& ctx, const Lts& lts);
+Lts unseal_lts(std::span<const std::uint8_t> blob, Context& ctx);
+
+// --- check verdicts ----------------------------------------------------------
+
+std::vector<std::uint8_t> encode_check(const Context& ctx,
+                                       const CheckResult& r);
+CheckResult decode_check(ByteReader& r, Context& ctx);
+
+std::vector<std::uint8_t> seal_check(const Context& ctx, const CheckResult& r);
+CheckResult unseal_check(std::span<const std::uint8_t> blob, Context& ctx);
+
+}  // namespace ecucsp::store

@@ -1,0 +1,56 @@
+// Context-independent structural digests of process terms.
+//
+// A term's digest must be identical across Contexts, processes and runs
+// whenever the term is structurally the same model — EventIds, Symbols and
+// ProcessRef pointers are all per-Context accidents, so the digest is
+// computed over *names*: channel names, symbol spellings, field values,
+// and the operator structure of the (hash-consed) term DAG.
+//
+// Named recursion is digested by unfolding: a Var node contributes its
+// name/argument tuple and the digest of its resolved body. While a body is
+// being digested, re-entering the same (name, args) contributes a
+// back-reference marker instead — the usual mu-binder treatment — so
+// recursive definitions terminate and two models differing only inside a
+// definition body get different digests (editing one CAPL handler changes
+// exactly the digests of the terms that unfold through it).
+//
+// A TermDigester memoises per ProcessRef *within one Context*; construct
+// one per Context (or per check) and never share across Contexts — the
+// memo keys on arena pointers.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/context.hpp"
+#include "store/digest.hpp"
+
+namespace ecucsp::store {
+
+class TermDigester {
+ public:
+  explicit TermDigester(Context& ctx) : ctx_(ctx) {}
+
+  Digest term(ProcessRef p);
+  Digest event(EventId e);
+  Digest value(const Value& v);
+  Digest event_set(const EventSet& es);
+
+ private:
+  /// Feeds p's digest into h; returns the depth of the outermost still-open
+  /// recursion binder the subtree back-referenced (kClosed when none), which
+  /// gates memoisation — see the comment in the implementation.
+  int feed_term(Hasher& h, ProcessRef p);
+  void feed_event(Hasher& h, EventId e);
+  void feed_value(Hasher& h, const Value& v);
+  void feed_event_set(Hasher& h, const EventSet& es);
+
+  Context& ctx_;
+  std::unordered_map<ProcessRef, Digest> memo_;  // closed nodes only
+  std::unordered_map<EventId, Digest> event_memo_;
+  std::unordered_map<ProcessRef, int> open_;  // Var nodes being unfolded -> depth
+};
+
+/// One-shot convenience.
+Digest digest_term(Context& ctx, ProcessRef p);
+
+}  // namespace ecucsp::store

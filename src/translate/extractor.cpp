@@ -5,6 +5,8 @@
 #include <set>
 #include <sstream>
 
+#include "store/digest.hpp"
+
 namespace ecucsp::translate {
 
 using capl::CaplProgram;
@@ -396,7 +398,9 @@ class Extractor {
 
 ExtractionResult extract_model(const CaplProgram& program,
                                const ExtractorOptions& options) {
-  return Extractor(program, options).run();
+  ExtractionResult result = Extractor(program, options).run();
+  result.fingerprint = store::digest_bytes(result.cspm).hex();
+  return result;
 }
 
 ExtractionResult extract_system(const std::vector<SystemNode>& nodes,
@@ -479,6 +483,7 @@ ExtractionResult extract_system(const std::vector<SystemNode>& nodes,
   out += tpl.render("composition",
                     {{"name", std::string("SYSTEM")}, {"operands", names}});
   for (const std::string& l : extra_lines) out += l + "\n";
+  merged.fingerprint = store::digest_bytes(merged.cspm).hex();
   return merged;
 }
 

@@ -116,11 +116,8 @@ std::vector<CheckTask> ota_requirement_matrix(OtaMatrixOptions options) {
       auto m = ota::build_ota_model();
       const ProcessRef system =
           dilate(m->ctx, system_of(*m, variant), dilation);
-      // The requirement builders run plain check_refinement internally; the
-      // compile of the (possibly dilated) system dominates, so pre-compiling
-      // it here under the token gives timeouts a hook into custom tasks too.
-      compile_lts(m->ctx, system, max_states, &token);
-      return render(m->ctx, ota::check_requirement_on(*m, id, system));
+      return render(m->ctx, ota::check_requirement_on(*m, id, system,
+                                                      max_states, &token));
     };
     tasks.push_back(std::move(t));
   }
@@ -144,10 +141,12 @@ std::vector<CheckTask> ota_extended_batch(OtaMatrixOptions options) {
     t.timeout = options.timeout;
     t.max_states = options.max_states;
     const std::string id = p.id;
-    t.custom = [id](CancelToken& token) {
+    const std::size_t max_states = options.max_states;
+    t.custom = [id, max_states](CancelToken& token) {
       token.poll_now();
       auto m = ota::build_ota_extended_model();
-      return render(m->ctx, ota::check_extended_property(*m, id));
+      return render(m->ctx,
+                    ota::check_extended_property(*m, id, max_states, &token));
     };
     tasks.push_back(std::move(t));
   }

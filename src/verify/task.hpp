@@ -105,6 +105,9 @@ struct TaskOutcome {
   std::string counterexample;
   /// Diagnostic text for Error / StateLimit statuses.
   std::string error;
+  /// True when the verdict came out of the installed verification cache
+  /// (CheckResult::from_cache) rather than a fresh exploration.
+  bool cached = false;
   std::chrono::nanoseconds wall{0};
   std::optional<bool> expected;
 
