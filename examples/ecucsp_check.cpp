@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "cspm/eval.hpp"
+#include "lint/lint.hpp"
 #include "store/cache.hpp"
 #include "verify/ota_batch.hpp"
 #include "verify/scheduler.hpp"
@@ -75,7 +76,13 @@ int usage(const char* argv0) {
       "  --cache-dir D   persist verdicts and compiled LTSes under D\n"
       "                  (default: $ECUCSP_CACHE_DIR if set)\n"
       "  --no-cache      disable the verification cache entirely\n"
-      "  --cache-stats   print cache counters after the run\n",
+      "  --cache-stats   print cache counters after the run\n"
+      "  --no-lint       skip the fail-fast static-analysis pre-flight over\n"
+      "                  the input scripts\n"
+      "  --inject-alphabet-mismatch\n"
+      "                  (--matrix) fault injection: rename the system under\n"
+      "                  test onto a primed alphabet so passing cells become\n"
+      "                  vacuous — exercises the vacuity detector\n",
       argv0, argv0);
   return 2;
 }
@@ -85,12 +92,18 @@ int report(const verify::BatchResult& batch) {
   std::size_t cached = 0;
   for (const verify::TaskOutcome& o : batch.outcomes) {
     if (o.cached) ++cached;
-    std::printf("check %-58.58s %s  (%zu states, %.1f ms)%s%s\n",
+    std::printf("check %-58.58s %s  (%zu states, %.1f ms)%s%s%s\n",
                 o.name.c_str(),
                 std::string(verify::to_string(o.status)).c_str(),
                 o.stats.impl_states, o.wall.count() / 1e6,
                 o.cached ? "  (cached)" : "",
+                o.vacuous ? "  VACUOUS" : "",
                 o.as_expected() ? "" : "  UNEXPECTED");
+    if (o.vacuous) {
+      std::printf(
+          "  warning: vacuous pass — the implementation never reaches any "
+          "event this spec constrains\n");
+    }
     if (!o.counterexample.empty()) std::printf("  %s\n", o.counterexample.c_str());
     if (!o.error.empty()) std::printf("  %s\n", o.error.c_str());
     if (!o.as_expected()) ++unexpected;
@@ -143,6 +156,8 @@ int main(int argc, char** argv) {
   bool matrix = false;
   bool no_cache = false;
   bool cache_stats = false;
+  bool no_lint = false;
+  bool inject_mismatch = false;
   unsigned jobs = 1;
   std::optional<std::chrono::milliseconds> timeout;
   std::size_t max_states = 1u << 22;
@@ -172,6 +187,10 @@ int main(int argc, char** argv) {
       cache_stats = true;
     } else if (std::strcmp(argv[i], "--matrix") == 0) {
       matrix = true;
+    } else if (std::strcmp(argv[i], "--no-lint") == 0) {
+      no_lint = true;
+    } else if (std::strcmp(argv[i], "--inject-alphabet-mismatch") == 0) {
+      inject_mismatch = true;
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else {
@@ -191,12 +210,32 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Fail-fast pre-flight: undefined names, misused channels and vacuous
+    // assertion shapes are reported before any LTS is compiled.
+    if (!no_lint && !paths.empty()) {
+      lint::LintRequest lreq;
+      for (const char* p : paths) lreq.cspm.push_back({p, slurp(p)});
+      const lint::LintReport rep = lint::run_lint(lreq);
+      if (!rep.diagnostics.empty()) {
+        std::fputs(lint::render_text(rep.diagnostics, rep.sources).c_str(),
+                   stderr);
+      }
+      if (rep.has_errors()) {
+        std::fprintf(stderr,
+                     "error: lint found %s; fix the scripts or rerun with "
+                     "--no-lint\n",
+                     lint::summary_line(rep.diagnostics).c_str());
+        return 2;
+      }
+    }
+
     int exit_code = 0;
     if (matrix) {
       verify::OtaMatrixOptions opts;
       opts.timeout = timeout;
       opts.max_states = max_states;
       opts.dilation = dilation;
+      opts.inject_alphabet_mismatch = inject_mismatch;
       std::vector<verify::CheckTask> tasks =
           verify::ota_requirement_matrix(opts);
       for (verify::CheckTask& t : verify::ota_extended_batch(opts)) {
@@ -254,8 +293,14 @@ int main(int argc, char** argv) {
       for (const cspm::AssertionResult& r : results) {
         std::printf("assert %-58.58s ", r.description.c_str());
         if (r.result.passed) {
-          std::printf("passed  (%zu states)%s\n", r.result.stats.impl_states,
-                      r.result.from_cache ? "  (cached)" : "");
+          std::printf("passed  (%zu states)%s%s\n", r.result.stats.impl_states,
+                      r.result.from_cache ? "  (cached)" : "",
+                      r.result.vacuous ? "  VACUOUS" : "");
+          if (r.result.vacuous) {
+            std::printf(
+                "  warning: vacuous pass — the implementation never reaches "
+                "any event this spec constrains\n");
+          }
         } else {
           ++failures;
           std::printf("FAILED%s\n  %s\n",

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "capl/parser.hpp"
+#include "lint/lint.hpp"
 #include "translate/dbc_to_cspm.hpp"
 #include "translate/extractor.hpp"
 
@@ -77,6 +78,7 @@ int main(int argc, char** argv) {
   std::string dbc_path;
   bool emit_dbc_decls = false;
   bool emit_fingerprint = false;
+  bool no_lint = false;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dbc") == 0 && i + 1 < argc) {
@@ -87,13 +89,17 @@ int main(int argc, char** argv) {
       emit_dbc_decls = true;
     } else if (std::strcmp(argv[i], "--fingerprint") == 0) {
       emit_fingerprint = true;
+    } else if (std::strcmp(argv[i], "--no-lint") == 0) {
+      no_lint = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "usage: %s [--dbc FILE] [--dbc-decls] [--fingerprint] "
+          "usage: %s [--dbc FILE] [--dbc-decls] [--fingerprint] [--no-lint] "
           "[--assert LINE]... NAME:TX:RX=FILE...\n"
           "  --fingerprint  prefix the output with a comment carrying the\n"
           "                 content digest of the generated script (the\n"
-          "                 identity the verification cache keys on)\n",
+          "                 identity the verification cache keys on)\n"
+          "  --no-lint      skip the fail-fast static-analysis pre-flight\n"
+          "                 over the CAPL inputs and the CANdb\n",
           argv[0]);
       return 0;
     } else {
@@ -111,12 +117,42 @@ int main(int argc, char** argv) {
   }
 
   try {
+    const std::string dbc_text = dbc_path.empty() ? "" : slurp(dbc_path);
+    std::vector<std::string> capl_texts;
+    capl_texts.reserve(nodes.size());
+    for (const NodeArg& n : nodes) capl_texts.push_back(slurp(n.file));
+
+    // Fail-fast pre-flight: a handler for a frame the CANdb does not know,
+    // an inconsistent database, or plain parse errors all stop the
+    // extraction here, before any model is generated.
+    if (!no_lint) {
+      lint::LintRequest lreq;
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        lreq.capl.push_back({nodes[i].file, capl_texts[i]});
+      }
+      if (!dbc_path.empty()) lreq.dbc = lint::SourceFile{dbc_path, dbc_text};
+      const lint::LintReport rep = lint::run_lint(lreq);
+      if (!rep.diagnostics.empty()) {
+        std::fputs(lint::render_text(rep.diagnostics, rep.sources).c_str(),
+                   stderr);
+      }
+      if (rep.has_errors()) {
+        std::fprintf(stderr,
+                     "error: lint found %s; fix the inputs or rerun with "
+                     "--no-lint\n",
+                     lint::summary_line(rep.diagnostics).c_str());
+        return 2;
+      }
+    }
+
     can::DbcDatabase db;
-    if (!dbc_path.empty()) db = can::parse_dbc(slurp(dbc_path));
+    if (!dbc_path.empty()) db = can::parse_dbc(dbc_text);
 
     std::vector<capl::CaplProgram> programs;
     programs.reserve(nodes.size());
-    for (const NodeArg& n : nodes) programs.push_back(capl::parse_capl(slurp(n.file)));
+    for (const std::string& text : capl_texts) {
+      programs.push_back(capl::parse_capl(text));
+    }
 
     translate::ExtractionResult result;
     if (nodes.size() == 1) {

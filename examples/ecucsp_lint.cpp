@@ -1,0 +1,186 @@
+// ecucsp_lint: cross-layer static analysis for the extract-then-verify
+// toolchain. Lints CAPL handler programs against the CANdb they target,
+// the CANdb itself, and CSPm models — before any LTS is ever compiled.
+//
+//   $ ./ecucsp_lint --dbc net.dbc vmg.can ecu.can model.csp
+//   $ ./ecucsp_lint --json bad.csp
+//   $ ./ecucsp_lint --ota            # the built-in OTA case study
+//   $ ./ecucsp_lint --list-rules
+//
+// Inputs are classified by extension (.can/.capl -> CAPL, .dbc -> CANdb,
+// .csp/.cspm -> CSPm); --capl/--dbc/--cspm force a classification. Exit
+// codes: 0 clean (warnings allowed), 1 findings of error severity (or any
+// finding under --werror), 2 usage or I/O failure.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "capl/parser.hpp"
+#include "lint/lint.hpp"
+#include "ota/ota.hpp"
+#include "translate/extractor.hpp"
+
+using namespace ecucsp;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec) || ec) {
+    throw std::runtime_error("cannot read '" + path + "': not a regular file");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  if (in.bad() || out.fail()) {
+    throw std::runtime_error("read error on '" + path + "'");
+  }
+  return out.str();
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] <file>...\n"
+      "Static analysis for CAPL (.can/.capl), CANdb (.dbc) and CSPm\n"
+      "(.csp/.cspm) inputs; CAPL checks cross-reference the database when\n"
+      "one is given.\n"
+      "  --capl FILE   treat FILE as CAPL regardless of extension\n"
+      "  --dbc FILE    treat FILE as the CANdb (at most one)\n"
+      "  --cspm FILE   treat FILE as CSPm\n"
+      "  --json        machine-readable report on stdout\n"
+      "  --werror      any finding (warnings included) fails the run\n"
+      "  --ota         lint the built-in OTA case study (embedded CAPL +\n"
+      "                CANdb + the CSPm model extracted from them)\n"
+      "  --list-rules  print the rule catalogue and exit\n",
+      argv0);
+  return 2;
+}
+
+int list_rules() {
+  for (const lint::RuleInfo& r : lint::all_rules()) {
+    std::printf("%-5.*s %-8.*s %.*s\n", int(r.id.size()), r.id.data(),
+                int(lint::to_string(r.severity).size()),
+                lint::to_string(r.severity).data(), int(r.summary.size()),
+                r.summary.data());
+  }
+  return 0;
+}
+
+/// The embedded OTA case study, end to end: both CAPL nodes, the CANdb,
+/// and the CSPm system model freshly extracted from them — the same gate
+/// CI runs to keep the shipped sources lint-clean.
+lint::LintRequest ota_request() {
+  lint::LintRequest req;
+  req.capl.push_back({"<ota:vmg.can>", std::string(ota::vmg_capl_source())});
+  req.capl.push_back({"<ota:ecu.can>", std::string(ota::ecu_capl_source())});
+  req.dbc = lint::SourceFile{"<ota:net.dbc>", std::string(ota::ota_dbc_text())};
+
+  const can::DbcDatabase db = can::parse_dbc(ota::ota_dbc_text());
+  const capl::CaplProgram vmg = capl::parse_capl(ota::vmg_capl_source());
+  const capl::CaplProgram ecu = capl::parse_capl(ota::ecu_capl_source());
+  std::vector<translate::SystemNode> nodes(2);
+  nodes[0].program = &vmg;
+  nodes[0].options.node_name = "VMG";
+  nodes[0].options.db = &db;
+  nodes[1].program = &ecu;
+  nodes[1].options.node_name = "ECU";
+  nodes[1].options.db = &db;
+  const translate::ExtractionResult extracted =
+      translate::extract_system(nodes, {});
+  req.cspm.push_back({"<ota:system.csp>", extracted.cspm});
+  return req;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool werror = false;
+  bool ota = false;
+  lint::LintRequest req;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto flag_with_file = [&](const char* name) -> const char* {
+      if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* f = flag_with_file("--capl")) {
+      req.capl.push_back({f, {}});
+    } else if (const char* f = flag_with_file("--cspm")) {
+      req.cspm.push_back({f, {}});
+    } else if (const char* f = flag_with_file("--dbc")) {
+      if (req.dbc) {
+        std::fprintf(stderr, "error: more than one CANdb given\n");
+        return 2;
+      }
+      req.dbc = lint::SourceFile{f, {}};
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--werror") == 0) {
+      werror = true;
+    } else if (std::strcmp(argv[i], "--ota") == 0) {
+      ota = true;
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      return list_rules();
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      const std::filesystem::path p(argv[i]);
+      const std::string ext = p.extension().string();
+      if (ext == ".can" || ext == ".capl") {
+        req.capl.push_back({argv[i], {}});
+      } else if (ext == ".dbc") {
+        if (req.dbc) {
+          std::fprintf(stderr, "error: more than one CANdb given\n");
+          return 2;
+        }
+        req.dbc = lint::SourceFile{argv[i], {}};
+      } else if (ext == ".csp" || ext == ".cspm") {
+        req.cspm.push_back({argv[i], {}});
+      } else {
+        std::fprintf(stderr,
+                     "error: cannot classify '%s' (use --capl/--dbc/--cspm)\n",
+                     argv[i]);
+        return 2;
+      }
+    }
+  }
+
+  try {
+    if (ota) {
+      if (!req.capl.empty() || req.dbc || !req.cspm.empty()) {
+        std::fprintf(stderr, "error: --ota takes no input files\n");
+        return 2;
+      }
+      req = ota_request();
+    } else {
+      if (req.capl.empty() && !req.dbc && req.cspm.empty()) {
+        return usage(argv[0]);
+      }
+      for (auto& f : req.capl) f.text = slurp(f.path);
+      if (req.dbc) req.dbc->text = slurp(req.dbc->path);
+      for (auto& f : req.cspm) f.text = slurp(f.path);
+    }
+
+    const lint::LintReport report = lint::run_lint(req);
+    if (json) {
+      std::fputs(lint::render_json(report.diagnostics).c_str(), stdout);
+    } else {
+      std::fputs(lint::render_text(report.diagnostics, report.sources).c_str(),
+                 stdout);
+      std::printf("%s\n", lint::summary_line(report.diagnostics).c_str());
+    }
+    if (report.has_errors()) return 1;
+    if (werror && !report.diagnostics.empty()) return 1;
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -138,6 +138,7 @@ DbcDatabase parse_dbc(std::string_view text) {
     if (line.starts_with("BO_ ")) {
       LineScanner s(line.substr(4), line_no);
       DbcMessage m;
+      m.line = line_no;
       const std::int64_t raw_id = s.integer();
       // Bit 31 marks an extended identifier in DBC files.
       if (raw_id & 0x80000000LL) {
@@ -158,6 +159,7 @@ DbcDatabase parse_dbc(std::string_view text) {
       if (!current) throw DbcParseError("SG_ outside a BO_ block", line_no);
       LineScanner s(line.substr(4), line_no);
       DbcSignal sig;
+      sig.line = line_no;
       sig.spec.name = s.word();
       s.expect(':');
       sig.spec.start_bit = static_cast<std::uint16_t>(s.integer());

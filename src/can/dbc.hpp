@@ -26,6 +26,7 @@ struct DbcSignal {
   std::vector<std::string> receivers;
   std::map<std::int64_t, std::string> value_table;  // VAL_ entries
   std::string comment;
+  int line = 0;  // SG_ line in the source file (for diagnostics)
 };
 
 struct DbcMessage {
@@ -35,6 +36,7 @@ struct DbcMessage {
   std::string sender;
   std::vector<DbcSignal> signals;
   std::string comment;
+  int line = 0;  // BO_ line in the source file (for diagnostics)
 
   const DbcSignal* find_signal(std::string_view name) const;
 };

@@ -86,6 +86,7 @@ enum class CStmtKind : std::uint8_t {
 struct CaplStmt {
   CStmtKind kind = CStmtKind::Block;
   int line = 0;
+  int column = 0;
 
   std::vector<CaplStmtPtr> body;  // Block
   // VarDecl:
@@ -120,6 +121,7 @@ struct EventHandler {
   bool any_message = false;  // 'on message *'
   CaplStmtPtr body;
   int line = 0;
+  int column = 0;
 };
 
 struct FunctionDecl {
@@ -128,6 +130,7 @@ struct FunctionDecl {
   std::vector<std::pair<CaplType, std::string>> params;
   CaplStmtPtr body;
   int line = 0;
+  int column = 0;
 };
 
 struct VarDeclTop {
@@ -137,6 +140,7 @@ struct VarDeclTop {
   std::string msg_name;
   CaplExprPtr init;  // scalar initialiser
   int line = 0;
+  int column = 0;
 };
 
 struct CaplProgram {

@@ -137,6 +137,7 @@ class Parser {
   VarDeclTop top_var_decl() {
     VarDeclTop out;
     out.line = peek().line;
+    out.column = peek().column;
     out.type = type();
     if (out.type == CaplType::Message) {
       // message <id-or-name> <var>;
@@ -155,6 +156,7 @@ class Parser {
   EventHandler event_handler() {
     EventHandler out;
     out.line = peek().line;
+    out.column = peek().column;
     expect(Tok::KwOn, "event procedure");
     if (accept(Tok::KwStart)) {
       out.kind = EventHandler::Kind::Start;
@@ -185,6 +187,7 @@ class Parser {
   FunctionDecl function_decl() {
     FunctionDecl out;
     out.line = peek().line;
+    out.column = peek().column;
     out.return_type = type();
     out.name = expect(Tok::Ident, "function name").text;
     expect(Tok::LParen, "parameter list");
@@ -204,6 +207,7 @@ class Parser {
     auto out = std::make_unique<CaplStmt>();
     out->kind = CStmtKind::Block;
     out->line = peek().line;
+    out->column = peek().column;
     expect(Tok::LBrace, "block");
     while (!accept(Tok::RBrace)) {
       if (at(Tok::End)) fail("unterminated block");
@@ -217,6 +221,7 @@ class Parser {
 
     auto out = std::make_unique<CaplStmt>();
     out->line = peek().line;
+    out->column = peek().column;
 
     if (is_type(peek().kind)) {
       // Local declaration (mirrors the top-level form).
@@ -274,6 +279,7 @@ class Parser {
         auto arm = std::make_unique<CaplStmt>();
         arm->kind = CStmtKind::Case;
         arm->line = peek().line;
+        arm->column = peek().column;
         if (accept(Tok::KwCase)) {
           if (at(Tok::Number)) {
             arm->msg_id = take().number;
@@ -320,6 +326,7 @@ class Parser {
   CaplStmtPtr simple_statement() {
     auto out = std::make_unique<CaplStmt>();
     out->line = peek().line;
+    out->column = peek().column;
     if (is_type(peek().kind)) {
       out->kind = CStmtKind::VarDecl;
       out->var_type = type();
@@ -363,6 +370,7 @@ class Parser {
     e->kind = CExprKind::Binary;
     e->bin = op;
     e->line = l->line;
+    e->column = l->column;
     e->args.push_back(std::move(l));
     e->args.push_back(std::move(r));
     return e;
@@ -508,6 +516,7 @@ class Parser {
         acc->kind = CExprKind::ByteAccess;
         acc->access_width = width;
         acc->line = e->line;
+        acc->column = e->column;
         acc->object = std::move(e);
         acc->args.push_back(expression());
         expect(Tok::RParen, "byte accessor");
@@ -517,6 +526,7 @@ class Parser {
         mem->kind = CExprKind::Member;
         mem->text = member;
         mem->line = e->line;
+        mem->column = e->column;
         mem->object = std::move(e);
         e = std::move(mem);
       }

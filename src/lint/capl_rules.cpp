@@ -1,0 +1,431 @@
+// CAPL semantic checks (C0xx).
+//
+// These run on the parsed program plus (optionally) the CANdb it is meant
+// to run against, mirroring what the CAPL-to-CSP translator will later
+// assume: handlers and message variables must name real frames, member
+// accesses must name real signals, and constant signal writes must fit the
+// declared bit width. Pure control-flow checks (unreachable code, duplicate
+// handlers) work without a database.
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "lint/lint.hpp"
+
+namespace ecucsp::lint {
+
+namespace {
+
+using capl::CaplExpr;
+using capl::CaplProgram;
+using capl::CaplStmt;
+using capl::CaplType;
+using capl::CExprKind;
+using capl::CStmtKind;
+using capl::CUnOp;
+using capl::EventHandler;
+
+/// Message-object members CAPL defines for every message, DBC or not.
+bool is_builtin_member(const std::string& name) {
+  return name == "id" || name == "dlc" || name == "dir" || name == "can" ||
+         name == "time" || name == "rtr";
+}
+
+bool is_builtin_function(const std::string& name) {
+  return name == "output" || name == "setTimer" || name == "cancelTimer" ||
+         name == "write" || name == "timeNow";
+}
+
+Span span_at(int line, int column, int length = 1) {
+  return Span{line, column > 0 ? column : 1, length > 0 ? length : 1};
+}
+
+/// `value` as a signed constant if the expression is a literal (possibly
+/// negated); nullopt otherwise.
+std::optional<std::int64_t> const_value(const CaplExpr* e) {
+  if (!e) return std::nullopt;
+  if (e->kind == CExprKind::Number || e->kind == CExprKind::CharLit) {
+    return e->number;
+  }
+  if (e->kind == CExprKind::Unary && e->un == CUnOp::Neg && !e->args.empty()) {
+    if (auto v = const_value(e->args[0].get())) return -*v;
+  }
+  return std::nullopt;
+}
+
+class CaplLinter {
+ public:
+  CaplLinter(const CaplProgram& prog, const can::DbcDatabase* db,
+             const std::string& file, DiagnosticSink& sink)
+      : prog_(prog), db_(db), file_(file), sink_(sink) {}
+
+  void run() {
+    collect_globals();
+    check_handlers();
+    for (const auto& fn : prog_.functions) check_function(fn);
+  }
+
+ private:
+  // --- top level -------------------------------------------------------------
+
+  void collect_globals() {
+    for (const auto& fn : prog_.functions) functions_.insert(fn.name);
+    for (const auto& v : prog_.variables) {
+      if (!globals_.insert(v.name).second) {
+        sink_.add(std::string(kRuleCaplDuplicateVariable), Severity::Warning,
+                  file_, span_at(v.line, v.column, int(v.name.size())),
+                  "variable '" + v.name + "' is declared more than once");
+      }
+      if (v.type == CaplType::Message) {
+        global_msgs_[v.name] =
+            resolve_message(v.msg_name, v.msg_id, v.line, v.column);
+      }
+    }
+  }
+
+  /// DBC lookup shared by declarations and handlers; emits C002 when the
+  /// database is loaded but the frame is missing from it.
+  const can::DbcMessage* resolve_message(const std::string& name,
+                                         std::int64_t id, int line,
+                                         int column) {
+    if (!db_) return nullptr;
+    if (!name.empty()) {
+      if (const auto* m = db_->find_message(name)) return m;
+      sink_.add(std::string(kRuleCaplUnknownMessage), Severity::Error, file_,
+                span_at(line, column, int(name.size())),
+                "message '" + name + "' is not defined in the CANdb");
+      return nullptr;
+    }
+    if (id >= 0) {
+      if (const auto* m = db_->find_message(can::CanId(id))) return m;
+      sink_.add(std::string(kRuleCaplUnknownMessage), Severity::Error, file_,
+                span_at(line, column),
+                "message id 0x" + to_hex(id) + " is not defined in the CANdb");
+    }
+    return nullptr;
+  }
+
+  static std::string to_hex(std::int64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+  }
+
+  void check_handlers() {
+    std::map<std::string, int> seen;  // dispatch key -> first line
+    for (const auto& h : prog_.handlers) {
+      const can::DbcMessage* msg = nullptr;
+      std::string key;
+      switch (h.kind) {
+        case EventHandler::Kind::Start: key = "start"; break;
+        case EventHandler::Kind::StopMeasurement: key = "stopMeasurement"; break;
+        case EventHandler::Kind::Key: key = "key " + h.target; break;
+        case EventHandler::Kind::Timer:
+          key = "timer " + h.target;
+          if (!globals_.count(h.target)) {
+            sink_.add(std::string(kRuleCaplUndefinedName), Severity::Error,
+                      file_, span_at(h.line, h.column, int(h.target.size())),
+                      "timer '" + h.target +
+                          "' is not declared in the variables section");
+          }
+          break;
+        case EventHandler::Kind::Message: {
+          if (h.any_message) {
+            key = "message *";
+          } else {
+            msg = resolve_message(h.target, h.msg_id, h.line, h.column);
+            // Name and numeric-id handlers for the same frame collide at
+            // dispatch time, so key on the resolved id when we have one.
+            if (msg) {
+              key = "message #" + std::to_string(msg->id);
+            } else if (h.msg_id >= 0) {
+              key = "message #" + std::to_string(h.msg_id);
+            } else {
+              key = "message " + h.target;
+            }
+          }
+          break;
+        }
+      }
+      const auto [it, inserted] = seen.emplace(key, h.line);
+      if (!inserted) {
+        sink_.add(std::string(kRuleCaplDuplicateHandler), Severity::Error,
+                  file_, span_at(h.line, h.column),
+                  "duplicate handler 'on " + key + "'; first defined at line " +
+                      std::to_string(it->second));
+      }
+      check_body(h.body.get(), {}, msg,
+                 h.kind == EventHandler::Kind::Message);
+    }
+  }
+
+  void check_function(const capl::FunctionDecl& fn) {
+    std::set<std::string> params;
+    for (const auto& [type, name] : fn.params) {
+      if (!params.insert(name).second) {
+        sink_.add(std::string(kRuleCaplDuplicateVariable), Severity::Warning,
+                  file_, span_at(fn.line, fn.column, int(name.size())),
+                  "parameter '" + name + "' is declared more than once");
+      }
+    }
+    check_body(fn.body.get(), params, nullptr, false);
+  }
+
+  // --- bodies ----------------------------------------------------------------
+
+  struct Scope {
+    std::set<std::string> names;                             // locals + params
+    std::map<std::string, const can::DbcMessage*> msg_vars;  // local messages
+    const can::DbcMessage* this_msg = nullptr;  // 'on message' frame, if known
+    bool in_message_handler = false;
+  };
+
+  void check_body(const CaplStmt* body, const std::set<std::string>& params,
+                  const can::DbcMessage* this_msg, bool in_message_handler) {
+    if (!body) return;
+    Scope scope;
+    scope.names = params;
+    scope.this_msg = this_msg;
+    scope.in_message_handler = in_message_handler;
+    // CAPL hoists declarations to the top of the enclosing procedure, so
+    // collect every local before walking uses.
+    collect_locals(body, scope);
+    walk_stmt(body, scope);
+  }
+
+  void collect_locals(const CaplStmt* s, Scope& scope) {
+    if (!s) return;
+    if (s->kind == CStmtKind::VarDecl) {
+      if (!scope.names.insert(s->var_name).second) {
+        sink_.add(std::string(kRuleCaplDuplicateVariable), Severity::Warning,
+                  file_, span_at(s->line, s->column, int(s->var_name.size())),
+                  "variable '" + s->var_name + "' is declared more than once");
+      }
+      if (s->var_type == CaplType::Message) {
+        scope.msg_vars[s->var_name] =
+            resolve_message(s->msg_name, s->msg_id, s->line, s->column);
+      }
+    }
+    for (const auto& kid : s->body) collect_locals(kid.get(), scope);
+    collect_locals(s->then_branch.get(), scope);
+    collect_locals(s->else_branch.get(), scope);
+    collect_locals(s->loop_body.get(), scope);
+    collect_locals(s->for_init.get(), scope);
+    collect_locals(s->for_step.get(), scope);
+  }
+
+  void walk_stmt(const CaplStmt* s, const Scope& scope) {
+    if (!s) return;
+    switch (s->kind) {
+      case CStmtKind::Block:
+      case CStmtKind::Case: {
+        bool dead = false;
+        bool reported = false;  // one diagnostic per dead region
+        for (const auto& kid : s->body) {
+          if (dead && !reported) {
+            sink_.add(std::string(kRuleCaplUnreachableCode), Severity::Warning,
+                      file_, span_at(kid->line, kid->column),
+                      "statement is unreachable");
+            reported = true;
+          }
+          // Dead statements are still walked: other findings in them are
+          // real once the early return is removed.
+          walk_stmt(kid.get(), scope);
+          if (kid->kind == CStmtKind::Return || kid->kind == CStmtKind::Break) {
+            dead = true;
+          }
+        }
+        break;
+      }
+      case CStmtKind::VarDecl:
+        walk_expr(s->init.get(), scope);
+        break;
+      case CStmtKind::ExprStmt:
+        walk_expr(s->expr.get(), scope);
+        break;
+      case CStmtKind::Assign:
+        walk_expr(s->lvalue.get(), scope);
+        walk_expr(s->value.get(), scope);
+        check_signal_write(s, scope);
+        break;
+      case CStmtKind::IncDec:
+        walk_expr(s->lvalue.get(), scope);
+        break;
+      case CStmtKind::If:
+        walk_expr(s->value.get(), scope);
+        walk_stmt(s->then_branch.get(), scope);
+        walk_stmt(s->else_branch.get(), scope);
+        break;
+      case CStmtKind::While:
+        walk_expr(s->value.get(), scope);
+        walk_stmt(s->loop_body.get(), scope);
+        break;
+      case CStmtKind::For:
+        walk_stmt(s->for_init.get(), scope);
+        walk_expr(s->value.get(), scope);
+        walk_stmt(s->for_step.get(), scope);
+        walk_stmt(s->loop_body.get(), scope);
+        break;
+      case CStmtKind::Switch:
+        walk_expr(s->value.get(), scope);
+        for (const auto& kid : s->body) walk_stmt(kid.get(), scope);
+        break;
+      case CStmtKind::Break:
+      case CStmtKind::Return:
+        walk_expr(s->value.get(), scope);
+        break;
+    }
+  }
+
+  // --- expressions -----------------------------------------------------------
+
+  void walk_expr(const CaplExpr* e, const Scope& scope) {
+    if (!e) return;
+    switch (e->kind) {
+      case CExprKind::Name:
+        if (!scope.names.count(e->text) && !globals_.count(e->text) &&
+            !functions_.count(e->text)) {
+          sink_.add(std::string(kRuleCaplUndefinedName), Severity::Error, file_,
+                    span_at(e->line, e->column, int(e->text.size())),
+                    "use of undefined name '" + e->text + "'");
+        }
+        break;
+      case CExprKind::This:
+        if (!scope.in_message_handler) {
+          sink_.add(std::string(kRuleCaplThisOutsideHandler), Severity::Error,
+                    file_, span_at(e->line, e->column, 4),
+                    "'this' is only meaningful inside an 'on message' "
+                    "event procedure");
+        }
+        break;
+      case CExprKind::Call:
+        if (!functions_.count(e->text) && !is_builtin_function(e->text)) {
+          sink_.add(std::string(kRuleCaplUndefinedName), Severity::Error, file_,
+                    span_at(e->line, e->column, int(e->text.size())),
+                    "call to undefined function '" + e->text + "'");
+        }
+        for (const auto& arg : e->args) walk_expr(arg.get(), scope);
+        break;
+      case CExprKind::Member:
+        check_member(e, scope);
+        walk_expr(e->object.get(), scope);
+        break;
+      case CExprKind::ByteAccess:
+        check_byte_access(e, scope);
+        walk_expr(e->object.get(), scope);
+        for (const auto& arg : e->args) walk_expr(arg.get(), scope);
+        break;
+      case CExprKind::Binary:
+      case CExprKind::Unary:
+        for (const auto& arg : e->args) walk_expr(arg.get(), scope);
+        break;
+      case CExprKind::Number:
+      case CExprKind::CharLit:
+      case CExprKind::StringLit:
+        break;
+    }
+  }
+
+  /// The CANdb frame a member/byte access reaches through, when it is
+  /// statically known: 'this' inside a resolved handler, or a message
+  /// variable whose declaration resolved.
+  const can::DbcMessage* message_of(const CaplExpr* obj,
+                                    const Scope& scope) const {
+    if (!obj) return nullptr;
+    if (obj->kind == CExprKind::This) return scope.this_msg;
+    if (obj->kind == CExprKind::Name) {
+      if (const auto it = scope.msg_vars.find(obj->text);
+          it != scope.msg_vars.end()) {
+        return it->second;
+      }
+      if (const auto it = global_msgs_.find(obj->text);
+          it != global_msgs_.end()) {
+        return it->second;
+      }
+    }
+    return nullptr;
+  }
+
+  void check_member(const CaplExpr* e, const Scope& scope) {
+    if (is_builtin_member(e->text)) return;
+    const can::DbcMessage* msg = message_of(e->object.get(), scope);
+    if (!msg) return;  // unknown base: C002/C007 already cover it
+    if (!msg->find_signal(e->text)) {
+      sink_.add(std::string(kRuleCaplUnknownSignal), Severity::Error, file_,
+                span_at(e->line, e->column, int(e->text.size())),
+                "message '" + msg->name + "' has no signal '" + e->text + "'");
+    }
+  }
+
+  void check_byte_access(const CaplExpr* e, const Scope& scope) {
+    const can::DbcMessage* msg = message_of(e->object.get(), scope);
+    if (!msg || e->args.empty()) return;
+    const auto idx = const_value(e->args[0].get());
+    if (!idx) return;
+    const int width = e->access_width;
+    const char* unit = width == 1 ? "byte" : width == 2 ? "word" : "dword";
+    if (*idx < 0 || (*idx + 1) * width > std::int64_t(msg->dlc)) {
+      sink_.add(std::string(kRuleCaplByteIndexRange), Severity::Warning, file_,
+                span_at(e->line, e->column),
+                std::string(unit) + "(" + std::to_string(*idx) +
+                    ") reaches past the " + std::to_string(int(msg->dlc)) +
+                    "-byte payload of message '" + msg->name + "'");
+    }
+  }
+
+  void check_signal_write(const CaplStmt* s, const Scope& scope) {
+    const CaplExpr* lv = s->lvalue.get();
+    if (!lv || lv->kind != CExprKind::Member || is_builtin_member(lv->text)) {
+      return;
+    }
+    const can::DbcMessage* msg = message_of(lv->object.get(), scope);
+    if (!msg) return;
+    const can::DbcSignal* sig = msg->find_signal(lv->text);
+    if (!sig) return;  // C003 already reported
+    // Only plain raw-valued signals: with a factor/offset the written
+    // physical value is rescaled before packing, so a literal bound check
+    // would be wrong.
+    if (sig->spec.factor != 1.0 || sig->spec.offset != 0.0) return;
+    const auto v = const_value(s->value.get());
+    if (!v || s->assign_op != 0) return;
+    const unsigned len = sig->spec.length;
+    if (len >= 64) return;
+    bool fits;
+    if (sig->spec.is_signed) {
+      const std::int64_t lo = -(std::int64_t(1) << (len - 1));
+      const std::int64_t hi = (std::int64_t(1) << (len - 1)) - 1;
+      fits = *v >= lo && *v <= hi;
+    } else {
+      fits = *v >= 0 && *v < (std::int64_t(1) << len);
+    }
+    if (!fits) {
+      sink_.add(std::string(kRuleCaplSignalOverflow), Severity::Warning, file_,
+                span_at(lv->line, lv->column, int(lv->text.size())),
+                "value " + std::to_string(*v) + " cannot fit signal '" +
+                    sig->spec.name + "' (" + std::to_string(len) +
+                    (sig->spec.is_signed ? " signed" : " unsigned") +
+                    " bit(s))");
+    }
+  }
+
+  const CaplProgram& prog_;
+  const can::DbcDatabase* db_;
+  const std::string& file_;
+  DiagnosticSink& sink_;
+
+  std::set<std::string> globals_;
+  std::set<std::string> functions_;
+  std::map<std::string, const can::DbcMessage*> global_msgs_;
+};
+
+}  // namespace
+
+void lint_capl(const capl::CaplProgram& prog, const can::DbcDatabase* db,
+               const std::string& file, DiagnosticSink& sink) {
+  CaplLinter(prog, db, file, sink).run();
+}
+
+}  // namespace ecucsp::lint

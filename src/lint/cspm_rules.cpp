@@ -1,0 +1,397 @@
+// CSPm model checks (S0xx).
+//
+// Name resolution walks the script with a proper binder-aware scope
+// (parameters, let bindings, generators, '?x' communication binders, set
+// comprehensions). The unused/vacuity rules deliberately over-approximate
+// "referenced" by collecting every name that appears syntactically — an
+// over-approximation can only silence a warning, never invent one.
+//
+// S004 (unguarded recursion) builds a call graph restricted to *unguarded*
+// positions: a reference inside a prefix continuation ('a -> P') is guarded;
+// everything else — choice operands, parallel/seq/hide/rename operands,
+// guard bodies, if branches, let bodies — is not. A definition that can
+// reach itself through unguarded edges would make the LTS compiler chase an
+// infinite unfolding (or the divergence checker find a tau cycle the hard
+// way), so it is flagged here.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace ecucsp::lint {
+
+namespace {
+
+using cspm::AssertionAst;
+using cspm::Expr;
+using cspm::ExprKind;
+using cspm::Script;
+
+bool is_builtin(const std::string& name) {
+  return name == "union" || name == "inter" || name == "diff" ||
+         name == "card" || name == "empty" || name == "member" ||
+         name == "Union";
+}
+
+Span span_of(const Expr* e, int length = 1) {
+  return Span{e->line, e->column > 0 ? e->column : 1, length > 0 ? length : 1};
+}
+
+/// Every Name / Call-head occurring under `e`, binders included
+/// (over-approximation used by the usage rules).
+void collect_names(const Expr* e, std::set<std::string>& out) {
+  if (!e) return;
+  if (e->kind == ExprKind::Name || e->kind == ExprKind::Call) {
+    out.insert(e->name);
+  }
+  for (const auto& kid : e->kids) collect_names(kid.get(), out);
+  collect_names(e->head.get(), out);
+  for (const auto& f : e->fields) {
+    collect_names(f.restriction.get(), out);
+    collect_names(f.expr.get(), out);
+  }
+  for (const auto& g : e->gens) collect_names(g.set.get(), out);
+  for (const auto& r : e->renames) {
+    collect_names(r.from.get(), out);
+    collect_names(r.to.get(), out);
+  }
+  for (const auto& b : e->bindings) collect_names(b.body.get(), out);
+}
+
+class CspmLinter {
+ public:
+  CspmLinter(const Script& script, const std::string& file,
+             DiagnosticSink& sink)
+      : script_(script), file_(file), sink_(sink) {}
+
+  void run() {
+    collect_declarations();
+    resolve_all();
+    report_unused();
+    report_unguarded_recursion();
+    report_vacuous_assertions();
+  }
+
+ private:
+  // --- declaration tables ----------------------------------------------------
+
+  void collect_declarations() {
+    for (const auto& c : script_.channels) {
+      for (const auto& n : c.names) channels_.insert(n);
+    }
+    for (const auto& d : script_.datatypes) {
+      types_.insert(d.name);
+      for (const auto& ctor : d.constructors) ctors_.insert(ctor);
+    }
+    for (const auto& n : script_.nametypes) types_.insert(n.name);
+    for (const auto& d : script_.definitions) defs_.insert(d.name);
+  }
+
+  bool is_global(const std::string& name) const {
+    return channels_.count(name) || types_.count(name) ||
+           ctors_.count(name) || defs_.count(name) || is_builtin(name);
+  }
+
+  // --- S001 / S002: binder-aware resolution ----------------------------------
+
+  using Scope = std::set<std::string>;
+
+  void resolve_all() {
+    for (const auto& c : script_.channels) {
+      for (const auto& t : c.field_types) resolve(t.get(), {});
+    }
+    for (const auto& n : script_.nametypes) resolve(n.type.get(), {});
+    for (const auto& d : script_.definitions) {
+      Scope scope(d.params.begin(), d.params.end());
+      resolve(d.body.get(), scope);
+    }
+    for (const auto& a : script_.assertions) {
+      resolve(a.lhs.get(), {});
+      resolve(a.rhs.get(), {});
+    }
+  }
+
+  void resolve(const Expr* e, Scope scope) {
+    if (!e) return;
+    switch (e->kind) {
+      case ExprKind::Name:
+        check_defined(e, scope);
+        return;
+      case ExprKind::Call:
+        check_defined(e, scope);
+        for (const auto& kid : e->kids) resolve(kid.get(), scope);
+        return;
+      case ExprKind::Prefix: {
+        check_prefix_head(e, scope);
+        resolve(e->head.get(), scope);
+        // '?x' binders scope over later fields and the continuation.
+        for (const auto& f : e->fields) {
+          resolve(f.restriction.get(), scope);
+          resolve(f.expr.get(), scope);
+          if (f.kind == cspm::CommField::Kind::Input) scope.insert(f.var);
+        }
+        if (!e->kids.empty()) resolve(e->kids[0].get(), scope);
+        return;
+      }
+      case ExprKind::Let: {
+        for (const auto& b : e->bindings) scope.insert(b.name);
+        for (const auto& b : e->bindings) {
+          Scope inner = scope;
+          inner.insert(b.params.begin(), b.params.end());
+          resolve(b.body.get(), inner);
+        }
+        if (!e->kids.empty()) resolve(e->kids[0].get(), scope);
+        return;
+      }
+      case ExprKind::Replicated:
+      case ExprKind::SetComp: {
+        // Generator sets are evaluated left to right, each seeing the
+        // binders introduced before it; the body sees them all.
+        for (const auto& g : e->gens) {
+          resolve(g.set.get(), scope);
+          scope.insert(g.var);
+        }
+        for (const auto& kid : e->kids) resolve(kid.get(), scope);
+        return;
+      }
+      case ExprKind::Rename:
+        for (const auto& kid : e->kids) resolve(kid.get(), scope);
+        for (const auto& r : e->renames) {
+          resolve(r.from.get(), scope);
+          resolve(r.to.get(), scope);
+        }
+        return;
+      default:
+        for (const auto& kid : e->kids) resolve(kid.get(), scope);
+        return;
+    }
+  }
+
+  void check_defined(const Expr* e, const Scope& scope) {
+    if (scope.count(e->name) || is_global(e->name)) return;
+    sink_.add(std::string(kRuleCspmUndefinedName), Severity::Error, file_,
+              span_of(e, int(e->name.size())),
+              "use of undefined name '" + e->name + "'");
+  }
+
+  /// The base name a prefix head communicates on: 'c', 'c.v', 'c!e?x'.
+  static const Expr* head_base(const Expr* head) {
+    while (head && head->kind == ExprKind::Dot && !head->kids.empty()) {
+      head = head->kids[0].get();
+    }
+    return head;
+  }
+
+  void check_prefix_head(const Expr* e, const Scope& scope) {
+    const Expr* base = head_base(e->head.get());
+    if (!base || base->kind != ExprKind::Name) return;
+    // A bound variable may hold a channel at runtime; only names that are
+    // statically known to be something *else* are flagged.
+    if (scope.count(base->name) || channels_.count(base->name)) return;
+    if (!is_global(base->name)) return;  // S001 already fired
+    sink_.add(std::string(kRuleCspmNotAChannel), Severity::Error, file_,
+              span_of(base, int(base->name.size())),
+              "'" + base->name +
+                  "' is used as an event prefix but is not a declared "
+                  "channel");
+  }
+
+  // --- S003 / S006: usage ----------------------------------------------------
+
+  void report_unused() {
+    // Names referenced outside each definition's own body; a definition
+    // that only mentions itself ('P = a -> P') is still unused.
+    std::map<std::string, std::set<std::string>> per_def;
+    for (const auto& d : script_.definitions) {
+      collect_names(d.body.get(), per_def[d.name]);
+    }
+    std::set<std::string> outside;  // from non-definition contexts
+    for (const auto& c : script_.channels) {
+      for (const auto& t : c.field_types) collect_names(t.get(), outside);
+    }
+    for (const auto& n : script_.nametypes) collect_names(n.type.get(), outside);
+    for (const auto& a : script_.assertions) {
+      collect_names(a.lhs.get(), outside);
+      collect_names(a.rhs.get(), outside);
+    }
+
+    auto used_beyond = [&](const std::string& name) {
+      if (outside.count(name)) return true;
+      for (const auto& [def, names] : per_def) {
+        if (def != name && names.count(name)) return true;
+      }
+      return false;
+    };
+
+    // A script with no assertions is a model fragment meant to be consumed
+    // elsewhere (ecucsp_extract emits the composed SYSTEM last); its final
+    // definition is the implicit root, not dead code.
+    const std::string implicit_root =
+        script_.assertions.empty() && !script_.definitions.empty()
+            ? script_.definitions.back().name
+            : std::string();
+
+    for (const auto& d : script_.definitions) {
+      if (d.name == implicit_root) continue;
+      if (!used_beyond(d.name)) {
+        sink_.add(std::string(kRuleCspmUnusedDefinition), Severity::Warning,
+                  file_, Span{d.line, 1, int(d.name.size())},
+                  "process '" + d.name +
+                      "' is never used by another definition or assertion");
+      }
+    }
+    for (const auto& c : script_.channels) {
+      for (const auto& n : c.names) {
+        bool used = outside.count(n) != 0;
+        for (const auto& [def, names] : per_def) {
+          if (used) break;
+          used = names.count(n) != 0;
+        }
+        if (!used) {
+          sink_.add(std::string(kRuleCspmUnusedChannel), Severity::Warning,
+                    file_, Span{c.line, 1, int(n.size())},
+                    "channel '" + n + "' is declared but never used");
+        }
+      }
+    }
+  }
+
+  // --- S004: unguarded recursion ---------------------------------------------
+
+  /// Definition names referenced in unguarded positions of `e`. Prefix
+  /// continuations are the only guarded position; head/field expressions
+  /// still evaluate before the event fires.
+  void unguarded_refs(const Expr* e, std::set<std::string>& out) const {
+    if (!e) return;
+    if (e->kind == ExprKind::Name || e->kind == ExprKind::Call) {
+      if (defs_.count(e->name)) out.insert(e->name);
+    }
+    if (e->kind == ExprKind::Prefix) {
+      unguarded_refs(e->head.get(), out);
+      for (const auto& f : e->fields) {
+        unguarded_refs(f.restriction.get(), out);
+        unguarded_refs(f.expr.get(), out);
+      }
+      return;  // kids[0] is the guarded continuation
+    }
+    for (const auto& kid : e->kids) unguarded_refs(kid.get(), out);
+    unguarded_refs(e->head.get(), out);
+    for (const auto& g : e->gens) unguarded_refs(g.set.get(), out);
+    for (const auto& r : e->renames) {
+      unguarded_refs(r.from.get(), out);
+      unguarded_refs(r.to.get(), out);
+    }
+    for (const auto& b : e->bindings) unguarded_refs(b.body.get(), out);
+  }
+
+  void report_unguarded_recursion() {
+    std::map<std::string, std::set<std::string>> edges;
+    std::map<std::string, int> lines;
+    for (const auto& d : script_.definitions) {
+      unguarded_refs(d.body.get(), edges[d.name]);
+      lines.emplace(d.name, d.line);
+    }
+    for (const auto& d : script_.definitions) {
+      // DFS: can d reach itself through unguarded edges only?
+      std::set<std::string> visited;
+      std::vector<std::string> stack(edges[d.name].begin(),
+                                     edges[d.name].end());
+      bool cyclic = edges[d.name].count(d.name) != 0;
+      while (!cyclic && !stack.empty()) {
+        const std::string cur = stack.back();
+        stack.pop_back();
+        if (!visited.insert(cur).second) continue;
+        if (cur == d.name) break;
+        for (const auto& next : edges[cur]) {
+          if (next == d.name) {
+            cyclic = true;
+            break;
+          }
+          stack.push_back(next);
+        }
+      }
+      if (cyclic) {
+        sink_.add(std::string(kRuleCspmUnguardedRecursion), Severity::Warning,
+                  file_, Span{d.line, 1, int(d.name.size())},
+                  "process '" + d.name +
+                      "' can recurse without an intervening event prefix");
+      }
+    }
+  }
+
+  // --- S005: static refinement vacuity ---------------------------------------
+
+  /// Channels syntactically reachable from `e`, following definition
+  /// references transitively.
+  std::set<std::string> reachable_channels(const Expr* e) const {
+    std::set<std::string> names;
+    collect_names(e, names);
+    std::vector<std::string> work(names.begin(), names.end());
+    std::set<std::string> seen_defs;
+    while (!work.empty()) {
+      const std::string cur = work.back();
+      work.pop_back();
+      if (!defs_.count(cur) || !seen_defs.insert(cur).second) continue;
+      for (const auto& d : script_.definitions) {
+        if (d.name != cur) continue;
+        std::set<std::string> inner;
+        collect_names(d.body.get(), inner);
+        for (const auto& n : inner) {
+          if (names.insert(n).second) work.push_back(n);
+        }
+      }
+    }
+    std::set<std::string> chans;
+    for (const auto& n : names) {
+      if (channels_.count(n)) chans.insert(n);
+    }
+    return chans;
+  }
+
+  void report_vacuous_assertions() {
+    for (const auto& a : script_.assertions) {
+      if (a.kind != AssertionAst::Kind::RefinesT &&
+          a.kind != AssertionAst::Kind::RefinesF &&
+          a.kind != AssertionAst::Kind::RefinesFD) {
+        continue;
+      }
+      const std::set<std::string> spec = reachable_channels(a.lhs.get());
+      const std::set<std::string> impl = reachable_channels(a.rhs.get());
+      if (spec.empty() || impl.empty()) continue;
+      bool disjoint = true;
+      for (const auto& c : spec) {
+        if (impl.count(c)) {
+          disjoint = false;
+          break;
+        }
+      }
+      if (disjoint) {
+        sink_.add(std::string(kRuleCspmVacuousRefinement), Severity::Warning,
+                  file_, Span{a.line, 1, 1},
+                  "refinement is potentially vacuous: the implementation "
+                  "shares no channel with the specification (spec uses '" +
+                      *spec.begin() + "', impl does not)");
+      }
+    }
+  }
+
+  const Script& script_;
+  const std::string& file_;
+  DiagnosticSink& sink_;
+
+  std::set<std::string> channels_;
+  std::set<std::string> types_;
+  std::set<std::string> ctors_;
+  std::set<std::string> defs_;
+};
+
+}  // namespace
+
+void lint_cspm(const cspm::Script& script, const std::string& file,
+               DiagnosticSink& sink) {
+  CspmLinter(script, file, sink).run();
+}
+
+}  // namespace ecucsp::lint

@@ -1,0 +1,95 @@
+// CANdb consistency checks (D0xx).
+//
+// Bit occupancy is computed as a 64-bit mask of *physical* payload bits
+// (byte*8 + bit-within-byte), which makes overlap and DLC checks exact for
+// both byte orders: Intel signals grow upward from the start bit, Motorola
+// signals start at the MSB of their start byte and grow down through each
+// byte then on to the next (the DBC "sawtooth").
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "lint/lint.hpp"
+
+namespace ecucsp::lint {
+
+namespace {
+
+struct Occupancy {
+  std::uint64_t mask = 0;     // physical bits 0..63
+  bool past_payload = false;  // any bit lands beyond the message DLC
+};
+
+Occupancy occupancy(const can::SignalSpec& spec, unsigned dlc_bits) {
+  Occupancy occ;
+  if (spec.byte_order == can::ByteOrder::Intel) {
+    for (unsigned i = 0; i < spec.length; ++i) {
+      const unsigned bit = spec.start_bit + i;
+      if (bit >= dlc_bits) occ.past_payload = true;
+      if (bit < 64) occ.mask |= std::uint64_t(1) << bit;
+    }
+  } else {
+    unsigned byte = spec.start_bit / 8;
+    int bit_in_byte = int(spec.start_bit % 8);
+    for (unsigned i = 0; i < spec.length; ++i) {
+      const unsigned bit = byte * 8 + unsigned(bit_in_byte);
+      if (bit >= dlc_bits) occ.past_payload = true;
+      if (bit < 64) occ.mask |= std::uint64_t(1) << bit;
+      if (--bit_in_byte < 0) {
+        bit_in_byte = 7;
+        ++byte;
+      }
+    }
+  }
+  return occ;
+}
+
+}  // namespace
+
+void lint_dbc(const can::DbcDatabase& db, const std::string& file,
+              DiagnosticSink& sink) {
+  std::map<can::CanId, const can::DbcMessage*> by_id;
+  for (const auto& msg : db.messages) {
+    const auto [it, inserted] = by_id.emplace(msg.id, &msg);
+    if (!inserted) {
+      sink.add(std::string(kRuleDbcDuplicateMessageId), Severity::Error, file,
+               Span{msg.line, 1, 1},
+               "messages '" + it->second->name + "' and '" + msg.name +
+                   "' share CAN id " + std::to_string(msg.id));
+    }
+
+    const unsigned dlc_bits = unsigned(msg.dlc) * 8;
+    std::set<std::string> names;
+    std::vector<std::pair<const can::DbcSignal*, Occupancy>> placed;
+    for (const auto& sig : msg.signals) {
+      if (!names.insert(sig.spec.name).second) {
+        sink.add(std::string(kRuleDbcDuplicateSignal), Severity::Warning, file,
+                 Span{sig.line, 1, 1},
+                 "message '" + msg.name + "' defines signal '" +
+                     sig.spec.name + "' more than once");
+      }
+      const Occupancy occ = occupancy(sig.spec, dlc_bits);
+      if (occ.past_payload) {
+        sink.add(std::string(kRuleDbcSignalExceedsDlc), Severity::Error, file,
+                 Span{sig.line, 1, 1},
+                 "signal '" + sig.spec.name + "' (" +
+                     std::to_string(sig.spec.length) + " bit(s) at " +
+                     std::to_string(sig.spec.start_bit) +
+                     ") extends past the " + std::to_string(int(msg.dlc)) +
+                     "-byte payload of message '" + msg.name + "'");
+      }
+      for (const auto& [other, other_occ] : placed) {
+        if ((occ.mask & other_occ.mask) != 0) {
+          sink.add(std::string(kRuleDbcSignalOverlap), Severity::Error, file,
+                   Span{sig.line, 1, 1},
+                   "signal '" + sig.spec.name + "' overlaps signal '" +
+                       other->spec.name + "' in message '" + msg.name + "'");
+        }
+      }
+      placed.emplace_back(&sig, occ);
+    }
+  }
+}
+
+}  // namespace ecucsp::lint

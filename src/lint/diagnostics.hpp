@@ -1,0 +1,96 @@
+// Diagnostics engine for the cross-layer lint pass.
+//
+// A Diagnostic is a plain record: stable rule id, severity, source file,
+// span and message. The sink collects them from every analyzer family
+// (CAPL, DBC, CSPm); rendering is deterministic — diagnostics are sorted
+// by (file, line, column, rule, message) so output is byte-stable across
+// analyzer orderings — and comes in two shapes:
+//   * human: "file:line:col: severity: message [rule]" plus the offending
+//     source line with a caret/tilde underline;
+//   * JSON: a versioned, machine-stable schema for editor/CI integration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ecucsp::lint {
+
+enum class Severity : std::uint8_t { Note, Warning, Error };
+
+std::string_view to_string(Severity s);
+
+/// Half-open source region on one line; column 1-based, length in
+/// characters (>= 1 so the caret renderer always has something to point
+/// at). line == 0 means "whole file" (e.g. a file-level parse failure).
+struct Span {
+  int line = 0;
+  int column = 1;
+  int length = 1;
+};
+
+struct Diagnostic {
+  std::string rule;     // stable id from the catalogue, e.g. "C002"
+  Severity severity = Severity::Warning;
+  std::string file;     // as given by the caller; "<ota>" etc. for builtins
+  Span span;
+  std::string message;
+
+  /// Deterministic rendering/report order.
+  friend bool operator<(const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.span.line != b.span.line) return a.span.line < b.span.line;
+    if (a.span.column != b.span.column) return a.span.column < b.span.column;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  }
+};
+
+/// Collector shared by the analyzer families.
+class DiagnosticSink {
+ public:
+  void add(Diagnostic d) { diags_.push_back(std::move(d)); }
+  void add(std::string rule, Severity severity, std::string file, Span span,
+           std::string message) {
+    diags_.push_back({std::move(rule), severity, std::move(file), span,
+                      std::move(message)});
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  std::size_t count(Severity s) const;
+  bool has_errors() const { return count(Severity::Error) > 0; }
+
+  /// Sort into the deterministic report order and drop exact duplicates.
+  void finalize();
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+/// Source texts by file name, for caret rendering. Files missing from the
+/// map render without the source/caret lines.
+using SourceMap = std::map<std::string, std::string, std::less<>>;
+
+/// Human-readable report:
+///   vmg.can:23:12: error: handler references unknown message 'Foo' [C002]
+///      23 | on message Foo {
+///         |            ^~~
+/// Tabs in the source line are preserved in the gutter copy and mirrored in
+/// the caret line's padding, so the underline stays aligned in terminals
+/// regardless of tab width.
+std::string render_text(const std::vector<Diagnostic>& diags,
+                        const SourceMap& sources);
+
+/// Machine-readable report (schema version 1, stable key order):
+/// {"lint_format":1,"diagnostics":[{"rule":...,"severity":...,"file":...,
+///  "line":...,"column":...,"length":...,"message":...}],
+///  "summary":{"errors":N,"warnings":N,"notes":N}}
+std::string render_json(const std::vector<Diagnostic>& diags);
+
+/// One-line summary, e.g. "2 error(s), 1 warning(s)".
+std::string summary_line(const std::vector<Diagnostic>& diags);
+
+}  // namespace ecucsp::lint

@@ -1,0 +1,71 @@
+#include "lint/lint.hpp"
+
+#include "capl/parser.hpp"
+#include "cspm/lexer.hpp"
+#include "cspm/parser.hpp"
+
+namespace ecucsp::lint {
+
+bool LintReport::has_errors() const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::Error) return true;
+  }
+  return false;
+}
+
+bool LintReport::has_warnings() const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::Warning) return true;
+  }
+  return false;
+}
+
+LintReport run_lint(const LintRequest& req) {
+  DiagnosticSink sink;
+  LintReport report;
+
+  // The database first: CAPL rules cross-reference it, but only when it
+  // parsed — a broken DBC yields one E001, not a cascade of C002s.
+  std::optional<can::DbcDatabase> db;
+  if (req.dbc) {
+    report.sources[req.dbc->path] = req.dbc->text;
+    try {
+      db = can::parse_dbc(req.dbc->text);
+      lint_dbc(*db, req.dbc->path, sink);
+    } catch (const can::DbcParseError& e) {
+      sink.add(std::string(kRuleParseError), Severity::Error, req.dbc->path,
+               Span{e.line, 1, 1}, e.what());
+    }
+  }
+
+  for (const SourceFile& f : req.capl) {
+    report.sources[f.path] = f.text;
+    try {
+      const capl::CaplProgram prog = capl::parse_capl(f.text);
+      lint_capl(prog, db ? &*db : nullptr, f.path, sink);
+    } catch (const capl::CaplError& e) {
+      sink.add(std::string(kRuleParseError), Severity::Error, f.path,
+               Span{e.line, e.column, 1}, e.what());
+    }
+  }
+
+  for (const SourceFile& f : req.cspm) {
+    report.sources[f.path] = f.text;
+    try {
+      const cspm::Script script = cspm::parse_cspm(f.text);
+      lint_cspm(script, f.path, sink);
+    } catch (const cspm::ParseError& e) {
+      sink.add(std::string(kRuleParseError), Severity::Error, f.path,
+               Span{e.line, e.column, 1}, e.what());
+    } catch (const cspm::LexError& e) {
+      sink.add(std::string(kRuleParseError), Severity::Error, f.path,
+               Span{e.line, e.column, 1}, e.what());
+    }
+  }
+
+  sink.finalize();
+  report.diagnostics = sink.diagnostics();
+  return report;
+}
+
+}  // namespace ecucsp::lint

@@ -1,0 +1,62 @@
+// Cross-layer lint orchestrator.
+//
+// The lint pass guards the extract-then-verify pipeline (ISSUE: extraction
+// soundness bugs are the dominant failure mode of such pipelines): it parses
+// each input with the production front ends, then runs three analyzer
+// families over the ASTs —
+//   * CAPL semantic checks against the loaded CANdb (C0xx),
+//   * CANdb internal consistency (D0xx),
+//   * CSPm model checks including static refinement vacuity (S0xx).
+// Lex/parse failures are not thrown at the caller; they become E001
+// diagnostics so a single report covers every input.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "can/dbc.hpp"
+#include "capl/ast.hpp"
+#include "cspm/ast.hpp"
+#include "lint/diagnostics.hpp"
+#include "lint/rules.hpp"
+
+namespace ecucsp::lint {
+
+struct SourceFile {
+  std::string path;  // label used in diagnostics; need not exist on disk
+  std::string text;
+};
+
+struct LintRequest {
+  std::vector<SourceFile> capl;
+  std::optional<SourceFile> dbc;  // at most one database per run
+  std::vector<SourceFile> cspm;
+};
+
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;  // finalized (sorted, deduped)
+  SourceMap sources;                    // for caret rendering
+
+  bool has_errors() const;
+  bool has_warnings() const;
+};
+
+/// Parse and analyze everything in the request.
+LintReport run_lint(const LintRequest& req);
+
+// --- analyzer families (exposed for unit tests and embedded-model lint) -----
+
+/// CAPL semantic checks. `db` may be null (DBC-dependent rules are skipped).
+void lint_capl(const capl::CaplProgram& prog, const can::DbcDatabase* db,
+               const std::string& file, DiagnosticSink& sink);
+
+/// CANdb consistency checks.
+void lint_dbc(const can::DbcDatabase& db, const std::string& file,
+              DiagnosticSink& sink);
+
+/// CSPm model checks.
+void lint_cspm(const cspm::Script& script, const std::string& file,
+               DiagnosticSink& sink);
+
+}  // namespace ecucsp::lint

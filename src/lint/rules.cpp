@@ -1,0 +1,67 @@
+#include "lint/rules.hpp"
+
+namespace ecucsp::lint {
+
+namespace {
+
+constexpr RuleInfo kRules[] = {
+    {kRuleParseError, Severity::Error,
+     "input does not lex/parse; the analyzers cannot run on this file"},
+
+    {kRuleCaplDuplicateHandler, Severity::Error,
+     "two event procedures handle the same event (message/timer/key/start)"},
+    {kRuleCaplUnknownMessage, Severity::Error,
+     "handler or declaration references a message absent from the CANdb"},
+    {kRuleCaplUnknownSignal, Severity::Error,
+     "member access names a signal the CANdb does not define on that message"},
+    {kRuleCaplSignalOverflow, Severity::Warning,
+     "constant written to a signal cannot fit the signal's declared bit width"},
+    {kRuleCaplByteIndexRange, Severity::Warning,
+     "byte/word/dword access reaches past the message's DLC"},
+    {kRuleCaplUnreachableCode, Severity::Warning,
+     "statement is unreachable (follows return/break in the same block)"},
+    {kRuleCaplUndefinedName, Severity::Error,
+     "name resolves to no variable, parameter, function or builtin"},
+    {kRuleCaplThisOutsideHandler, Severity::Error,
+     "'this' used outside an 'on message' event procedure"},
+    {kRuleCaplDuplicateVariable, Severity::Warning,
+     "variable name declared more than once in the same scope"},
+
+    {kRuleDbcSignalExceedsDlc, Severity::Error,
+     "signal bits extend past the message's DLC payload"},
+    {kRuleDbcSignalOverlap, Severity::Error,
+     "two signals of one message occupy overlapping bit ranges"},
+    {kRuleDbcDuplicateMessageId, Severity::Error,
+     "two messages share one CAN identifier"},
+    {kRuleDbcDuplicateSignal, Severity::Warning,
+     "message defines two signals with the same name"},
+
+    {kRuleCspmUndefinedName, Severity::Error,
+     "name is neither declared (channel/datatype/nametype/definition) nor "
+     "bound nor a builtin"},
+    {kRuleCspmNotAChannel, Severity::Error,
+     "prefix head ('x -> P') is not a declared channel event"},
+    {kRuleCspmUnusedDefinition, Severity::Warning,
+     "process definition is never referenced by any definition or assertion"},
+    {kRuleCspmUnguardedRecursion, Severity::Warning,
+     "definition can recurse into itself without an intervening event "
+     "prefix; the engine would reject or diverge on it"},
+    {kRuleCspmVacuousRefinement, Severity::Warning,
+     "refinement assertion whose implementation side shares no channel with "
+     "the specification side; a PASS would be vacuous"},
+    {kRuleCspmUnusedChannel, Severity::Warning,
+     "channel is declared but never used by any definition or assertion"},
+};
+
+}  // namespace
+
+std::span<const RuleInfo> all_rules() { return kRules; }
+
+const RuleInfo* find_rule(std::string_view id) {
+  for (const RuleInfo& r : kRules) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace ecucsp::lint

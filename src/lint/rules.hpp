@@ -1,0 +1,60 @@
+// The lint rule catalogue.
+//
+// Rule ids are STABLE: once shipped they are never renumbered or reused,
+// so CI baselines, editor suppressions and the JSON schema stay valid
+// across releases. Families:
+//   E0xx  input-level failures (lex/parse errors surfaced as diagnostics)
+//   C0xx  CAPL semantic checks
+//   D0xx  CANdb (DBC) consistency checks
+//   S0xx  CSPm / model checks (including refinement vacuity)
+// The full catalogue with examples lives in DESIGN.md.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "lint/diagnostics.hpp"
+
+namespace ecucsp::lint {
+
+struct RuleInfo {
+  std::string_view id;
+  Severity severity;        // default severity
+  std::string_view summary; // one-line description for --list-rules / docs
+};
+
+// --- input ------------------------------------------------------------------
+inline constexpr std::string_view kRuleParseError = "E001";
+
+// --- CAPL -------------------------------------------------------------------
+inline constexpr std::string_view kRuleCaplDuplicateHandler = "C001";
+inline constexpr std::string_view kRuleCaplUnknownMessage = "C002";
+inline constexpr std::string_view kRuleCaplUnknownSignal = "C003";
+inline constexpr std::string_view kRuleCaplSignalOverflow = "C004";
+inline constexpr std::string_view kRuleCaplByteIndexRange = "C005";
+inline constexpr std::string_view kRuleCaplUnreachableCode = "C006";
+inline constexpr std::string_view kRuleCaplUndefinedName = "C007";
+inline constexpr std::string_view kRuleCaplThisOutsideHandler = "C008";
+inline constexpr std::string_view kRuleCaplDuplicateVariable = "C009";
+
+// --- DBC --------------------------------------------------------------------
+inline constexpr std::string_view kRuleDbcSignalExceedsDlc = "D001";
+inline constexpr std::string_view kRuleDbcSignalOverlap = "D002";
+inline constexpr std::string_view kRuleDbcDuplicateMessageId = "D003";
+inline constexpr std::string_view kRuleDbcDuplicateSignal = "D004";
+
+// --- CSPm -------------------------------------------------------------------
+inline constexpr std::string_view kRuleCspmUndefinedName = "S001";
+inline constexpr std::string_view kRuleCspmNotAChannel = "S002";
+inline constexpr std::string_view kRuleCspmUnusedDefinition = "S003";
+inline constexpr std::string_view kRuleCspmUnguardedRecursion = "S004";
+inline constexpr std::string_view kRuleCspmVacuousRefinement = "S005";
+inline constexpr std::string_view kRuleCspmUnusedChannel = "S006";
+
+/// The whole catalogue, in id order.
+std::span<const RuleInfo> all_rules();
+
+/// nullptr for unknown ids.
+const RuleInfo* find_rule(std::string_view id);
+
+}  // namespace ecucsp::lint

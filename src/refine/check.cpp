@@ -264,6 +264,37 @@ CheckResult refinement_uncached(Context& ctx, ProcessRef spec, ProcessRef impl,
 
   result.stats.product_states = keys.size();
   result.passed = true;
+
+  // Vacuity: which events does the spec actually *constrain*? An event
+  // allowed in every normal node (e.g. everything under RUN(Sigma)) is
+  // never restricted, so it cannot witness the property; the constrained
+  // set is the union-minus-intersection of per-node initials. If the
+  // implementation's reachable alphabet misses all of them, the pass is
+  // trivially true — flag it rather than let a broken extraction "verify".
+  {
+    EventSet allowed_union;
+    EventSet allowed_inter;
+    bool first = true;
+    for (const NormNode& n : norm.nodes) {
+      allowed_union = allowed_union.set_union(n.initials);
+      allowed_inter = first ? n.initials : allowed_inter.set_intersection(n.initials);
+      first = false;
+    }
+    EventSet constrained = allowed_union.set_difference(allowed_inter);
+    constrained = constrained.set_difference(EventSet{TAU, TICK});
+    if (!constrained.empty()) {
+      bool touched = false;
+      for (StateId s = 0; s < impl_lts.state_count() && !touched; ++s) {
+        for (const LtsTransition& t : impl_lts.succ[s]) {
+          if (t.event != TAU && t.event != TICK && constrained.contains(t.event)) {
+            touched = true;
+            break;
+          }
+        }
+      }
+      result.vacuous = !touched;
+    }
+  }
   return result;
 }
 

@@ -61,6 +61,13 @@ struct CheckResult {
   bool passed = false;
   std::optional<Counterexample> counterexample;
   CheckStats stats;
+  /// Refinement checks only: the check passed but the implementation's
+  /// reachable alphabet never touches any event the specification actually
+  /// constrains (an event the spec allows in some states but not others).
+  /// Such a PASS says nothing about the property — typically the sign of an
+  /// extraction/renaming bug upstream. Always false for failed or unary
+  /// checks.
+  bool vacuous = false;
   /// True when this verdict was served by the installed CheckCache instead
   /// of a fresh exploration. Transient — never serialized into the store.
   bool from_cache = false;

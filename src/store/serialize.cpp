@@ -290,6 +290,7 @@ std::vector<std::uint8_t> encode_check(const Context& ctx,
                                        const CheckResult& res) {
   ByteWriter w;
   w.u8(res.passed ? 1 : 0);
+  w.u8(res.vacuous ? 1 : 0);
   w.u8(res.counterexample ? 1 : 0);
   if (res.counterexample) {
     const Counterexample& c = *res.counterexample;
@@ -312,6 +313,9 @@ CheckResult decode_check(ByteReader& r, Context& ctx) {
   const std::uint8_t passed = r.u8();
   if (passed > 1) throw SerializeError("bad passed flag");
   res.passed = passed == 1;
+  const std::uint8_t vacuous = r.u8();
+  if (vacuous > 1) throw SerializeError("bad vacuous flag");
+  res.vacuous = vacuous == 1;
   const std::uint8_t has_cex = r.u8();
   if (has_cex > 1) throw SerializeError("bad counterexample flag");
   if (has_cex) {

@@ -59,6 +59,29 @@ ProcessRef dilate(Context& ctx, ProcessRef system, std::size_t k) {
   return ctx.hide(ctx.interleave(system, cyclers), ctx.events_of(dil));
 }
 
+/// Rename every event the system can perform onto a fresh primed channel,
+/// leaving the spec-side events interned but unreachable — the signature of
+/// an extraction pipeline that got its channel mapping wrong. The primed
+/// events are interned *before* the requirement specs are built, so specs
+/// quantifying over Sigma (RUN, precedence witnesses) still admit them.
+ProcessRef inject_mismatch(Context& ctx, ProcessRef system) {
+  const EventSet alpha = ctx.alphabet();
+  std::vector<Value> idx;
+  idx.reserve(alpha.size());
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    idx.push_back(Value::integer(static_cast<std::int64_t>(i)));
+  }
+  const ChannelId prime = ctx.channel("verify_mismatch", {idx});
+  std::vector<RenamePair> pairs;
+  pairs.reserve(alpha.size());
+  std::size_t i = 0;
+  for (const EventId e : alpha) {
+    pairs.push_back({e, ctx.event(prime, {idx[i]})});
+    ++i;
+  }
+  return ctx.rename(system, std::move(pairs));
+}
+
 }  // namespace
 
 std::vector<CheckTask> ota_requirement_matrix(OtaMatrixOptions options) {
@@ -111,11 +134,12 @@ std::vector<CheckTask> ota_requirement_matrix(OtaMatrixOptions options) {
     const AttackerVariant variant = cell.variant;
     const std::size_t dilation = options.dilation;
     const std::size_t max_states = options.max_states;
-    t.custom = [id, variant, dilation, max_states](CancelToken& token) {
+    const bool mismatch = options.inject_alphabet_mismatch;
+    t.custom = [id, variant, dilation, max_states, mismatch](CancelToken& token) {
       token.poll_now();
       auto m = ota::build_ota_model();
-      const ProcessRef system =
-          dilate(m->ctx, system_of(*m, variant), dilation);
+      ProcessRef system = dilate(m->ctx, system_of(*m, variant), dilation);
+      if (mismatch) system = inject_mismatch(m->ctx, system);
       return render(m->ctx, ota::check_requirement_on(*m, id, system,
                                                       max_states, &token));
     };

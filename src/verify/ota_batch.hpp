@@ -35,6 +35,12 @@ struct OtaMatrixOptions {
   std::size_t dilation = 0;
   std::optional<std::chrono::milliseconds> timeout;
   std::size_t max_states = 1u << 22;
+  /// Fault injection for the vacuity detector: rename the system under test
+  /// onto a fresh primed alphabet before checking, the same effect as an
+  /// extractor that mis-maps every network channel. The R02..R05 specs then
+  /// hold trivially — their cells still PASS, but with CheckResult::vacuous
+  /// set, which the matrix report surfaces as a warning.
+  bool inject_alphabet_mismatch = false;
 };
 
 /// The full R01..R05 x attacker-model matrix: 15 tasks in row-major

@@ -118,6 +118,7 @@ TaskOutcome run_task(const CheckTask& task, CancelToken& token) {
     out.status = rc.result.passed ? TaskStatus::Passed : TaskStatus::Failed;
     out.stats = rc.result.stats;
     out.cached = rc.result.from_cache;
+    out.vacuous = rc.result.vacuous;
     out.counterexample = std::move(rc.counterexample);
   } catch (const CheckCancelled& c) {
     out.status = c.reason() == CheckCancelled::Reason::DeadlineExceeded

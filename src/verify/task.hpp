@@ -108,6 +108,9 @@ struct TaskOutcome {
   /// True when the verdict came out of the installed verification cache
   /// (CheckResult::from_cache) rather than a fresh exploration.
   bool cached = false;
+  /// CheckResult::vacuous: the check passed but the implementation never
+  /// reaches any event the spec constrains, so the PASS is suspect.
+  bool vacuous = false;
   std::chrono::nanoseconds wall{0};
   std::optional<bool> expected;
 

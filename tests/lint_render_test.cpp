@@ -1,0 +1,142 @@
+// Golden-file tests for the diagnostic renderers: the human caret format
+// and the JSON schema are byte-stable contracts (editors and CI parse
+// them), so both are pinned against checked-in goldens. Regenerate with
+//   ECUCSP_UPDATE_GOLDEN=1 ctest -R lint_render
+// after an intentional format change, and review the diff.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+
+namespace ecucsp::lint {
+namespace {
+
+std::filesystem::path golden_dir() { return ECUCSP_GOLDEN_DIR; }
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void expect_matches_golden(const std::string& actual, const char* name) {
+  const std::filesystem::path path = golden_dir() / name;
+  if (std::getenv("ECUCSP_UPDATE_GOLDEN")) {
+    std::ofstream out(path, std::ios::binary);
+    out << actual;
+    ASSERT_TRUE(out.good()) << "cannot update golden " << path;
+    return;
+  }
+  ASSERT_TRUE(std::filesystem::exists(path))
+      << "golden " << path << " missing; run with ECUCSP_UPDATE_GOLDEN=1";
+  EXPECT_EQ(actual, read_file(path)) << "output drifted from golden " << name
+                                     << "; if intentional, regenerate with "
+                                        "ECUCSP_UPDATE_GOLDEN=1 and review";
+}
+
+/// A fixed scenario covering the renderer's edge cases: two files, a
+/// multi-character underline, a tab-indented source line, a note, and a
+/// whole-file (line 0) diagnostic.
+struct Scenario {
+  std::vector<Diagnostic> diags;
+  SourceMap sources;
+};
+
+Scenario scenario() {
+  Scenario s;
+  s.sources["vmg.can"] =
+      "variables {\n"
+      "  message Ghost tx;\n"
+      "\toutput(tx);\n";
+  s.sources["model.csp"] = "channel a\nP = a -> Q\n";
+  // Deliberately inserted out of report order (and one exact duplicate):
+  // finalize() must sort and dedupe before rendering.
+  s.diags.push_back({"S001", Severity::Error, "model.csp", {2, 10, 1},
+                     "use of undefined name 'Q'"});
+  s.diags.push_back({"C002", Severity::Error, "vmg.can", {2, 11, 5},
+                     "message 'Ghost' is not defined in the CANdb"});
+  s.diags.push_back({"C002", Severity::Error, "vmg.can", {2, 11, 5},
+                     "message 'Ghost' is not defined in the CANdb"});
+  s.diags.push_back({"C007", Severity::Warning, "vmg.can", {3, 9, 2},
+                     "tab-indented span stays aligned"});
+  s.diags.push_back({"E001", Severity::Error, "broken.dbc", {0, 1, 1},
+                     "unexpected end of input"});
+  s.diags.push_back({"S003", Severity::Note, "model.csp", {2, 1, 1},
+                     "a note-severity diagnostic"});
+  DiagnosticSink sink;
+  for (Diagnostic& d : s.diags) sink.add(std::move(d));
+  sink.finalize();
+  s.diags = sink.diagnostics();
+  return s;
+}
+
+TEST(LintRender, TextMatchesGolden) {
+  const Scenario s = scenario();
+  expect_matches_golden(render_text(s.diags, s.sources), "lint_report.txt");
+}
+
+TEST(LintRender, JsonMatchesGolden) {
+  const Scenario s = scenario();
+  expect_matches_golden(render_json(s.diags), "lint_report.json");
+}
+
+TEST(LintRender, OrderingIsDeterministic) {
+  // Same diagnostics, reversed insertion order: identical report.
+  const Scenario fwd = scenario();
+  DiagnosticSink rev;
+  for (auto it = fwd.diags.rbegin(); it != fwd.diags.rend(); ++it) {
+    rev.add(*it);
+  }
+  rev.finalize();
+  EXPECT_EQ(render_text(rev.diagnostics(), fwd.sources),
+            render_text(fwd.diags, fwd.sources));
+  EXPECT_EQ(render_json(rev.diagnostics()), render_json(fwd.diags));
+}
+
+TEST(LintRender, FinalizeDropsExactDuplicates) {
+  const Scenario s = scenario();
+  int c002 = 0;
+  for (const Diagnostic& d : s.diags) c002 += d.rule == "C002";
+  EXPECT_EQ(c002, 1);  // inserted twice, reported once
+}
+
+TEST(LintRender, CaretPaddingPreservesTabs) {
+  const Scenario s = scenario();
+  const std::string text = render_text(s.diags, s.sources);
+  // The caret line under "\toutput(tx);" must start with a tab so the
+  // underline tracks the source whatever tab width the terminal uses.
+  EXPECT_NE(text.find("| \t"), std::string::npos);
+}
+
+TEST(LintRender, WholeFileDiagnosticsRenderWithoutCarets) {
+  const Scenario s = scenario();
+  const std::string text = render_text(s.diags, s.sources);
+  // Line 0 => no location suffix and no caret block for that entry.
+  EXPECT_NE(text.find("broken.dbc: error: unexpected end of input [E001]\n"),
+            std::string::npos);
+}
+
+TEST(LintRender, SummaryLineCountsBySeverity) {
+  const Scenario s = scenario();
+  EXPECT_EQ(summary_line(s.diags), "3 error(s), 1 warning(s), 1 note(s)");
+}
+
+TEST(LintRender, JsonEscapesControlAndQuoteCharacters) {
+  std::vector<Diagnostic> diags;
+  diags.push_back({"E001", Severity::Error, "a\"b.csp", {1, 1, 1},
+                   "line\nbreak\tand \"quote\""});
+  const std::string json = render_json(diags);
+  EXPECT_NE(json.find("a\\\"b.csp"), std::string::npos);
+  EXPECT_NE(json.find("line\\nbreak\\tand \\\"quote\\\""), std::string::npos);
+  EXPECT_EQ(json.find('\n'), json.size() - 1);  // one trailing newline only
+}
+
+}  // namespace
+}  // namespace ecucsp::lint

@@ -1,0 +1,190 @@
+// Regression tests pinning source spans on multi-line inputs: the CAPL
+// parser's statement/expression lines and columns, the CSPm lexer's token
+// coordinates (and the columns the parser copies into the AST), and the
+// DBC parser's per-message/per-signal line numbers. The lint renderer's
+// carets are only as good as these.
+#include <gtest/gtest.h>
+
+#include "can/dbc.hpp"
+#include "capl/parser.hpp"
+#include "cspm/lexer.hpp"
+#include "cspm/parser.hpp"
+
+namespace ecucsp {
+namespace {
+
+// --- CAPL --------------------------------------------------------------------
+
+TEST(CaplSpans, TopLevelDeclarationsCarryLineAndColumn) {
+  const capl::CaplProgram prog = capl::parse_capl(
+      "variables {\n"
+      "  int x;\n"
+      "  message 0x100 tx;\n"
+      "}\n"
+      "\n"
+      "on start {\n"
+      "  x = 1;\n"
+      "}\n"
+      "\n"
+      "void helper(int n) {\n"
+      "  x = n;\n"
+      "}\n");
+  ASSERT_EQ(prog.variables.size(), 2u);
+  EXPECT_EQ(prog.variables[0].line, 2);
+  EXPECT_EQ(prog.variables[0].column, 3);
+  EXPECT_EQ(prog.variables[1].line, 3);
+  EXPECT_EQ(prog.variables[1].column, 3);
+  ASSERT_EQ(prog.handlers.size(), 1u);
+  EXPECT_EQ(prog.handlers[0].line, 6);
+  EXPECT_EQ(prog.handlers[0].column, 1);
+  ASSERT_EQ(prog.functions.size(), 1u);
+  EXPECT_EQ(prog.functions[0].line, 10);
+  EXPECT_EQ(prog.functions[0].column, 1);
+}
+
+TEST(CaplSpans, StatementsAndExpressionsPointAtTheirFirstToken) {
+  const capl::CaplProgram prog = capl::parse_capl(
+      "variables {\n"
+      "  int x;\n"
+      "  int y;\n"
+      "}\n"
+      "on start {\n"
+      "  x = 1 + y;\n"
+      "  if (x)\n"
+      "    y = 2;\n"
+      "}\n");
+  const capl::CaplStmt* body = prog.handlers.at(0).body.get();
+  ASSERT_EQ(body->kind, capl::CStmtKind::Block);
+  ASSERT_EQ(body->body.size(), 2u);
+
+  const capl::CaplStmt* assign = body->body[0].get();
+  EXPECT_EQ(assign->line, 6);
+  EXPECT_EQ(assign->column, 3);
+  // "x = 1 + y": the sum inherits its left operand's position, names point
+  // at their own first character.
+  const capl::CaplExpr* sum = assign->value.get();
+  ASSERT_EQ(sum->kind, capl::CExprKind::Binary);
+  EXPECT_EQ(sum->line, 6);
+  EXPECT_EQ(sum->column, 7);
+  ASSERT_EQ(sum->args.size(), 2u);
+  EXPECT_EQ(sum->args[1]->line, 6);
+  EXPECT_EQ(sum->args[1]->column, 11);
+
+  const capl::CaplStmt* iff = body->body[1].get();
+  EXPECT_EQ(iff->line, 7);
+  EXPECT_EQ(iff->column, 3);
+  ASSERT_NE(iff->then_branch, nullptr);
+  EXPECT_EQ(iff->then_branch->line, 8);
+  EXPECT_EQ(iff->then_branch->column, 5);
+}
+
+TEST(CaplSpans, MemberAndByteAccessInheritTheObjectPosition) {
+  const capl::CaplProgram prog = capl::parse_capl(
+      "variables {\n"
+      "  message 0x100 tx;\n"
+      "}\n"
+      "on start {\n"
+      "  tx.Seq = 3;\n"
+      "  output(tx.byte(0));\n"
+      "}\n");
+  const capl::CaplStmt* body = prog.handlers.at(0).body.get();
+  const capl::CaplExpr* member = body->body.at(0)->lvalue.get();
+  ASSERT_EQ(member->kind, capl::CExprKind::Member);
+  EXPECT_EQ(member->line, 5);
+  EXPECT_EQ(member->column, 3);  // the whole postfix chain starts at 'tx'
+  const capl::CaplExpr* byte_acc = body->body.at(1)->expr->args.at(0).get();
+  ASSERT_EQ(byte_acc->kind, capl::CExprKind::ByteAccess);
+  EXPECT_EQ(byte_acc->line, 6);
+  EXPECT_EQ(byte_acc->column, 10);
+}
+
+TEST(CaplSpans, ParseErrorsCarryLineAndColumn) {
+  try {
+    capl::parse_capl("on start {\n  x = ;\n}\n");
+    FAIL() << "expected CaplError";
+  } catch (const capl::CaplError& e) {
+    EXPECT_EQ(e.line, 2);
+    EXPECT_GT(e.column, 0);
+  }
+}
+
+// --- CSPm --------------------------------------------------------------------
+
+TEST(CspmSpans, LexerTracksLineAndColumnAcrossLines) {
+  const auto toks = cspm::lex("channel a\n  P = a -> Q\n");
+  ASSERT_GE(toks.size(), 8u);
+  EXPECT_EQ(toks[0].kind, cspm::Tok::KwChannel);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].column, 1);
+  EXPECT_EQ(toks[1].text, "a");
+  EXPECT_EQ(toks[1].column, 9);
+  EXPECT_EQ(toks[2].text, "P");
+  EXPECT_EQ(toks[2].line, 2);
+  EXPECT_EQ(toks[2].column, 3);
+  EXPECT_EQ(toks[4].text, "a");
+  EXPECT_EQ(toks[4].column, 7);
+  EXPECT_EQ(toks[5].kind, cspm::Tok::Arrow);
+  EXPECT_EQ(toks[5].column, 9);
+  EXPECT_EQ(toks[6].text, "Q");
+  EXPECT_EQ(toks[6].column, 12);
+}
+
+TEST(CspmSpans, CommentsDoNotShiftFollowingTokens) {
+  const auto toks = cspm::lex("-- remark\n{- block\n   comment -} P\n");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "P");
+  EXPECT_EQ(toks[0].line, 3);
+  EXPECT_EQ(toks[0].column, 15);
+}
+
+TEST(CspmSpans, AstExpressionsKeepTokenCoordinates) {
+  const cspm::Script s = cspm::parse_cspm(
+      "channel a\n"
+      "channel b\n"
+      "P = a -> b -> STOP\n");
+  ASSERT_EQ(s.channels.size(), 2u);
+  EXPECT_EQ(s.channels[0].line, 1);
+  EXPECT_EQ(s.channels[1].line, 2);
+  ASSERT_EQ(s.definitions.size(), 1u);
+  EXPECT_EQ(s.definitions[0].line, 3);
+  const cspm::Expr* prefix = s.definitions[0].body.get();
+  ASSERT_EQ(prefix->kind, cspm::ExprKind::Prefix);
+  ASSERT_NE(prefix->head, nullptr);
+  EXPECT_EQ(prefix->head->line, 3);
+  EXPECT_EQ(prefix->head->column, 5);
+  const cspm::Expr* second = prefix->kids.at(0).get();
+  ASSERT_EQ(second->kind, cspm::ExprKind::Prefix);
+  EXPECT_EQ(second->head->column, 10);
+}
+
+TEST(CspmSpans, LexErrorsCarryLineAndColumn) {
+  try {
+    cspm::lex("channel a\n  $\n");
+    FAIL() << "expected LexError";
+  } catch (const cspm::LexError& e) {
+    EXPECT_EQ(e.line, 2);
+    EXPECT_EQ(e.column, 3);
+  }
+}
+
+// --- DBC ---------------------------------------------------------------------
+
+TEST(DbcSpans, MessagesAndSignalsRememberTheirLine) {
+  const can::DbcDatabase db = can::parse_dbc(
+      "VERSION \"1.0\"\n"
+      "\n"
+      "BO_ 256 Ping: 8 NodeA\n"
+      " SG_ Seq : 0|8@1+ (1,0) [0|255] \"\" NodeB\n"
+      "\n"
+      "BO_ 257 Pong: 8 NodeB\n"
+      " SG_ Ack : 0|8@1+ (1,0) [0|255] \"\" NodeA\n");
+  ASSERT_EQ(db.messages.size(), 2u);
+  EXPECT_EQ(db.messages[0].line, 3);
+  ASSERT_EQ(db.messages[0].signals.size(), 1u);
+  EXPECT_EQ(db.messages[0].signals[0].line, 4);
+  EXPECT_EQ(db.messages[1].line, 6);
+  EXPECT_EQ(db.messages[1].signals[0].line, 7);
+}
+
+}  // namespace
+}  // namespace ecucsp

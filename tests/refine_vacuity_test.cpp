@@ -1,0 +1,94 @@
+// Vacuity detection on refinement checks: a PASS where the implementation
+// never reaches any event the specification actually constrains (allowed in
+// some spec states but not all) proves nothing about the property — the
+// classic symptom of an extractor that mis-mapped its channels. The engine
+// flags such passes with CheckResult::vacuous.
+#include <gtest/gtest.h>
+
+#include "refine/check.hpp"
+
+namespace ecucsp {
+namespace {
+
+class VacuityTest : public ::testing::Test {
+ protected:
+  VacuityTest() {
+    a = ctx.event(ctx.channel("a"));
+    b = ctx.event(ctx.channel("b"));
+  }
+
+  Context ctx;
+  EventId a, b;
+};
+
+TEST_F(VacuityTest, PassWithoutTouchingConstrainedEventsIsVacuous) {
+  // SPEC = a -> STOP constrains 'a' (allowed initially, forbidden after);
+  // IMPL = STOP trivially trace-refines it while never going near 'a'.
+  const ProcessRef spec = ctx.prefix(a, ctx.stop());
+  const CheckResult r =
+      check_refinement(ctx, spec, ctx.stop(), Model::Traces);
+  EXPECT_TRUE(r.passed);
+  EXPECT_TRUE(r.vacuous);
+}
+
+TEST_F(VacuityTest, PassThatExercisesTheSpecIsNotVacuous) {
+  const ProcessRef spec = ctx.prefix(a, ctx.stop());
+  const ProcessRef impl = ctx.prefix(a, ctx.stop());
+  const CheckResult r = check_refinement(ctx, spec, impl, Model::Traces);
+  EXPECT_TRUE(r.passed);
+  EXPECT_FALSE(r.vacuous);
+}
+
+TEST_F(VacuityTest, FailedChecksAreNeverVacuous) {
+  const ProcessRef spec = ctx.prefix(a, ctx.stop());
+  const ProcessRef impl = ctx.prefix(b, ctx.stop());
+  const CheckResult r = check_refinement(ctx, spec, impl, Model::Traces);
+  EXPECT_FALSE(r.passed);
+  EXPECT_FALSE(r.vacuous);
+}
+
+TEST_F(VacuityTest, UnconstrainingSpecCannotBeVacuouslyPassed) {
+  // REC = a -> REC allows 'a' in its only state: constrained(SPEC) is
+  // empty, so even IMPL = STOP is a genuine (if weak) pass, not a vacuous
+  // one — there is nothing the impl could have failed to exercise.
+  ctx.define("REC", [this](Context& cx, std::span<const Value>) {
+    return cx.prefix(a, cx.var("REC"));
+  });
+  const CheckResult r =
+      check_refinement(ctx, ctx.var("REC"), ctx.stop(), Model::Traces);
+  EXPECT_TRUE(r.passed);
+  EXPECT_FALSE(r.vacuous);
+}
+
+TEST_F(VacuityTest, VacuityIsDetectedInTheFailuresModelToo) {
+  // (a -> STOP) |~| STOP may refuse everything, so STOP passes [F= — but
+  // still without ever reaching the constrained event 'a'.
+  const ProcessRef spec =
+      ctx.int_choice(ctx.prefix(a, ctx.stop()), ctx.stop());
+  const CheckResult r =
+      check_refinement(ctx, spec, ctx.stop(), Model::Failures);
+  EXPECT_TRUE(r.passed);
+  EXPECT_TRUE(r.vacuous);
+}
+
+TEST_F(VacuityTest, ImplReachingOneConstrainedEventSuffices) {
+  // SPEC = a -> b -> STOP constrains both events; an impl that performs
+  // only the first still touches the constrained set, so the pass stands.
+  const ProcessRef spec = ctx.prefix(a, ctx.prefix(b, ctx.stop()));
+  const ProcessRef impl = ctx.prefix(a, ctx.stop());
+  const CheckResult r = check_refinement(ctx, spec, impl, Model::Traces);
+  EXPECT_TRUE(r.passed);
+  EXPECT_FALSE(r.vacuous);
+}
+
+TEST_F(VacuityTest, UnaryChecksNeverReportVacuity) {
+  ctx.define("LOOP", [this](Context& cx, std::span<const Value>) {
+    return cx.prefix(a, cx.var("LOOP"));
+  });
+  const CheckResult r = check_deadlock_free(ctx, ctx.var("LOOP"));
+  EXPECT_TRUE(r.passed);
+  EXPECT_FALSE(r.vacuous);
+}
+
+}  // namespace
+}  // namespace ecucsp

@@ -321,6 +321,21 @@ TEST(SerializeCheck, PassingVerdictRoundTrips) {
   EXPECT_FALSE(back.from_cache);
 }
 
+TEST(SerializeCheck, VacuousFlagRoundTrips) {
+  // Format v2 carries the vacuity bit: a vacuous PASS must not come back
+  // from the store looking like a meaningful one.
+  Context ctx;
+  CheckResult res;
+  res.passed = true;
+  res.vacuous = true;
+  const CheckResult back = unseal_check(seal_check(ctx, res), ctx);
+  EXPECT_TRUE(back.passed);
+  EXPECT_TRUE(back.vacuous);
+
+  res.vacuous = false;
+  EXPECT_FALSE(unseal_check(seal_check(ctx, res), ctx).vacuous);
+}
+
 TEST(SerializeCheck, CounterexampleRoundTripsAcrossContexts) {
   // A real failing refinement, serialized and decoded into a fresh Context:
   // the rendered counterexample must be byte-identical.

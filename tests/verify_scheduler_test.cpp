@@ -228,6 +228,32 @@ TEST(RunTask, ExpiredDeadlineFiresBeforeExploration) {
   EXPECT_EQ(out.status, TaskStatus::TimedOut);
 }
 
+TEST(VerifyScheduler, AlphabetMismatchInjectionMakesPassesVacuous) {
+  // Fault injection for the vacuity detector: renaming the system under
+  // test onto a fresh primed alphabet (the effect of an extractor that
+  // mis-maps every channel) must never produce a clean PASS. Every cell
+  // that still passes does so vacuously — and an honest run has no
+  // vacuous cells at all.
+  VerifyScheduler sched({.jobs = 2});
+  const BatchResult honest = sched.run(ota_requirement_matrix());
+  for (const TaskOutcome& o : honest.outcomes) {
+    EXPECT_FALSE(o.vacuous) << o.name;
+  }
+
+  const BatchResult injected =
+      sched.run(ota_requirement_matrix({.inject_alphabet_mismatch = true}));
+  std::size_t vacuous_passes = 0;
+  for (const TaskOutcome& o : injected.outcomes) {
+    if (o.status == TaskStatus::Passed) {
+      EXPECT_TRUE(o.vacuous) << "clean PASS under injection: " << o.name;
+      ++vacuous_passes;
+    } else {
+      EXPECT_FALSE(o.vacuous) << o.name;
+    }
+  }
+  EXPECT_GT(vacuous_passes, 0u);
+}
+
 TEST(CancelToken, PollThrowsAfterRequestCancel) {
   CancelToken token;
   EXPECT_NO_THROW(token.poll());
