@@ -1,0 +1,115 @@
+// Conformance-suite throughput and coverage scaling.
+//
+// Sweeps the random-suite size (4 / 8 / 16 tests by default) plus the
+// coverage-tour suite, measuring tests/second through the parallel
+// scheduler and the planned/observed transition coverage each suite size
+// buys. Results go to stdout as a table and to BENCH_conform.json as a
+// machine-readable artifact (CI uploads it).
+//
+//   bench_conformance [jobs] [output.json]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "conform/suite.hpp"
+
+using namespace ecucsp;
+
+namespace {
+
+struct Row {
+  std::string suite;
+  std::size_t tests = 0;
+  double wall_ms = 0.0;
+  double tests_per_sec = 0.0;
+  double planned_pct = 0.0;
+  double observed_pct = 0.0;
+  bool ok = false;
+};
+
+Row run_once(const std::string& suite, std::size_t tests, unsigned jobs) {
+  conform::ConformOptions opt;
+  opt.suite = suite;
+  opt.tests = tests;
+  opt.seed = 1;
+  opt.jobs = jobs;
+  const auto t0 = std::chrono::steady_clock::now();
+  const conform::ConformReport rep = conform::run_ota_conformance(opt);
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  Row r;
+  r.suite = suite;
+  r.tests = rep.tests.size();
+  r.wall_ms = wall_ms;
+  r.tests_per_sec =
+      wall_ms > 0.0 ? 1000.0 * static_cast<double>(rep.tests.size()) / wall_ms
+                    : 0.0;
+  r.planned_pct = rep.planned_coverage_pct();
+  r.observed_pct = rep.observed_coverage_pct();
+  r.ok = rep.ok();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned jobs =
+      argc > 1 ? static_cast<unsigned>(std::strtoul(argv[1], nullptr, 10)) : 0;
+  const std::filesystem::path json_path =
+      argc > 2 ? argv[2] : "BENCH_conform.json";
+
+  std::printf("conformance bench: OTA reference ECU, %s worker(s)\n\n",
+              jobs == 0 ? "all" : std::to_string(jobs).c_str());
+  std::printf("%-8s %6s %10s %12s %9s %9s %5s\n", "suite", "tests", "wall_ms",
+              "tests/sec", "plan%", "obs%", "ok");
+
+  std::vector<Row> rows;
+  for (std::size_t n : {4u, 8u, 16u}) {
+    rows.push_back(run_once("random", n, jobs));
+  }
+  rows.push_back(run_once("cover", 0, jobs));
+  rows.push_back(run_once("all", 8, jobs));
+
+  bool all_ok = true;
+  for (const Row& r : rows) {
+    std::printf("%-8s %6zu %10.1f %12.1f %8.1f%% %8.1f%% %5s\n",
+                r.suite.c_str(), r.tests, r.wall_ms, r.tests_per_sec,
+                r.planned_pct, r.observed_pct, r.ok ? "yes" : "NO");
+    all_ok = all_ok && r.ok;
+  }
+
+  std::FILE* f = std::fopen(json_path.string().c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.string().c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"conformance\",\n"
+               "  \"jobs\": %u,\n"
+               "  \"runs\": [\n",
+               jobs);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"suite\": \"%s\", \"tests\": %zu, \"wall_ms\": %.3f, "
+                 "\"tests_per_sec\": %.2f, \"planned_coverage_pct\": %.1f, "
+                 "\"observed_coverage_pct\": %.1f, \"ok\": %s}%s\n",
+                 r.suite.c_str(), r.tests, r.wall_ms, r.tests_per_sec,
+                 r.planned_pct, r.observed_pct, r.ok ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"all_ok\": %s\n"
+               "}\n",
+               all_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", json_path.string().c_str());
+  return all_ok ? 0 : 1;
+}

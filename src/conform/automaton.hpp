@@ -1,0 +1,67 @@
+// Portable symbolic automata — the data structure conformance testing is
+// built on.
+//
+// Everything in src/core is Context-bound and Contexts are not thread-safe
+// (core/context.hpp), yet a conformance run wants to compile the spec and
+// the implementation model *once* and then judge observed traces from many
+// worker threads. A SymAutomaton squares that: it is the normalized
+// (deterministic) LTS of a process with every event rendered to its
+// portable name string ("send.UpdApplyReq"), so it carries no EventId,
+// ProcessRef or Context reference and is safe to share read-only across
+// any number of test-executor threads.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/cancel.hpp"
+#include "core/context.hpp"
+
+namespace ecucsp::conform {
+
+struct SymEdge {
+  std::string event;
+  std::uint32_t target = 0;
+};
+
+/// A deterministic automaton over event-name strings. succ[n] is sorted by
+/// event name, so lookup is a binary search. Hand-built requirement oracles
+/// use add_edge()/sort_edges(); compiled ones come from
+/// compile_sym_automaton().
+struct SymAutomaton {
+  static constexpr std::uint32_t NONE = 0xffffffffu;
+
+  std::uint32_t root = 0;
+  std::vector<std::vector<SymEdge>> succ;
+
+  std::size_t state_count() const { return succ.size(); }
+  std::size_t edge_count() const;
+
+  /// The unique outgoing edge of `node` labelled `event`, or nullptr.
+  const SymEdge* edge(std::uint32_t node, std::string_view event) const;
+
+  /// Event names offered at `node`, in sorted order.
+  std::vector<std::string> offered(std::uint32_t node) const;
+
+  /// Every event name appearing on some edge.
+  std::set<std::string> event_alphabet() const;
+
+  /// Builder helpers: grow nodes on demand, then sort once at the end.
+  void add_edge(std::uint32_t from, std::string event, std::uint32_t to);
+  void sort_edges();
+};
+
+/// Compile `p` restricted to the visible events in `keep` (everything else
+/// is hidden first) into a symbolic automaton: hide -> compile_lts ->
+/// normalize -> render event names. TAU never appears in a normalized
+/// automaton and TICK is dropped — observed bus traces carry neither.
+/// Cancellation and the state budget reach both exploration passes.
+SymAutomaton compile_sym_automaton(Context& ctx, ProcessRef p,
+                                   const EventSet& keep,
+                                   std::size_t max_states = 1u << 20,
+                                   CancelToken* cancel = nullptr);
+
+}  // namespace ecucsp::conform

@@ -1,0 +1,214 @@
+#include "conform/generate.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace ecucsp::conform {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+/// plannable-ness per (node, edge index), precomputed once per generation.
+std::vector<std::vector<bool>> plannable_mask(const SymAutomaton& model,
+                                              const GeneratorOptions& opt) {
+  std::vector<std::vector<bool>> mask(model.succ.size());
+  for (std::size_t n = 0; n < model.succ.size(); ++n) {
+    mask[n].resize(model.succ[n].size());
+    for (std::size_t i = 0; i < model.succ[n].size(); ++i) {
+      mask[n][i] = !opt.plannable || opt.plannable(model.succ[n][i].event);
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> plannable_edges(
+    const SymAutomaton& model, const GeneratorOptions& opt) {
+  const auto mask = plannable_mask(model, opt);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  for (std::uint32_t n = 0; n < mask.size(); ++n) {
+    for (std::uint32_t i = 0; i < mask[n].size(); ++i) {
+      if (mask[n][i]) out.emplace_back(n, i);
+    }
+  }
+  return out;
+}
+
+std::vector<TestCase> generate_random(const SymAutomaton& model,
+                                      const GeneratorOptions& opt) {
+  const auto mask = plannable_mask(model, opt);
+  std::vector<TestCase> out;
+  out.reserve(opt.tests);
+  for (std::size_t t = 0; t < opt.tests; ++t) {
+    // Walk t is a function of (seed, t) alone, so suites are reproducible
+    // and individual tests can be re-run in isolation.
+    std::uint64_t rng = opt.seed ^ (0x51'7cc1'b727'220a95ULL * (t + 1));
+    TestCase tc;
+    tc.name = "random-" + std::to_string(t);
+    tc.strategy = "random";
+    tc.seed = splitmix64(rng);
+    std::uint32_t node = model.root;
+    for (std::size_t step = 0; step < opt.max_len; ++step) {
+      std::vector<std::uint32_t> choices;
+      for (std::uint32_t i = 0; i < model.succ[node].size(); ++i) {
+        if (mask[node][i]) choices.push_back(i);
+      }
+      if (choices.empty()) break;
+      const std::uint32_t pick =
+          choices[splitmix64(rng) % choices.size()];
+      tc.events.push_back(model.succ[node][pick].event);
+      node = model.succ[node][pick].target;
+    }
+    out.push_back(std::move(tc));
+  }
+  return out;
+}
+
+std::vector<TestCase> generate_cover(const SymAutomaton& model,
+                                     const GeneratorOptions& opt) {
+  const auto mask = plannable_mask(model, opt);
+  const std::size_t tour_cap = std::max<std::size_t>(4 * opt.max_len, 8);
+
+  std::vector<std::vector<bool>> covered(mask.size());
+  std::size_t uncovered = 0;
+  for (std::size_t n = 0; n < mask.size(); ++n) {
+    covered[n].resize(mask[n].size(), false);
+    for (bool p : mask[n]) uncovered += p ? 1 : 0;
+  }
+
+  // BFS (plannable edges only) from `from` to the nearest node with an
+  // uncovered outgoing edge; returns the edge-index path, empty if none.
+  auto path_to_uncovered = [&](std::uint32_t from,
+                               std::vector<std::uint32_t>& path_nodes,
+                               std::vector<std::uint32_t>& path_edges) {
+    std::vector<std::int64_t> pred_node(model.succ.size(), -1);
+    std::vector<std::uint32_t> pred_edge(model.succ.size(), 0);
+    std::vector<bool> seen(model.succ.size(), false);
+    std::deque<std::uint32_t> queue{from};
+    seen[from] = true;
+    std::int64_t goal = -1;
+    while (!queue.empty()) {
+      const std::uint32_t n = queue.front();
+      queue.pop_front();
+      bool has_uncovered = false;
+      for (std::uint32_t i = 0; i < mask[n].size(); ++i) {
+        if (mask[n][i] && !covered[n][i]) has_uncovered = true;
+      }
+      if (has_uncovered) {
+        goal = n;
+        break;
+      }
+      for (std::uint32_t i = 0; i < model.succ[n].size(); ++i) {
+        if (!mask[n][i]) continue;
+        const std::uint32_t to = model.succ[n][i].target;
+        if (seen[to]) continue;
+        seen[to] = true;
+        pred_node[to] = n;
+        pred_edge[to] = i;
+        queue.push_back(to);
+      }
+    }
+    path_nodes.clear();
+    path_edges.clear();
+    if (goal < 0) return false;
+    for (std::uint32_t n = static_cast<std::uint32_t>(goal); n != from;
+         n = static_cast<std::uint32_t>(pred_node[n])) {
+      path_nodes.push_back(n);
+      path_edges.push_back(pred_edge[n]);
+    }
+    std::reverse(path_nodes.begin(), path_nodes.end());
+    std::reverse(path_edges.begin(), path_edges.end());
+    return true;
+  };
+
+  std::vector<TestCase> out;
+  std::uint64_t rng = opt.seed ^ 0xc0fe'1234'5678'9abcULL;
+  while (uncovered > 0) {
+    TestCase tc;
+    tc.name = "cover-" + std::to_string(out.size());
+    tc.strategy = "cover";
+    tc.seed = splitmix64(rng);
+    std::uint32_t node = model.root;
+    while (tc.events.size() < tour_cap) {
+      std::vector<std::uint32_t> path_nodes, path_edges;
+      if (!path_to_uncovered(node, path_nodes, path_edges)) break;
+      // Traverse the connecting path, then the uncovered edge itself;
+      // everything walked counts as covered.
+      std::uint32_t at = node;
+      for (std::size_t k = 0; k < path_edges.size(); ++k) {
+        const std::uint32_t i = path_edges[k];
+        tc.events.push_back(model.succ[at][i].event);
+        if (!covered[at][i] && mask[at][i]) {
+          covered[at][i] = true;
+          --uncovered;
+        }
+        at = path_nodes[k];
+      }
+      std::uint32_t take = 0;
+      bool found = false;
+      for (std::uint32_t i = 0; i < mask[at].size(); ++i) {
+        if (mask[at][i] && !covered[at][i]) {
+          take = i;
+          found = true;
+          break;
+        }
+      }
+      if (!found) break;  // path edges already consumed the goal's edges
+      tc.events.push_back(model.succ[at][take].event);
+      covered[at][take] = true;
+      --uncovered;
+      node = model.succ[at][take].target;
+    }
+    if (tc.events.empty()) break;  // remaining edges unreachable from root
+    out.push_back(std::move(tc));
+  }
+  return out;
+}
+
+std::optional<TestCase> bridge_counterexample(
+    const std::vector<std::string>& trace,
+    const std::map<std::string, std::string>& bridge,
+    const std::set<std::string>& drop, std::string name) {
+  TestCase tc;
+  tc.name = std::move(name);
+  tc.strategy = "counterexample";
+  for (const std::string& e : trace) {
+    if (drop.contains(e)) continue;
+    auto it = bridge.find(e);
+    if (it == bridge.end()) return std::nullopt;
+    tc.events.push_back(it->second);
+  }
+  if (tc.events.empty()) return std::nullopt;
+  return tc;
+}
+
+std::set<std::pair<std::uint32_t, std::uint32_t>> covered_edges(
+    const SymAutomaton& model, const std::vector<std::string>& events) {
+  const std::set<std::string> alphabet = model.event_alphabet();
+  std::set<std::pair<std::uint32_t, std::uint32_t>> out;
+  std::uint32_t node = model.root;
+  for (const std::string& e : events) {
+    if (!alphabet.contains(e)) continue;  // attacker frames, renamed events
+    const auto& es = model.succ[node];
+    std::uint32_t idx = SymAutomaton::NONE;
+    for (std::uint32_t i = 0; i < es.size(); ++i) {
+      if (es[i].event == e) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == SymAutomaton::NONE) break;  // trace left the model here
+    out.insert({node, idx});
+    node = es[idx].target;
+  }
+  return out;
+}
+
+}  // namespace ecucsp::conform

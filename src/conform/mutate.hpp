@@ -1,0 +1,41 @@
+// Seeded CAPL fault injection for exercising the conformance oracles.
+//
+// A conformance suite that only ever passes proves nothing; these mutants
+// give it something to catch. Both operators produce *commission* faults —
+// extra or wrong bus traffic — because those are exactly what a safety
+// trace oracle can detect (see oracle.hpp on the omission-fault
+// limitation):
+//   * DropGuard      — replace an 'if' with its then-branch. Applied to
+//                      the ECU's MAC check it yields the paper's
+//                      unprotected ECU: forged UpdApplyReq frames now
+//                      trigger an UpdReport (R05/R03 violation).
+//   * RetargetOutput — make an output() transmit a different declared
+//                      message variable: the node answers with the wrong
+//                      frame (model-oracle violation).
+//
+// Mutation points are collected in deterministic AST order, so a seed
+// names the same mutant on every run and in the report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "capl/ast.hpp"
+
+namespace ecucsp::conform {
+
+struct MutationInfo {
+  std::string description;  // operator + what changed
+  std::string handler;      // enclosing handler label
+  int line = 0;
+  int column = 0;
+};
+
+/// Number of applicable mutation points in `prog`.
+std::size_t count_mutation_points(const capl::CaplProgram& prog);
+
+/// Apply mutation point (seed % count) in place. Throws std::runtime_error
+/// when the program has no mutation points.
+MutationInfo mutate_program(capl::CaplProgram& prog, std::uint64_t seed);
+
+}  // namespace ecucsp::conform

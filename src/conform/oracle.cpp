@@ -1,0 +1,46 @@
+#include "conform/oracle.hpp"
+
+namespace ecucsp::conform {
+
+OracleVerdict TraceOracle::judge(const std::vector<std::string>& events) const {
+  std::uint32_t node = automaton.root;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const std::string& e = events[i];
+    if (ignored.contains(e)) continue;
+    if (!alphabet.contains(e)) {
+      if (!strict) continue;
+      OracleVerdict v;
+      v.accepted = false;
+      v.divergence_index = i;
+      v.event = e;
+      v.offered = automaton.offered(node);
+      v.reason = "event outside the oracle alphabet";
+      return v;
+    }
+    const SymEdge* edge = automaton.edge(node, e);
+    if (edge == nullptr) {
+      OracleVerdict v;
+      v.accepted = false;
+      v.divergence_index = i;
+      v.event = e;
+      v.offered = automaton.offered(node);
+      v.reason = "spec offers no such event here";
+      return v;
+    }
+    node = edge->target;
+  }
+  return {};
+}
+
+TraceOracle compile_oracle(Context& ctx, std::string name, ProcessRef spec,
+                           const EventSet& keep, bool strict,
+                           std::size_t max_states, CancelToken* cancel) {
+  TraceOracle oracle;
+  oracle.name = std::move(name);
+  oracle.automaton = compile_sym_automaton(ctx, spec, keep, max_states, cancel);
+  for (EventId e : keep) oracle.alphabet.insert(ctx.event_name(e));
+  oracle.strict = strict;
+  return oracle;
+}
+
+}  // namespace ecucsp::conform

@@ -1,0 +1,62 @@
+// Trace oracles: accept/reject an observed event sequence against a spec.
+//
+// The oracle is the "check every run against the spec" half of model-based
+// conformance testing. It walks a SymAutomaton over the observed trace and
+// reports the first divergence: the index, the offending event, and what
+// the spec offered instead. Because it is pure data over event-name
+// strings, one oracle compiled on the main thread serves every test
+// executor concurrently.
+//
+// Scope (documented limitation): a trace oracle checks *safety* — it
+// detects commission faults (the implementation did something the spec
+// forbids) but not omission faults (the implementation silently did
+// nothing where the spec would eventually act). Liveness needs timed or
+// refusal testing, which is out of scope here.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "conform/automaton.hpp"
+
+namespace ecucsp::conform {
+
+struct OracleVerdict {
+  bool accepted = true;
+  /// When rejected: index into the judged trace of the offending event.
+  std::size_t divergence_index = 0;
+  std::string event;
+  /// What the spec automaton offered at the divergence point.
+  std::vector<std::string> offered;
+  std::string reason;
+};
+
+struct TraceOracle {
+  std::string name;
+  SymAutomaton automaton;
+  /// Events this oracle constrains. An alphabet event must match an
+  /// automaton edge; anything else is skipped (or rejected under strict).
+  std::set<std::string> alphabet;
+  /// Events skipped silently even under strict (e.g. attacker-injected
+  /// frames the model deliberately has no word for).
+  std::set<std::string> ignored;
+  /// Reject events outside alphabet + ignored instead of skipping them.
+  /// Model oracles are strict — an unknown event name there means the
+  /// frame-to-event mapping and the model alphabet have drifted apart,
+  /// which must surface as a failure, not a silent skip.
+  bool strict = false;
+
+  OracleVerdict judge(const std::vector<std::string>& events) const;
+};
+
+/// Compile a Context-bound spec process into a portable oracle. The oracle
+/// alphabet is the rendered `keep` set (not just the events reachable in
+/// the automaton — an alphabet event the spec never allows must reject).
+TraceOracle compile_oracle(Context& ctx, std::string name, ProcessRef spec,
+                           const EventSet& keep, bool strict = false,
+                           std::size_t max_states = 1u << 20,
+                           CancelToken* cancel = nullptr);
+
+}  // namespace ecucsp::conform

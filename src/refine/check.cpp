@@ -176,7 +176,7 @@ CheckResult refinement_uncached(Context& ctx, ProcessRef spec, ProcessRef impl,
 
   const Lts spec_lts = compile_or_load(ctx, spec, max_states, cancel);
   const bool with_div = model == Model::FailuresDivergences;
-  const NormLts norm = normalize(spec_lts, with_div);
+  const NormLts norm = normalize(spec_lts, with_div, cancel);
 
   const Lts impl_lts = compile_or_load(ctx, impl, max_states, cancel);
   std::vector<bool> impl_diverges;
@@ -397,7 +397,7 @@ CheckResult deterministic_uncached(Context& ctx, ProcessRef p,
   const Lts lts = compile_or_load(ctx, p, max_states, cancel);
   result.stats.impl_states = lts.state_count();
   result.stats.impl_transitions = lts.transition_count();
-  const NormLts norm = normalize(lts, /*with_divergence=*/true);
+  const NormLts norm = normalize(lts, /*with_divergence=*/true, cancel);
   result.stats.spec_norm_nodes = norm.nodes.size();
 
   // BFS over the (deterministic) normal form, tracking traces.

@@ -6,7 +6,7 @@
 
 namespace ecucsp {
 
-MinimizeResult minimize_strong(const Lts& lts) {
+MinimizeResult minimize_strong(const Lts& lts, CancelToken* cancel) {
   const std::size_t n = lts.state_count();
   MinimizeResult result;
   result.original_states = n;
@@ -14,6 +14,7 @@ MinimizeResult minimize_strong(const Lts& lts) {
     result.lts.root = 0;
     return result;
   }
+  if (cancel) cancel->poll_now();
 
   // Kanellakis–Smolka: start with one block, split by transition signature
   // (multimap event -> target block) until stable. O(n^2 log n) worst case,
@@ -28,6 +29,7 @@ MinimizeResult minimize_strong(const Lts& lts) {
     std::vector<StateId> next(n);
     StateId next_blocks = 0;
     for (StateId s = 0; s < n; ++s) {
+      if (cancel) cancel->poll();
       std::set<std::pair<EventId, StateId>> sig;
       for (const LtsTransition& t : lts.succ[s]) {
         sig.emplace(t.event, block[t.target]);
@@ -95,9 +97,9 @@ ProcessRef lts_to_process(Context& ctx, const Lts& lts,
 }
 
 ProcessRef compress(Context& ctx, ProcessRef p, const std::string& name,
-                    std::size_t max_states) {
-  const Lts lts = compile_lts(ctx, p, max_states);
-  const MinimizeResult min = minimize_strong(lts);
+                    std::size_t max_states, CancelToken* cancel) {
+  const Lts lts = compile_lts(ctx, p, max_states, cancel);
+  const MinimizeResult min = minimize_strong(lts, cancel);
   return lts_to_process(ctx, min.lts, name);
 }
 

@@ -6,6 +6,7 @@
 // dramatically; bench_refinement_scaling quantifies the trade-off.
 #pragma once
 
+#include "core/cancel.hpp"
 #include "refine/lts.hpp"
 
 namespace ecucsp {
@@ -18,8 +19,10 @@ struct MinimizeResult {
 
 /// Partition-refinement (Kanellakis–Smolka style) quotient of `lts` by
 /// strong bisimilarity. Transition labels (including tau and tick) are
-/// respected exactly.
-MinimizeResult minimize_strong(const Lts& lts);
+/// respected exactly. O(n^2 log n) worst case, so `cancel` (when given) is
+/// polled per state inside every refinement pass — a long minimisation
+/// honours batch deadlines the same way check.cpp's explorations do.
+MinimizeResult minimize_strong(const Lts& lts, CancelToken* cancel = nullptr);
 
 /// Wrap an explicit LTS back into a process term (one Var definition per
 /// state), so minimised components can be recomposed with other processes.
@@ -31,8 +34,10 @@ ProcessRef lts_to_process(Context& ctx, const Lts& lts,
                           const std::string& name);
 
 /// Convenience: compile, minimise, wrap. The CSP analogue of FDR's
-/// 'sbisim(P)' compression.
+/// 'sbisim(P)' compression. `cancel` reaches both the LTS compilation and
+/// the partition refinement.
 ProcessRef compress(Context& ctx, ProcessRef p, const std::string& name,
-                    std::size_t max_states = 1u << 22);
+                    std::size_t max_states = 1u << 22,
+                    CancelToken* cancel = nullptr);
 
 }  // namespace ecucsp

@@ -73,7 +73,8 @@ std::vector<EventSet> minimise(std::vector<EventSet> sets) {
 
 }  // namespace
 
-NormLts normalize(const Lts& lts, bool with_divergence) {
+NormLts normalize(const Lts& lts, bool with_divergence, CancelToken* cancel) {
+  if (cancel) cancel->poll_now();
   std::vector<bool> diverges;
   if (with_divergence) diverges = lts.divergent_states();
 
@@ -94,6 +95,7 @@ NormLts normalize(const Lts& lts, bool with_divergence) {
   // frontier entries align with node creation order; track index separately.
   NormId next = 0;
   while (next < norm.nodes.size()) {
+    if (cancel) cancel->poll();
     const StateSet closure = [&] {
       const StateSet front = frontier.front();
       frontier.pop_front();

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "refine/lts.hpp"
 
 namespace ecucsp {
@@ -41,6 +42,10 @@ struct NormLts {
 
 /// Normalise `lts`. `with_divergence` additionally computes per-node
 /// divergence (needed for the FD model); it costs one SCC pass.
-NormLts normalize(const Lts& lts, bool with_divergence);
+/// Normalisation is worst-case exponential in the source LTS (subset
+/// construction), so like compile_lts it polls `cancel` per expanded node
+/// and aborts with CheckCancelled when the token fires.
+NormLts normalize(const Lts& lts, bool with_divergence,
+                  CancelToken* cancel = nullptr);
 
 }  // namespace ecucsp

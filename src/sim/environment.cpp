@@ -47,11 +47,43 @@ void Environment::pump_bus() {
   });
 }
 
-void Environment::run(SimTime until_us) {
+void Environment::start() {
+  if (started_) return;
+  started_ = true;
   for (Node* n : nodes_) n->on_start();
   pump_bus();
-  scheduler_.run(until_us);
+}
+
+bool Environment::step(SimTime until_us) {
+  return scheduler_.run_one(until_us);
+}
+
+void Environment::finish() {
+  if (finished_ || !started_) return;
+  finished_ = true;
   for (Node* n : nodes_) n->on_stop();
+}
+
+void Environment::inject(const can::CanFrame& frame) {
+  // Sender id -1 is never a listener endpoint, so every node receives the
+  // frame (nodes only filter their own endpoint).
+  bus_.transmit(frame, /*sender=*/-1);
+  pump_bus();
+}
+
+std::uint64_t Environment::rng() {
+  // splitmix64: tiny, deterministic, and independent of any std:: engine's
+  // implementation-defined stream.
+  std::uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void Environment::run(SimTime until_us) {
+  start();
+  scheduler_.run(until_us);
+  finish();
 }
 
 }  // namespace ecucsp::sim

@@ -52,8 +52,14 @@ struct LogLine {
 
 class Environment {
  public:
-  explicit Environment(std::uint64_t bus_window_us = 100)
-      : bus_(bus_window_us) {}
+  /// `seed` parameterises every source of controlled variation in a run
+  /// (rng()): two environments built with the same seed and driven by the
+  /// same calls produce byte-identical bus traces and logs. The simulation
+  /// itself is wall-clock-free and breaks scheduling ties by insertion
+  /// order, so the seed is the *only* run-to-run degree of freedom.
+  explicit Environment(std::uint64_t bus_window_us = 100,
+                       std::uint64_t seed = 0)
+      : bus_(bus_window_us), rng_state_(seed + 0x9e3779b97f4a7c15ULL) {}
 
   /// Attach a node. The environment keeps a non-owning pointer; nodes must
   /// outlive the environment run.
@@ -62,6 +68,26 @@ class Environment {
   /// Fire every node's on_start at t=0, then run the simulation until the
   /// event queue drains or the deadline passes, then fire on_stop.
   void run(SimTime until_us = 1'000'000);
+
+  /// Stepwise variant of run() for drivers that interleave the simulation
+  /// with external control (test harnesses polling a cancel token): start()
+  /// fires on_start once, step() runs one scheduled task (false when the
+  /// queue is drained or the next task lies beyond `until_us`), finish()
+  /// fires on_stop once. run() == start(); while(step(u)); finish().
+  void start();
+  bool step(SimTime until_us = UINT64_MAX);
+  void finish();
+
+  /// Scriptable injection hook: transmit `frame` on the bus as if sent by
+  /// an external test harness or attacker node (no attached Node required;
+  /// every attached node hears it). Delivery honours arbitration and
+  /// consumes bus windows exactly like node output.
+  void inject(const can::CanFrame& frame);
+
+  /// Deterministic per-environment random stream (splitmix64 over the
+  /// constructor seed). Harnesses use it to jitter stimulus timing so
+  /// different seeds explore different interleavings reproducibly.
+  std::uint64_t rng();
 
   Scheduler& scheduler() { return scheduler_; }
   can::CanBus& bus() { return bus_; }
@@ -76,6 +102,9 @@ class Environment {
   std::vector<Node*> nodes_;
   std::vector<LogLine> log_;
   bool bus_pump_scheduled_ = false;
+  bool started_ = false;
+  bool finished_ = false;
+  std::uint64_t rng_state_;
 };
 
 }  // namespace ecucsp::sim

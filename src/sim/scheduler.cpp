@@ -30,6 +30,12 @@ bool Scheduler::step() {
   return false;
 }
 
+bool Scheduler::run_one(SimTime until_us) {
+  if (empty()) return false;  // also drains cancelled front entries
+  if (queue_.top().when > until_us) return false;
+  return step();
+}
+
 void Scheduler::run(SimTime until_us) {
   while (!queue_.empty()) {
     if (queue_.top().when > until_us) return;

@@ -38,6 +38,12 @@ class Scheduler {
   /// Run the next pending task; returns false when nothing is left.
   bool step();
 
+  /// Run the next pending task only if it is due at or before `until_us`;
+  /// returns false when the queue is drained or the next task lies beyond
+  /// the deadline. This is the primitive for drivers that interleave the
+  /// simulation with external control (cancel-token polling).
+  bool run_one(SimTime until_us);
+
   /// Run until the queue drains or `until_us` is reached.
   void run(SimTime until_us = UINT64_MAX);
 

@@ -1,5 +1,9 @@
 #include "store/cache.hpp"
 
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+
 #include "store/serialize.hpp"
 #include "store/term_digest.hpp"
 
@@ -138,6 +142,46 @@ void VerificationCache::clear_memory() {
 
 std::size_t VerificationCache::trim(std::uint64_t max_bytes) {
   return disk_ ? disk_->trim(max_bytes) : 0;
+}
+
+std::vector<std::vector<std::string>> scan_stored_counterexamples(
+    const std::filesystem::path& dir, Context& ctx) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path root = dir / "objects";
+  if (!fs::is_directory(root, ec)) return {};
+
+  std::vector<fs::path> files;
+  for (fs::recursive_directory_iterator it(root, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->is_regular_file(ec)) files.push_back(it->path());
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<std::vector<std::string>> out;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) continue;
+    std::vector<std::uint8_t> blob{std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>()};
+    CheckResult result;
+    try {
+      result = unseal_check(blob, ctx);
+    } catch (const std::exception&) {
+      continue;  // LTS object, foreign format, or incompatible model
+    }
+    if (result.passed || !result.counterexample) continue;
+    const Counterexample& cex = *result.counterexample;
+    std::vector<std::string> trace;
+    trace.reserve(cex.trace.size() + 1);
+    for (EventId e : cex.trace) trace.push_back(ctx.event_name(e));
+    if (cex.kind == Counterexample::Kind::TraceViolation ||
+        cex.kind == Counterexample::Kind::Nondeterminism) {
+      trace.push_back(ctx.event_name(cex.event));
+    }
+    if (!trace.empty()) out.push_back(std::move(trace));
+  }
+  return out;
 }
 
 }  // namespace ecucsp::store

@@ -25,6 +25,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -98,5 +99,20 @@ class VerificationCache final : public CheckCache {
   std::unique_ptr<ObjectStore> disk_;
   CacheStats stats_;
 };
+
+/// Harvest counterexamples from a persistent store directory (the layout
+/// VerificationCache writes: <dir>/objects/<hex[0:2]>/<hex[2:]>): every
+/// object that decodes as a *failed* check verdict in `ctx` contributes
+/// its violating trace, rendered to event names (for trace violations the
+/// offending event is appended — it is the attack step). Objects that are
+/// LTSes, foreign formats, or verdicts of models whose channels do not
+/// exist in `ctx` are skipped silently; the store is a scavenging ground,
+/// not a schema. Order is deterministic (sorted by object path).
+///
+/// This is what lets the conformance layer (src/conform) replay attacks
+/// found by earlier verification runs as concrete tests against the
+/// simulated ECU.
+std::vector<std::vector<std::string>> scan_stored_counterexamples(
+    const std::filesystem::path& dir, Context& ctx);
 
 }  // namespace ecucsp::store

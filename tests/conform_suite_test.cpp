@@ -1,0 +1,199 @@
+// End-to-end conformance-suite tests on the OTA case study.
+//
+// The faithful reference ECU must pass every suite with full planned
+// transition coverage; seeded fault injection (CAPL mutation, alphabet
+// mismatch) must produce pinned failures that map back to CAPL source
+// spans; and reports must be deterministic for a fixed seed at any job
+// count. The last section round-trips counterexamples through the PR 2
+// verification store: a failed check sealed to disk comes back out of
+// scan_stored_counterexamples and replays as a concrete test.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "capl/parser.hpp"
+#include "conform/mutate.hpp"
+#include "conform/suite.hpp"
+#include "ota/ota.hpp"
+#include "store/cache.hpp"
+
+namespace ecucsp {
+namespace {
+
+namespace fs = std::filesystem;
+
+conform::ConformOptions base_options() {
+  conform::ConformOptions opt;
+  opt.suite = "all";
+  opt.seed = 7;
+  opt.tests = 6;
+  opt.jobs = 2;
+  return opt;
+}
+
+TEST(ConformSuite, FaithfulEcuPassesEverythingWithFullPlannedCoverage) {
+  const conform::ConformReport rep =
+      conform::run_ota_conformance(base_options());
+  EXPECT_TRUE(rep.ok()) << conform::render_text(rep);
+  EXPECT_EQ(rep.failed, 0u);
+  EXPECT_EQ(rep.errors, 0u);
+  EXPECT_EQ(rep.timed_out, 0u);
+  EXPECT_GT(rep.tests.size(), 4u);  // cover + random + cex + dialogues
+  EXPECT_GT(rep.model_states, 1u);
+  EXPECT_GT(rep.plannable_transitions, 0u);
+  EXPECT_EQ(rep.planned_covered, rep.plannable_transitions);
+  EXPECT_DOUBLE_EQ(rep.planned_coverage_pct(), 100.0);
+  for (const auto& t : rep.tests) {
+    EXPECT_EQ(t.status, "PASS") << t.name << ": " << t.reason;
+    EXPECT_FALSE(t.observed.empty()) << t.name;
+  }
+}
+
+TEST(ConformSuite, ReportIsDeterministicAcrossJobCounts) {
+  conform::ConformOptions opt = base_options();
+  opt.jobs = 1;
+  const std::string serial =
+      conform::render_json(conform::run_ota_conformance(opt),
+                           /*with_timing=*/false);
+  opt.jobs = 4;
+  const std::string parallel =
+      conform::render_json(conform::run_ota_conformance(opt),
+                           /*with_timing=*/false);
+  // jobs is reported, so mask it out before the byte comparison.
+  auto mask_jobs = [](std::string s) {
+    const auto pos = s.find("\"jobs\":");
+    const auto end = s.find(',', pos);
+    return s.erase(pos, end - pos);
+  };
+  EXPECT_EQ(mask_jobs(serial), mask_jobs(parallel));
+}
+
+TEST(ConformSuite, SeededMutantsAreCaughtAndMappedToCaplSpans) {
+  // Every mutation point of the reference ECU must be killed by the suite.
+  capl::CaplProgram probe =
+      capl::parse_capl(std::string(ota::ecu_capl_source()));
+  const std::size_t points = conform::count_mutation_points(probe);
+  ASSERT_GT(points, 0u);
+  for (std::uint64_t seed = 0; seed < points; ++seed) {
+    conform::ConformOptions opt = base_options();
+    opt.mutate_seed = seed;
+    const conform::ConformReport rep = conform::run_ota_conformance(opt);
+    EXPECT_FALSE(rep.ok()) << "mutant " << seed << " survived: "
+                           << rep.mutation;
+    EXPECT_GE(rep.failed, 1u) << "mutant " << seed;
+    EXPECT_FALSE(rep.mutation.empty());
+    EXPECT_NE(rep.mutation_span.find("ECU:"), std::string::npos)
+        << rep.mutation_span;
+    bool failure_has_span = false;
+    for (const auto& t : rep.tests) {
+      if (t.status != "FAIL") continue;
+      EXPECT_FALSE(t.oracle.empty()) << t.name;
+      EXPECT_GE(t.divergence_index, 0) << t.name;
+      if (!t.capl_spans.empty()) failure_has_span = true;
+    }
+    EXPECT_TRUE(failure_has_span)
+        << "mutant " << seed << ": no failure mapped to a CAPL span\n"
+        << conform::render_text(rep);
+  }
+}
+
+TEST(ConformSuite, AlphabetMismatchIsPinnedByTheStrictModelOracle) {
+  conform::ConformOptions opt = base_options();
+  opt.inject_alphabet_mismatch = true;
+  const conform::ConformReport rep = conform::run_ota_conformance(opt);
+  EXPECT_FALSE(rep.ok());
+  bool pinned = false;
+  for (const auto& t : rep.tests) {
+    if (t.status == "FAIL" && t.oracle == "model-ecu" &&
+        t.reason == "event outside the oracle alphabet") {
+      pinned = true;
+    }
+  }
+  EXPECT_TRUE(pinned) << conform::render_text(rep);
+}
+
+TEST(ConformSuite, MutationPointsAreStableAndDescribed) {
+  capl::CaplProgram prog =
+      capl::parse_capl(std::string(ota::ecu_capl_source()));
+  const std::size_t points = conform::count_mutation_points(prog);
+  for (std::uint64_t seed = 0; seed < 2 * points; ++seed) {
+    capl::CaplProgram victim =
+        capl::parse_capl(std::string(ota::ecu_capl_source()));
+    const conform::MutationInfo m = conform::mutate_program(victim, seed);
+    EXPECT_FALSE(m.description.empty());
+    EXPECT_FALSE(m.handler.empty());
+    EXPECT_GT(m.line, 0);
+  }
+}
+
+// --- counterexample replay through the verification store -------------------
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("ecucsp-conform-" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+TEST(ConformSuite, StoredCounterexamplesRoundTripThroughTheStore) {
+  TempDir dir;
+  // Seed the store with the R05-on-unprotected failure, the paper's
+  // headline attack trace.
+  {
+    auto model = ota::build_ota_model();
+    store::VerificationCache cache(dir.path);
+    const CheckResult r = ota::check_requirement_on(
+        *model, "R05", model->system_unprotected);
+    ASSERT_FALSE(r.passed);
+    ASSERT_TRUE(r.counterexample.has_value());
+    cache.store_check(model->ctx, nullptr, model->system_unprotected,
+                      CheckOp::Refinement, Model::Traces, 1u << 20, r);
+  }
+  // A fresh Context decodes it back to an event-name trace.
+  {
+    auto model = ota::build_ota_model();
+    const auto traces =
+        store::scan_stored_counterexamples(dir.path, model->ctx);
+    ASSERT_EQ(traces.size(), 1u);
+    EXPECT_FALSE(traces[0].empty());
+  }
+  // And the conformance suite replays it as a concrete test.
+  conform::ConformOptions opt = base_options();
+  opt.suite = "counterexamples";
+  opt.cache_dir = dir.path;
+  const conform::ConformReport rep = conform::run_ota_conformance(opt);
+  std::size_t replays = 0;
+  for (const auto& t : rep.tests) {
+    if (t.strategy == "counterexample") ++replays;
+  }
+  EXPECT_GE(replays, 1u);
+  // The MAC'd reference ECU shrugs the replayed attack off: every replay
+  // must PASS (forged frames are ignored, no spurious UpdReport).
+  EXPECT_TRUE(rep.ok()) << conform::render_text(rep);
+}
+
+TEST(ConformSuite, ScanOfMissingOrForeignDirectoriesIsEmpty) {
+  auto model = ota::build_ota_model();
+  EXPECT_TRUE(store::scan_stored_counterexamples("/ecucsp/no/such/dir",
+                                                 model->ctx)
+                  .empty());
+  TempDir dir;
+  fs::create_directories(dir.path / "objects" / "ab");
+  std::FILE* f = std::fopen(
+      (dir.path / "objects" / "ab" / "cdef").string().c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a sealed envelope", f);
+  std::fclose(f);
+  EXPECT_TRUE(store::scan_stored_counterexamples(dir.path, model->ctx).empty());
+}
+
+}  // namespace
+}  // namespace ecucsp
