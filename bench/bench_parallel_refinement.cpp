@@ -1,0 +1,213 @@
+// In-check parallel refinement bench: the PR 5 wave engine timed in
+// isolation at 1/2/4/8 exploration threads.
+//
+// Unlike bench_parallel_checks (many small independent checks across
+// scheduler workers), this measures a *single large* product-space sweep —
+// the case task-level parallelism cannot help with. The model is K
+// interleaved visible three-phase cyclers (state space ~3^K):
+//   * the passing workload checks RUN(alphabet) [T= cyclers — a full sweep
+//     of the product with no violation to cut it short;
+//   * the failing workload corrupts one cycler after L full loops, so the
+//     BFS must clear ~3L waves of the full product before the canonical
+//     (shortest, lexicographically least) counterexample appears.
+// LTS compilation and spec normalisation happen once, on this thread, and
+// are excluded from the timings — check_refinement_compiled is all that is
+// measured.
+//
+// Every thread count is asserted byte-identical to the threads=1 reference
+// (verdict, vacuity, counterexample trace/event, product_states); the
+// process exits 1 on any mismatch. Speedup is reported but not gated: on a
+// single-core container every curve degenerates to ~1.0x.
+//
+// Usage: bench_parallel_refinement [cyclers] [out.json]
+// Writes a machine-readable report (default BENCH_refine_parallel.json).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+#include "refine/check.hpp"
+#include "refine/lts.hpp"
+#include "refine/normalize.hpp"
+
+using namespace ecucsp;
+
+namespace {
+
+constexpr std::int64_t kLoops = 6;  // corrupt cycler K-1 after 6 full cycles
+
+struct Workload {
+  NormLts spec;
+  Lts impl;
+};
+
+/// RUN over the cycler alphabet: one recursive state offering every event.
+ProcessRef run_spec(Context& ctx, ChannelId cyc, std::int64_t cyclers) {
+  ctx.define("BENCH_RUN", [cyc, cyclers](Context& cx, std::span<const Value>) {
+    ProcessRef p = cx.stop();
+    bool first = true;
+    for (std::int64_t id = 0; id < cyclers; ++id) {
+      for (std::int64_t phase = 0; phase < 3; ++phase) {
+        const ProcessRef arm =
+            cx.prefix(cx.event(cyc, {Value::integer(id), Value::integer(phase)}),
+                      cx.var("BENCH_RUN", {}));
+        p = first ? arm : cx.ext_choice(p, arm);
+        first = false;
+      }
+    }
+    return p;
+  });
+  return ctx.var("BENCH_RUN", {});
+}
+
+/// id's endless three-phase cycler.
+ProcessRef plain_cycler(Context& ctx, std::int64_t id) {
+  return ctx.var("BENCH_CYC", {Value::integer(id), Value::integer(0)});
+}
+
+Workload build(std::int64_t cyclers, bool corrupt_last) {
+  Context ctx;
+  std::vector<Value> ids, phases;
+  for (std::int64_t i = 0; i < cyclers; ++i) ids.push_back(Value::integer(i));
+  for (int p = 0; p < 3; ++p) phases.push_back(Value::integer(p));
+  const ChannelId cyc = ctx.channel("bench_cyc", {ids, phases});
+  const ChannelId bad = ctx.channel("bench_bad");
+
+  ctx.define("BENCH_CYC", [cyc](Context& cx, std::span<const Value> args) {
+    const std::int64_t phase = args[1].as_int();
+    return cx.prefix(cx.event(cyc, {args[0], Value::integer(phase)}),
+                     cx.var("BENCH_CYC", {args[0], Value::integer((phase + 1) % 3)}));
+  });
+  // The corrupt variant counts its loops and eventually performs the
+  // forbidden bench_bad event — the workload's deep, unique violation.
+  ctx.define("BENCH_CNT", [cyc, bad, cyclers](Context& cx,
+                                              std::span<const Value> args) {
+    const std::int64_t loop = args[0].as_int();
+    const std::int64_t phase = args[1].as_int();
+    if (loop >= kLoops) return cx.prefix(cx.event(bad), cx.stop());
+    const std::int64_t nphase = (phase + 1) % 3;
+    return cx.prefix(
+        cx.event(cyc, {Value::integer(cyclers - 1), Value::integer(phase)}),
+        cx.var("BENCH_CNT", {Value::integer(loop + (nphase == 0 ? 1 : 0)),
+                             Value::integer(nphase)}));
+  });
+
+  const std::int64_t plain = corrupt_last ? cyclers - 1 : cyclers;
+  ProcessRef impl = plain_cycler(ctx, 0);
+  for (std::int64_t i = 1; i < plain; ++i)
+    impl = ctx.interleave(impl, plain_cycler(ctx, i));
+  if (corrupt_last)
+    impl = ctx.interleave(
+        impl, ctx.var("BENCH_CNT", {Value::integer(0), Value::integer(0)}));
+
+  const ProcessRef spec = run_spec(ctx, cyc, cyclers);
+  Workload w;
+  w.impl = compile_lts(ctx, impl);
+  w.spec = normalize(compile_lts(ctx, spec), /*with_divergence=*/false);
+  return w;
+}
+
+double time_ms(const Workload& w, unsigned threads, CheckResult& out) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    out = check_refinement_compiled(w.spec, w.impl, Model::Traces, threads);
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+std::string cx_key(const CheckResult& r) {
+  if (!r.counterexample) return "-";
+  std::string key = std::to_string(static_cast<int>(r.counterexample->kind));
+  for (const EventId e : r.counterexample->trace)
+    key += "," + std::to_string(e);
+  key += "!" + std::to_string(r.counterexample->event);
+  return key;
+}
+
+bool coherent(const CheckResult& ref, const CheckResult& got) {
+  return ref.passed == got.passed && ref.vacuous == got.vacuous &&
+         ref.stats.product_states == got.stats.product_states &&
+         cx_key(ref) == cx_key(got);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t cyclers = argc > 1 ? std::strtol(argv[1], nullptr, 10) : 9;
+  const char* out_path = argc > 2 ? argv[2] : "BENCH_refine_parallel.json";
+  if (cyclers < 2) {
+    std::fprintf(stderr, "need at least 2 cyclers\n");
+    return 2;
+  }
+
+  const Workload pass = build(cyclers, /*corrupt_last=*/false);
+  const Workload fail = build(cyclers, /*corrupt_last=*/true);
+  std::printf("single-product wave-engine bench: %ld cyclers\n", (long)cyclers);
+  std::printf("  pass sweep: %zu impl states, %zu transitions\n",
+              pass.impl.state_count(), pass.impl.transition_count());
+  std::printf("  fail sweep: %zu impl states, violation after %ld loops\n\n",
+              fail.impl.state_count(), (long)kLoops);
+
+  std::printf("%-8s| %-12s| %-12s| %-8s| %s\n", "threads", "pass (ms)",
+              "fail (ms)", "speedup", "verdicts");
+  std::printf("--------+-------------+-------------+---------+---------\n");
+
+  CheckResult pass_ref, fail_ref;
+  double pass_1 = 0.0, fail_1 = 0.0;
+  bool ok = true;
+  std::string rows;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    CheckResult p, f;
+    const double pms = time_ms(pass, threads, p);
+    const double fms = time_ms(fail, threads, f);
+    if (threads == 1) {
+      pass_ref = p;
+      fail_ref = f;
+      pass_1 = pms;
+      fail_1 = fms;
+      if (!p.passed || f.passed || !f.counterexample) {
+        std::fprintf(stderr, "workload verdicts wrong at threads=1\n");
+        return 1;
+      }
+    }
+    const bool same = coherent(pass_ref, p) && coherent(fail_ref, f);
+    ok &= same;
+    const double speedup = (pass_1 + fail_1) / (pms + fms);
+    std::printf("%-8u| %11.1f | %11.1f | %6.2fx | %s\n", threads, pms, fms,
+                speedup, same ? "coherent" : "MISMATCH");
+    if (!rows.empty()) rows += ",";
+    rows += "{\"threads\":" + std::to_string(threads) +
+            ",\"pass_ms\":" + std::to_string(pms) +
+            ",\"fail_ms\":" + std::to_string(fms) +
+            ",\"speedup\":" + std::to_string(speedup) +
+            ",\"coherent\":" + (same ? "true" : "false") + "}";
+  }
+
+  std::FILE* out = std::fopen(out_path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 2;
+  }
+  std::fprintf(out,
+               "{\"bench_format\":1,\"bench\":\"refine_parallel\","
+               "\"cyclers\":%ld,\"pass_product_states\":%zu,"
+               "\"fail_product_states\":%zu,\"runs\":[%s],"
+               "\"coherent\":%s}\n",
+               (long)cyclers, pass_ref.stats.product_states,
+               fail_ref.stats.product_states, rows.c_str(),
+               ok ? "true" : "false");
+  std::fclose(out);
+
+  std::printf("\n%s; report written to %s\n",
+              ok ? "all thread counts byte-identical to the sequential sweep"
+                 : "MISMATCH between thread counts",
+              out_path);
+  return ok ? 0 : 1;
+}

@@ -38,6 +38,9 @@ int usage(const char* argv0) {
       "  --tests N       random-suite size (default 16)\n"
       "  --max-len N     random walk length cap (default 12)\n"
       "  --jobs N        parallel test workers (0 = all cores)\n"
+      "  --threads N     in-check exploration threads per oracle check\n"
+      "                  (0 = hardware/jobs; default 1; jobs x threads is\n"
+      "                  clamped to the hardware)\n"
       "  --timeout MS    per-test wall-clock budget (default 10000)\n"
       "  --max-states N  oracle compilation state budget (default 2^20)\n"
       "  --json          machine-readable report on stdout\n"
@@ -94,6 +97,10 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (!v || !parse_u64(v, n)) return usage(argv[0]);
       opt.jobs = static_cast<unsigned>(n);
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      const char* v = value();
+      if (!v || !parse_u64(v, n)) return usage(argv[0]);
+      opt.threads = static_cast<unsigned>(n);
     } else if (std::strcmp(arg, "--timeout") == 0) {
       const char* v = value();
       if (!v || !parse_u64(v, n) || n == 0) return usage(argv[0]);

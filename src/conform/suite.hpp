@@ -40,6 +40,9 @@ struct ConformOptions {
   std::size_t tests = 16;    // random-suite size
   std::size_t max_len = 12;  // random walk length cap
   unsigned jobs = 0;         // 0 = hardware concurrency
+  /// In-check exploration threads per oracle check, forwarded to the
+  /// scheduler's nested-parallelism budget (jobs × threads ≤ hardware).
+  unsigned threads = 1;
   std::chrono::milliseconds timeout{10'000};  // per test
   std::size_t max_states = 1u << 20;
   /// Seeded ECU fault injection (mutate.hpp); the spec side stays faithful.
@@ -72,6 +75,7 @@ struct ConformReport {
   std::string suite;
   std::uint64_t seed = 0;
   unsigned jobs = 0;
+  unsigned threads = 1;  // effective in-check threads after the budget clamp
   // Implementation-model automaton:
   std::size_t model_states = 0;
   std::size_t model_transitions = 0;

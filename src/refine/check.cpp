@@ -104,23 +104,10 @@ std::string Counterexample::describe(const Context& ctx) const {
 
 namespace {
 
-/// Breadth-first search bookkeeping for counterexample reconstruction.
-struct SearchEdge {
-  std::int64_t parent = -1;
-  EventId event = TAU;
-};
-
-std::vector<EventId> rebuild_trace(const std::vector<SearchEdge>& edges,
-                                   std::int64_t at) {
-  std::vector<EventId> out;
-  while (at >= 0) {
-    const SearchEdge& e = edges[at];
-    if (e.parent >= 0 && e.event != TAU) out.push_back(e.event);
-    at = e.parent;
-  }
-  std::reverse(out.begin(), out.end());
-  return out;
-}
+// Counterexample reconstruction (SearchEdge / rebuild_trace) lives in
+// parallel.hpp now — one canonical implementation shared by the wave engine
+// and everything below, instead of the per-check inline re-walk each of the
+// four uncached functions used to carry.
 
 EventSet visible_initials(const Lts& lts, StateId s) {
   std::vector<EventId> out;
@@ -145,6 +132,178 @@ bool acceptance_allowed(const NormNode& spec, const EventSet& acceptance) {
   }
   return false;
 }
+
+constexpr std::uint8_t rank(Counterexample::Kind k) {
+  return static_cast<std::uint8_t>(k);
+}
+
+Counterexample to_counterexample(WaveOutcome&& out) {
+  Counterexample ce;
+  ce.kind = static_cast<Counterexample::Kind>(out.kind);
+  ce.trace = std::move(out.trace);
+  ce.event = out.event;
+  ce.impl_acceptance = std::move(out.acceptance);
+  return ce;
+}
+
+// --- wave-engine graph adapters ---------------------------------------------
+//
+// Each check is a search over some graph; the adapters below give the wave
+// engine (parallel.hpp) its view of each. Their callbacks run concurrently,
+// so they read only the pre-compiled Lts/NormLts structures — never a
+// Context.
+
+/// The normalized-spec × implementation product for SPEC [T=/[F=/[FD= IMPL.
+struct RefinementGraph {
+  const NormLts& norm;
+  const Lts& impl;
+  const std::vector<bool>* impl_diverges;  // non-null iff FD model
+  bool failures;                           // model != Traces
+  bool with_div;                           // model == FailuresDivergences
+
+  struct Node {
+    NormId spec = 0;
+    StateId impl = 0;
+    bool operator==(const Node&) const = default;
+  };
+  struct NodeHash {
+    std::size_t operator()(const Node& n) const {
+      return hash_combine(n.spec, n.impl);
+    }
+  };
+
+  Node root() const { return {norm.root, impl.root}; }
+
+  // In the FD model a divergent specification node permits every behaviour
+  // below it; prune the branch.
+  bool prune(const Node& n) const {
+    return with_div && norm.nodes[n.spec].divergent;
+  }
+
+  std::optional<WaveViolation> inspect(const Node& n) const {
+    if (with_div && (*impl_diverges)[n.impl]) {
+      return WaveViolation{rank(Counterexample::Kind::DivergenceViolation), 0,
+                           EventSet{}};
+    }
+    if (failures && is_stable(impl, n.impl)) {
+      EventSet acceptance = visible_initials(impl, n.impl);
+      if (!acceptance_allowed(norm.nodes[n.spec], acceptance)) {
+        return WaveViolation{rank(Counterexample::Kind::AcceptanceViolation), 0,
+                             std::move(acceptance)};
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::size_t degree(const Node& n) const { return impl.succ[n.impl].size(); }
+
+  WaveEdge<Node> edge(const Node& n, std::size_t i) const {
+    const LtsTransition& t = impl.succ[n.impl][i];
+    if (t.event == TAU) return {false, TAU, Node{n.spec, t.target}, {}};
+    const NormId next_spec = norm.nodes[n.spec].successor(t.event);
+    if (next_spec == NORM_NONE) {
+      return {true, t.event, Node{},
+              WaveViolation{rank(Counterexample::Kind::TraceViolation), t.event,
+                            EventSet{}}};
+    }
+    return {false, t.event, Node{next_spec, t.target}, {}};
+  }
+};
+
+struct LtsStateHash {
+  std::size_t operator()(StateId s) const { return std::hash<StateId>{}(s); }
+};
+
+/// IMPL :[deadlock free] — a reachability search for stuck non-terminated
+/// states.
+struct DeadlockGraph {
+  const Lts& lts;
+  const std::vector<bool>& post_tick;
+
+  using Node = StateId;
+  using NodeHash = LtsStateHash;
+
+  Node root() const { return lts.root; }
+  bool prune(Node) const { return false; }
+
+  std::optional<WaveViolation> inspect(Node s) const {
+    // States entered by a tick are successful termination, not deadlock.
+    if (lts.succ[s].empty() && !post_tick[s] &&
+        lts.term_of[s]->op() != Op::Omega) {
+      return WaveViolation{rank(Counterexample::Kind::Deadlock), 0, EventSet{}};
+    }
+    return std::nullopt;
+  }
+
+  std::size_t degree(Node s) const { return lts.succ[s].size(); }
+  WaveEdge<Node> edge(Node s, std::size_t i) const {
+    const LtsTransition& t = lts.succ[s][i];
+    return {false, t.event, t.target, {}};
+  }
+};
+
+/// IMPL :[divergence free] — reachability of a state on a tau cycle.
+struct DivergenceGraph {
+  const Lts& lts;
+  const std::vector<bool>& diverges;
+
+  using Node = StateId;
+  using NodeHash = LtsStateHash;
+
+  Node root() const { return lts.root; }
+  bool prune(Node) const { return false; }
+  std::optional<WaveViolation> inspect(Node s) const {
+    if (diverges[s]) {
+      return WaveViolation{rank(Counterexample::Kind::Divergence), 0,
+                           EventSet{}};
+    }
+    return std::nullopt;
+  }
+  std::size_t degree(Node s) const { return lts.succ[s].size(); }
+  WaveEdge<Node> edge(Node s, std::size_t i) const {
+    const LtsTransition& t = lts.succ[s][i];
+    return {false, t.event, t.target, {}};
+  }
+};
+
+/// IMPL :[deterministic] — BFS over the (deterministic) normal form. Its
+/// edges carry visible events only, so the shared rebuild_trace's tau
+/// elision never fires — every non-root edge contributes to the trace.
+struct DeterminismGraph {
+  const NormLts& norm;
+
+  using Node = NormId;
+  using NodeHash = LtsStateHash;
+
+  Node root() const { return norm.root; }
+  bool prune(Node) const { return false; }
+
+  std::optional<WaveViolation> inspect(Node n) const {
+    const NormNode& node = norm.nodes[n];
+    if (node.divergent) {
+      return WaveViolation{rank(Counterexample::Kind::Divergence), 0,
+                           EventSet{}};
+    }
+    // Deterministic iff after every trace the process accepts exactly its
+    // initials: a minimal acceptance missing some initial event means the
+    // same trace can lead to both acceptance and refusal of that event.
+    for (const EventSet& m : node.min_acceptances) {
+      if (m == node.initials) continue;
+      const EventSet missing = node.initials.set_difference(m);
+      if (!missing.empty()) {
+        return WaveViolation{rank(Counterexample::Kind::Nondeterminism),
+                             *missing.begin(), m};
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::size_t degree(Node n) const { return norm.nodes[n].succ.size(); }
+  WaveEdge<Node> edge(Node n, std::size_t i) const {
+    const auto& [event, target] = norm.nodes[n].succ[i];
+    return {false, event, target, {}};
+  }
+};
 
 }  // namespace
 
@@ -171,98 +330,106 @@ CheckResult with_check_cache(Context& ctx, ProcessRef spec, ProcessRef impl,
 
 CheckResult refinement_uncached(Context& ctx, ProcessRef spec, ProcessRef impl,
                                 Model model, std::size_t max_states,
-                                CancelToken* cancel) {
-  CheckResult result;
-
+                                CancelToken* cancel, unsigned threads) {
+  // Compilation and normalization need the Context, so they stay on the
+  // calling thread; the product sweep below is Context-free and parallel.
   const Lts spec_lts = compile_or_load(ctx, spec, max_states, cancel);
   const bool with_div = model == Model::FailuresDivergences;
   const NormLts norm = normalize(spec_lts, with_div, cancel);
-
   const Lts impl_lts = compile_or_load(ctx, impl, max_states, cancel);
-  std::vector<bool> impl_diverges;
-  if (with_div) impl_diverges = impl_lts.divergent_states();
 
+  CheckResult result =
+      check_refinement_compiled(norm, impl_lts, model, threads, cancel);
   result.stats.spec_states = spec_lts.state_count();
-  result.stats.spec_norm_nodes = norm.nodes.size();
-  result.stats.impl_states = impl_lts.state_count();
-  result.stats.impl_transitions = impl_lts.transition_count();
+  return result;
+}
 
-  struct Key {
-    NormId spec;
-    StateId impl;
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const {
-      return hash_combine(k.spec, k.impl);
-    }
-  };
+CheckResult deadlock_free_uncached(Context& ctx, ProcessRef p,
+                                   std::size_t max_states, CancelToken* cancel,
+                                   unsigned threads) {
+  CheckResult result;
+  const Lts lts = compile_or_load(ctx, p, max_states, cancel);
+  result.stats.impl_states = lts.state_count();
+  result.stats.impl_transitions = lts.transition_count();
 
-  std::unordered_map<Key, std::size_t, KeyHash> visited;
-  std::vector<Key> keys;
-  std::vector<SearchEdge> edges;
-  std::deque<std::size_t> frontier;
-
-  const auto push = [&](Key k, std::int64_t parent, EventId ev) -> bool {
-    if (visited.contains(k)) return false;
-    const std::size_t idx = keys.size();
-    visited.emplace(k, idx);
-    keys.push_back(k);
-    edges.push_back({parent, ev});
-    frontier.push_back(idx);
-    return true;
-  };
-
-  push(Key{norm.root, impl_lts.root}, -1, TAU);
-
-  while (!frontier.empty()) {
-    if (cancel) cancel->poll();
-    const std::size_t idx = frontier.front();
-    frontier.pop_front();
-    const Key key = keys[idx];
-    const NormNode& sn = norm.nodes[key.spec];
-
-    // In the FD model a divergent specification node permits every
-    // behaviour below it; prune the branch.
-    if (with_div && sn.divergent) continue;
-
-    if (with_div && impl_diverges[key.impl]) {
-      result.counterexample = Counterexample{
-          Counterexample::Kind::DivergenceViolation, rebuild_trace(edges, idx),
-          0, {}};
-      result.stats.product_states = keys.size();
-      return result;
-    }
-
-    if (model != Model::Traces && is_stable(impl_lts, key.impl)) {
-      const EventSet acceptance = visible_initials(impl_lts, key.impl);
-      if (!acceptance_allowed(sn, acceptance)) {
-        result.counterexample =
-            Counterexample{Counterexample::Kind::AcceptanceViolation,
-                           rebuild_trace(edges, idx), 0, acceptance};
-        result.stats.product_states = keys.size();
-        return result;
-      }
-    }
-
-    for (const LtsTransition& t : impl_lts.succ[key.impl]) {
-      if (t.event == TAU) {
-        push(Key{key.spec, t.target}, static_cast<std::int64_t>(idx), TAU);
-        continue;
-      }
-      const NormId next_spec = sn.successor(t.event);
-      if (next_spec == NORM_NONE) {
-        result.counterexample =
-            Counterexample{Counterexample::Kind::TraceViolation,
-                           rebuild_trace(edges, idx), t.event, {}};
-        result.stats.product_states = keys.size();
-        return result;
-      }
-      push(Key{next_spec, t.target}, static_cast<std::int64_t>(idx), t.event);
+  std::vector<bool> post_tick(lts.state_count(), false);
+  for (StateId s = 0; s < lts.state_count(); ++s) {
+    for (const LtsTransition& t : lts.succ[s]) {
+      if (t.event == TICK) post_tick[t.target] = true;
     }
   }
 
-  result.stats.product_states = keys.size();
+  const DeadlockGraph g{lts, post_tick};
+  WaveOutcome out = wave_search(g, resolve_check_threads(threads), cancel);
+  if (out.violated) {
+    result.counterexample = to_counterexample(std::move(out));
+    return result;
+  }
+  result.passed = true;
+  return result;
+}
+
+CheckResult divergence_free_uncached(Context& ctx, ProcessRef p,
+                                     std::size_t max_states,
+                                     CancelToken* cancel, unsigned threads) {
+  CheckResult result;
+  const Lts lts = compile_or_load(ctx, p, max_states, cancel);
+  result.stats.impl_states = lts.state_count();
+  result.stats.impl_transitions = lts.transition_count();
+  const std::vector<bool> diverges = lts.divergent_states();
+
+  const DivergenceGraph g{lts, diverges};
+  WaveOutcome out = wave_search(g, resolve_check_threads(threads), cancel);
+  if (out.violated) {
+    result.counterexample = to_counterexample(std::move(out));
+    return result;
+  }
+  result.passed = true;
+  return result;
+}
+
+CheckResult deterministic_uncached(Context& ctx, ProcessRef p,
+                                   std::size_t max_states, CancelToken* cancel,
+                                   unsigned threads) {
+  CheckResult result;
+  const Lts lts = compile_or_load(ctx, p, max_states, cancel);
+  result.stats.impl_states = lts.state_count();
+  result.stats.impl_transitions = lts.transition_count();
+  const NormLts norm = normalize(lts, /*with_divergence=*/true, cancel);
+  result.stats.spec_norm_nodes = norm.nodes.size();
+
+  const DeterminismGraph g{norm};
+  WaveOutcome out = wave_search(g, resolve_check_threads(threads), cancel);
+  if (out.violated) {
+    result.counterexample = to_counterexample(std::move(out));
+    return result;
+  }
+  result.passed = true;
+  return result;
+}
+
+}  // namespace
+
+CheckResult check_refinement_compiled(const NormLts& norm, const Lts& impl,
+                                      Model model, unsigned threads,
+                                      CancelToken* cancel) {
+  CheckResult result;
+  const bool with_div = model == Model::FailuresDivergences;
+  std::vector<bool> impl_diverges;
+  if (with_div) impl_diverges = impl.divergent_states();
+
+  result.stats.spec_norm_nodes = norm.nodes.size();
+  result.stats.impl_states = impl.state_count();
+  result.stats.impl_transitions = impl.transition_count();
+
+  const RefinementGraph g{norm, impl, with_div ? &impl_diverges : nullptr,
+                          model != Model::Traces, with_div};
+  WaveOutcome out = wave_search(g, resolve_check_threads(threads), cancel);
+  result.stats.product_states = out.visited;
+  if (out.violated) {
+    result.counterexample = to_counterexample(std::move(out));
+    return result;
+  }
   result.passed = true;
 
   // Vacuity: which events does the spec actually *constrain*? An event
@@ -284,8 +451,8 @@ CheckResult refinement_uncached(Context& ctx, ProcessRef spec, ProcessRef impl,
     constrained = constrained.set_difference(EventSet{TAU, TICK});
     if (!constrained.empty()) {
       bool touched = false;
-      for (StateId s = 0; s < impl_lts.state_count() && !touched; ++s) {
-        for (const LtsTransition& t : impl_lts.succ[s]) {
+      for (StateId s = 0; s < impl.state_count() && !touched; ++s) {
+        for (const LtsTransition& t : impl.succ[s]) {
           if (t.event != TAU && t.event != TICK && constrained.contains(t.event)) {
             touched = true;
             break;
@@ -298,193 +465,44 @@ CheckResult refinement_uncached(Context& ctx, ProcessRef spec, ProcessRef impl,
   return result;
 }
 
-CheckResult deadlock_free_uncached(Context& ctx, ProcessRef p,
-                                   std::size_t max_states,
-                                   CancelToken* cancel) {
-  CheckResult result;
-  const Lts lts = compile_or_load(ctx, p, max_states, cancel);
-  result.stats.impl_states = lts.state_count();
-  result.stats.impl_transitions = lts.transition_count();
-
-  // States entered by a tick are successful termination, not deadlock.
-  std::vector<bool> post_tick(lts.state_count(), false);
-  for (StateId s = 0; s < lts.state_count(); ++s) {
-    for (const LtsTransition& t : lts.succ[s]) {
-      if (t.event == TICK) post_tick[t.target] = true;
-    }
-  }
-
-  std::vector<SearchEdge> edges(lts.state_count());
-  std::vector<bool> seen(lts.state_count(), false);
-  std::deque<StateId> frontier{lts.root};
-  seen[lts.root] = true;
-  edges[lts.root] = {-1, TAU};
-  while (!frontier.empty()) {
-    const StateId s = frontier.front();
-    frontier.pop_front();
-    if (lts.succ[s].empty() && !post_tick[s] &&
-        lts.term_of[s]->op() != Op::Omega) {
-      std::vector<EventId> trace;
-      std::int64_t at = s;
-      while (at >= 0) {
-        const SearchEdge& e = edges[at];
-        if (e.parent >= 0 && e.event != TAU) trace.push_back(e.event);
-        at = e.parent;
-      }
-      std::reverse(trace.begin(), trace.end());
-      result.counterexample = Counterexample{Counterexample::Kind::Deadlock,
-                                             std::move(trace), 0, EventSet{}};
-      return result;
-    }
-    for (const LtsTransition& t : lts.succ[s]) {
-      if (!seen[t.target]) {
-        seen[t.target] = true;
-        edges[t.target] = {static_cast<std::int64_t>(s), t.event};
-        frontier.push_back(t.target);
-      }
-    }
-  }
-  result.passed = true;
-  return result;
-}
-
-CheckResult divergence_free_uncached(Context& ctx, ProcessRef p,
-                                     std::size_t max_states,
-                                     CancelToken* cancel) {
-  CheckResult result;
-  const Lts lts = compile_or_load(ctx, p, max_states, cancel);
-  result.stats.impl_states = lts.state_count();
-  result.stats.impl_transitions = lts.transition_count();
-  const std::vector<bool> diverges = lts.divergent_states();
-
-  std::vector<SearchEdge> edges(lts.state_count());
-  std::vector<bool> seen(lts.state_count(), false);
-  std::deque<StateId> frontier{lts.root};
-  seen[lts.root] = true;
-  edges[lts.root] = {-1, TAU};
-  while (!frontier.empty()) {
-    const StateId s = frontier.front();
-    frontier.pop_front();
-    if (diverges[s]) {
-      std::vector<EventId> trace;
-      std::int64_t at = s;
-      while (at >= 0) {
-        const SearchEdge& e = edges[at];
-        if (e.parent >= 0 && e.event != TAU) trace.push_back(e.event);
-        at = e.parent;
-      }
-      std::reverse(trace.begin(), trace.end());
-      result.counterexample = Counterexample{Counterexample::Kind::Divergence,
-                                             std::move(trace), 0, EventSet{}};
-      return result;
-    }
-    for (const LtsTransition& t : lts.succ[s]) {
-      if (!seen[t.target]) {
-        seen[t.target] = true;
-        edges[t.target] = {static_cast<std::int64_t>(s), t.event};
-        frontier.push_back(t.target);
-      }
-    }
-  }
-  result.passed = true;
-  return result;
-}
-
-CheckResult deterministic_uncached(Context& ctx, ProcessRef p,
-                                   std::size_t max_states,
-                                   CancelToken* cancel) {
-  CheckResult result;
-  const Lts lts = compile_or_load(ctx, p, max_states, cancel);
-  result.stats.impl_states = lts.state_count();
-  result.stats.impl_transitions = lts.transition_count();
-  const NormLts norm = normalize(lts, /*with_divergence=*/true, cancel);
-  result.stats.spec_norm_nodes = norm.nodes.size();
-
-  // BFS over the (deterministic) normal form, tracking traces.
-  std::vector<SearchEdge> edges(norm.nodes.size());
-  std::vector<bool> seen(norm.nodes.size(), false);
-  std::deque<NormId> frontier{norm.root};
-  seen[norm.root] = true;
-  edges[norm.root] = {-1, TAU};
-  // Normal-form edges carry visible events only, so unlike rebuild_trace
-  // there is no tau to elide: every non-root edge contributes to the trace.
-  const auto trace_to = [&](NormId n) {
-    std::vector<EventId> trace;
-    std::int64_t at = n;
-    while (at >= 0) {
-      const SearchEdge& e = edges[at];
-      if (e.parent >= 0) trace.push_back(e.event);
-      at = e.parent;
-    }
-    std::reverse(trace.begin(), trace.end());
-    return trace;
-  };
-
-  while (!frontier.empty()) {
-    const NormId n = frontier.front();
-    frontier.pop_front();
-    const NormNode& node = norm.nodes[n];
-    if (node.divergent) {
-      result.counterexample = Counterexample{Counterexample::Kind::Divergence,
-                                             trace_to(n), 0, EventSet{}};
-      return result;
-    }
-    // Deterministic iff after every trace the process accepts exactly its
-    // initials: a minimal acceptance missing some initial event means the
-    // same trace can lead to both acceptance and refusal of that event.
-    for (const EventSet& m : node.min_acceptances) {
-      if (m == node.initials) continue;
-      const EventSet missing = node.initials.set_difference(m);
-      if (!missing.empty()) {
-        result.counterexample =
-            Counterexample{Counterexample::Kind::Nondeterminism, trace_to(n),
-                           *missing.begin(), m};
-        return result;
-      }
-    }
-    for (const auto& [event, target] : node.succ) {
-      if (!seen[target]) {
-        seen[target] = true;
-        edges[target] = {static_cast<std::int64_t>(n), event};
-        frontier.push_back(target);
-      }
-    }
-  }
-  result.passed = true;
-  return result;
-}
-
-}  // namespace
-
+// Note: `threads` is deliberately NOT part of the cache key (and never
+// reaches the CheckCache) — the engine produces identical results at every
+// thread count, so a verdict cached at one count is valid at all of them.
 CheckResult check_refinement(Context& ctx, ProcessRef spec, ProcessRef impl,
                              Model model, std::size_t max_states,
-                             CancelToken* cancel) {
+                             CancelToken* cancel, unsigned threads) {
   return with_check_cache(
       ctx, spec, impl, CheckOp::Refinement, model, max_states, [&] {
-        return refinement_uncached(ctx, spec, impl, model, max_states, cancel);
+        return refinement_uncached(ctx, spec, impl, model, max_states, cancel,
+                                   threads);
       });
 }
 
 CheckResult check_deadlock_free(Context& ctx, ProcessRef p,
-                                std::size_t max_states, CancelToken* cancel) {
+                                std::size_t max_states, CancelToken* cancel,
+                                unsigned threads) {
   return with_check_cache(
-      ctx, nullptr, p, CheckOp::DeadlockFree, Model::Traces, max_states,
-      [&] { return deadlock_free_uncached(ctx, p, max_states, cancel); });
+      ctx, nullptr, p, CheckOp::DeadlockFree, Model::Traces, max_states, [&] {
+        return deadlock_free_uncached(ctx, p, max_states, cancel, threads);
+      });
 }
 
 CheckResult check_divergence_free(Context& ctx, ProcessRef p,
-                                  std::size_t max_states,
-                                  CancelToken* cancel) {
+                                  std::size_t max_states, CancelToken* cancel,
+                                  unsigned threads) {
   return with_check_cache(
-      ctx, nullptr, p, CheckOp::DivergenceFree, Model::Traces, max_states,
-      [&] { return divergence_free_uncached(ctx, p, max_states, cancel); });
+      ctx, nullptr, p, CheckOp::DivergenceFree, Model::Traces, max_states, [&] {
+        return divergence_free_uncached(ctx, p, max_states, cancel, threads);
+      });
 }
 
 CheckResult check_deterministic(Context& ctx, ProcessRef p,
-                                std::size_t max_states, CancelToken* cancel) {
+                                std::size_t max_states, CancelToken* cancel,
+                                unsigned threads) {
   return with_check_cache(
-      ctx, nullptr, p, CheckOp::Deterministic, Model::Traces, max_states,
-      [&] { return deterministic_uncached(ctx, p, max_states, cancel); });
+      ctx, nullptr, p, CheckOp::Deterministic, Model::Traces, max_states, [&] {
+        return deterministic_uncached(ctx, p, max_states, cancel, threads);
+      });
 }
 
 TraceMembership is_trace_of(Context& ctx, ProcessRef p,

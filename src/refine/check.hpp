@@ -22,6 +22,7 @@
 #include "core/context.hpp"
 #include "refine/lts.hpp"
 #include "refine/normalize.hpp"
+#include "refine/parallel.hpp"
 
 namespace ecucsp {
 
@@ -141,19 +142,41 @@ class ScopedCheckCache {
 /// the product-space BFS); a fired token aborts the check by throwing
 /// CheckCancelled. This is the hook the src/verify batch scheduler uses to
 /// impose per-check wall-clock deadlines without pre-empting threads.
+///
+/// `threads` selects how many workers explore the product space (the wave
+/// engine in parallel.hpp): 0 defers to the ambient check_threads() setting
+/// (installed by the verify scheduler or a CLI's --threads), which defaults
+/// to 1. Results — verdict, counterexample, vacuity flag, stats, and hence
+/// every cache digest — are byte-identical at any thread count; only the
+/// wall clock changes. LTS compilation and spec normalization stay on the
+/// calling thread (they need the Context, which is single-threaded by
+/// contract).
 CheckResult check_refinement(Context& ctx, ProcessRef spec, ProcessRef impl,
                              Model model, std::size_t max_states = 1u << 22,
-                             CancelToken* cancel = nullptr);
+                             CancelToken* cancel = nullptr,
+                             unsigned threads = 0);
 
 CheckResult check_deadlock_free(Context& ctx, ProcessRef p,
                                 std::size_t max_states = 1u << 22,
-                                CancelToken* cancel = nullptr);
+                                CancelToken* cancel = nullptr,
+                                unsigned threads = 0);
 CheckResult check_divergence_free(Context& ctx, ProcessRef p,
                                   std::size_t max_states = 1u << 22,
-                                  CancelToken* cancel = nullptr);
+                                  CancelToken* cancel = nullptr,
+                                  unsigned threads = 0);
 CheckResult check_deterministic(Context& ctx, ProcessRef p,
                                 std::size_t max_states = 1u << 22,
-                                CancelToken* cancel = nullptr);
+                                CancelToken* cancel = nullptr,
+                                unsigned threads = 0);
+
+/// Refinement between pre-compiled structures: no Context, no cache, no
+/// compilation — just the product-space sweep. This is what the bench layer
+/// times when measuring the parallel engine in isolation, and what
+/// refinement_uncached delegates to internally. stats.spec_states is left 0
+/// (the spec's un-normalized LTS is not visible here).
+CheckResult check_refinement_compiled(const NormLts& norm, const Lts& impl,
+                                      Model model, unsigned threads = 0,
+                                      CancelToken* cancel = nullptr);
 
 /// All finite traces of `p` up to the given length, visible events only.
 /// Exponential; intended for tests and the attack-tree semantics checks.

@@ -1,0 +1,40 @@
+#include "refine/parallel.hpp"
+
+namespace ecucsp {
+
+namespace {
+
+// Same idiom as the global CheckCache hook in check.cpp: a process-wide
+// atomic consulted by every check entry point whose explicit `threads`
+// argument is 0. Installed by ScopedCheckThreads for the duration of a
+// scheduler batch or a CLI run.
+std::atomic<unsigned> g_check_threads{1};
+
+}  // namespace
+
+unsigned set_check_threads(unsigned n) {
+  return g_check_threads.exchange(n, std::memory_order_acq_rel);
+}
+
+unsigned check_threads() {
+  return g_check_threads.load(std::memory_order_acquire);
+}
+
+unsigned resolve_check_threads(unsigned requested) {
+  const unsigned n = requested != 0 ? requested : check_threads();
+  return n == 0 ? 1 : n;
+}
+
+std::vector<EventId> rebuild_trace(const std::vector<SearchEdge>& edges,
+                                   std::int64_t at) {
+  std::vector<EventId> trace;
+  for (std::int64_t cur = at; cur >= 0; cur = edges[cur].parent) {
+    if (edges[cur].parent >= 0 && edges[cur].event != TAU) {
+      trace.push_back(edges[cur].event);
+    }
+  }
+  std::reverse(trace.begin(), trace.end());
+  return trace;
+}
+
+}  // namespace ecucsp

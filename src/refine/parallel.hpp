@@ -1,0 +1,520 @@
+// Parallel in-check state-space exploration: a wave-synchronous BFS over an
+// abstract search graph (the normalized-spec x implementation product, or a
+// single LTS for the unary checks), shared by every refine check entry point.
+//
+// Determinism is the design constraint: a check must produce byte-identical
+// verdicts, counterexamples and stats at any --threads value, because the
+// verify scheduler's reports, the PR 2 verification store and the PR 3
+// vacuity flags all hash or pin those bytes. The engine achieves it by
+// reconstructing the *sequential* BFS insertion order at every wave barrier:
+//
+//   * The search proceeds in waves: wave d is the contiguous range of the
+//     global state array assigned at the previous barrier (wave 0 = {root}).
+//   * Workers split the wave into chunks held in per-worker pending deques;
+//     an idle worker steals a chunk from the back of a victim's deque.
+//   * Discovered successors go through a sharded visited set (a fixed
+//     kShardCount array of mutex-protected hash maps keyed by the state
+//     hash). A state discovered several times within one wave keeps the
+//     *minimum* proposal (parent wave position, successor ordinal) — which
+//     is exactly the proposal a sequential scan would have committed first,
+//     whatever order racing workers arrive in. Results are therefore
+//     invariant in both the shard count and the thread count; the count is
+//     fixed anyway so the memory layout is reproducible.
+//   * At the barrier one thread sorts the new states by their winning
+//     proposal and appends them to the global array — reproducing the
+//     sequential insertion order — then deals out the next wave's chunks.
+//   * Violations found while expanding wave d are collected per worker and
+//     resolved at the barrier: the canonical counterexample is the minimum
+//     by (trace length, lexicographic trace, kind, event, acceptance), so
+//     ties between same-wave violations break identically everywhere.
+//
+// The graph callbacks run concurrently and must therefore be const and
+// Context-free: they may only read the pre-compiled Lts/NormLts structures
+// (plain vectors) — never touch a Context, which is single-threaded by
+// contract (core/context.hpp).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cancel.hpp"
+#include "core/event.hpp"
+
+namespace ecucsp {
+
+// --- thread-count plumbing ---------------------------------------------------
+
+/// Process-wide default for in-check exploration threads, consumed by every
+/// check entry point whose explicit `threads` argument is 0. The verify
+/// scheduler installs its per-task budget here for the duration of a batch
+/// (so custom-mode tasks and the CSPm evaluator inherit it without signature
+/// changes); CLI drivers install their --threads value. Defaults to 1.
+unsigned set_check_threads(unsigned n);
+unsigned check_threads();
+
+/// Map a caller's `threads` argument to an effective worker count:
+/// 0 -> the ambient check_threads() setting, then 0/1 -> 1 (sequential).
+unsigned resolve_check_threads(unsigned requested);
+
+/// RAII installer (scheduler batches, CLI main, tests).
+class ScopedCheckThreads {
+ public:
+  explicit ScopedCheckThreads(unsigned n) : prev_(set_check_threads(n)) {}
+  ~ScopedCheckThreads() { set_check_threads(prev_); }
+  ScopedCheckThreads(const ScopedCheckThreads&) = delete;
+  ScopedCheckThreads& operator=(const ScopedCheckThreads&) = delete;
+
+ private:
+  unsigned prev_;
+};
+
+// --- shared counterexample reconstruction ------------------------------------
+
+/// Per-state BFS bookkeeping: the edge this state was first reached by.
+/// Shared by the wave engine and by anything that rebuilds a trace from
+/// parent pointers (the one canonical implementation — the per-check copies
+/// this file replaced each re-derived it inline).
+struct SearchEdge {
+  std::int64_t parent = -1;
+  EventId event = TAU;
+};
+
+/// Walk parent pointers from `at` back to the root, collecting the visible
+/// (non-tau) events in root-to-violation order.
+std::vector<EventId> rebuild_trace(const std::vector<SearchEdge>& edges,
+                                   std::int64_t at);
+
+// --- the wave engine ---------------------------------------------------------
+
+/// A violation reported by a graph callback. `kind` is the numeric rank of
+/// refine::Counterexample::Kind (kept as an integer here so this header does
+/// not depend on check.hpp); it doubles as the tie-break rank.
+struct WaveViolation {
+  std::uint8_t kind = 0;
+  EventId event = 0;
+  EventSet acceptance;
+};
+
+/// Result of an edge expansion: either a successor state or a violation
+/// sitting on the edge itself (a trace violation).
+template <typename NodeT>
+struct WaveEdge {
+  bool is_violation = false;
+  EventId event = TAU;  // trace label of the edge (TAU for silent steps)
+  NodeT next{};
+  WaveViolation violation{};
+};
+
+/// What the search produced. On a violation, `trace`/`event`/`acceptance`
+/// describe the canonical counterexample; `visited` is the number of states
+/// assigned ids when the search stopped (deterministic in both cases: the
+/// full reachable set on a pass, everything up to and including the
+/// violating wave on a failure).
+struct WaveOutcome {
+  bool violated = false;
+  std::uint8_t kind = 0;
+  std::vector<EventId> trace;
+  EventId event = 0;
+  EventSet acceptance;
+  std::size_t visited = 0;
+};
+
+namespace wave_detail {
+
+inline constexpr std::uint32_t kUnassigned = 0xffffffffu;
+
+/// Half-open range of wave positions owned by one unit of work.
+struct Chunk {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+};
+
+/// A per-worker pending deque. The owner pops from the front; thieves take
+/// from the back. A mutex per deque is plenty here: chunks are coarse, so
+/// the queue is touched a few hundred times per wave at most.
+class ChunkQueue {
+ public:
+  void push(Chunk c) {
+    std::lock_guard lk(mu_);
+    q_.push_back(c);
+  }
+  bool pop_front(Chunk& out) {
+    std::lock_guard lk(mu_);
+    if (q_.empty()) return false;
+    out = q_.front();
+    q_.pop_front();
+    return true;
+  }
+  bool steal_back(Chunk& out) {
+    std::lock_guard lk(mu_);
+    if (q_.empty()) return false;
+    out = q_.back();
+    q_.pop_back();
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  std::deque<Chunk> q_;
+};
+
+}  // namespace wave_detail
+
+template <typename G>
+class WaveSearch {
+  using Node = typename G::Node;
+
+ public:
+  WaveSearch(const G& g, unsigned threads, CancelToken* cancel)
+      : g_(g), threads_(std::max(1u, threads)), cancel_(cancel) {}
+
+  WaveOutcome run() {
+    shards_ = std::vector<Shard>(kShardCount);
+    queues_ = std::vector<wave_detail::ChunkQueue>(threads_);
+    created_.assign(threads_, {});
+    candidates_.assign(threads_, {});
+    lanes_ = std::vector<Lane>(threads_);
+
+    const Node root = g_.root();
+    keys_.push_back(root);
+    edges_.push_back({-1, TAU});
+    shard_for(root).map.emplace(root, Slot{0, 0});
+    wave_begin_ = 0;
+    wave_end_ = 1;
+    deal_chunks();
+
+    if (threads_ == 1) {
+      for (;;) {
+        expand_wave(0);
+        if (merge()) break;
+        deal_chunks();
+      }
+    } else {
+      std::barrier<> sync(static_cast<std::ptrdiff_t>(threads_));
+      {
+        std::vector<std::jthread> team;
+        team.reserve(threads_ - 1);
+        for (unsigned w = 1; w < threads_; ++w) {
+          team.emplace_back([this, w, &sync] { worker(w, sync); });
+        }
+        worker(0, sync);
+      }  // jthreads join here; merge() runs only between barriers
+    }
+
+    if (const int a = abort_.load(std::memory_order_relaxed)) {
+      if (a == kAbortError) std::rethrow_exception(error_);
+      throw CheckCancelled(a == kAbortDeadline
+                               ? CheckCancelled::Reason::DeadlineExceeded
+                               : CheckCancelled::Reason::Cancelled);
+    }
+    return std::move(outcome_);
+  }
+
+ private:
+  // Fixed shard count: results are shard-count invariant by construction
+  // (ordering comes from winning proposals, never from shard layout), but a
+  // fixed count keeps allocation behaviour reproducible and sizes the lock
+  // striping independently of --threads.
+  static constexpr std::size_t kShardCount = 64;
+
+  static constexpr int kAbortCancel = 1;
+  static constexpr int kAbortDeadline = 2;
+  static constexpr int kAbortError = 3;
+
+  /// Visited-set entry. `proposal` packs (parent global index << 32 |
+  /// successor ordinal); the minimum proposal is the edge a sequential scan
+  /// would have committed, because wave positions and ordinals are scanned
+  /// in ascending order there. `index` stays kUnassigned until the barrier
+  /// assigns the state its global id.
+  struct Slot {
+    std::uint32_t index = wave_detail::kUnassigned;
+    std::uint64_t proposal = ~0ull;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<Node, Slot, typename G::NodeHash> map;
+  };
+  struct Created {
+    Node node;
+    std::uint32_t shard = 0;
+  };
+  struct Candidate {
+    std::uint32_t parent = 0;  // global index the violation's trace ends at
+    WaveViolation v;
+  };
+  struct alignas(64) Lane {  // per-worker hot counters, padded
+    std::uint32_t polls = 0;
+  };
+
+  Shard& shard_for(const Node& n) {
+    return shards_[typename G::NodeHash{}(n) % kShardCount];
+  }
+
+  void worker(unsigned w, std::barrier<>& sync) {
+    for (;;) {
+      expand_wave(w);
+      sync.arrive_and_wait();  // everyone finished expanding this wave
+      if (w == 0) {
+        // merge() must not escape: helpers are parked at the next barrier
+        // and an unwinding coordinator would leave them there forever.
+        bool finished = true;
+        try {
+          finished = merge();
+          if (!finished) deal_chunks();
+        } catch (...) {
+          {
+            std::lock_guard lk(error_mu_);
+            if (!error_) error_ = std::current_exception();
+          }
+          set_abort(kAbortError);
+          finished = true;
+        }
+        if (finished) done_.store(true, std::memory_order_relaxed);
+      }
+      sync.arrive_and_wait();  // barrier publishes merge results / done flag
+      if (done_.load(std::memory_order_relaxed)) return;
+    }
+  }
+
+  void expand_wave(unsigned w) {
+    try {
+      wave_detail::Chunk c;
+      while (next_chunk(w, c)) {
+        for (std::uint32_t idx = c.lo; idx < c.hi; ++idx) {
+          if (abort_.load(std::memory_order_relaxed)) return;
+          if (cancel_ && (++lanes_[w].polls & 0x3Fu) == 0) poll(w);
+          expand_index(w, idx);
+        }
+      }
+    } catch (const CheckCancelled& c) {
+      set_abort(c.reason() == CheckCancelled::Reason::DeadlineExceeded
+                    ? kAbortDeadline
+                    : kAbortCancel);
+    } catch (...) {
+      {
+        std::lock_guard lk(error_mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      set_abort(kAbortError);
+    }
+  }
+
+  void poll(unsigned) {
+    // poll_now only reads the deadline fields (set before the search began)
+    // and the cancel flag — unlike CancelToken::poll it keeps no per-thread
+    // counter, so it is safe from every worker.
+    cancel_->poll_now();
+  }
+
+  void set_abort(int why) {
+    int expected = 0;
+    abort_.compare_exchange_strong(expected, why, std::memory_order_relaxed);
+  }
+
+  bool next_chunk(unsigned w, wave_detail::Chunk& c) {
+    if (queues_[w].pop_front(c)) return true;
+    for (unsigned i = 1; i < threads_; ++i) {
+      if (queues_[(w + i) % threads_].steal_back(c)) return true;
+    }
+    return false;
+  }
+
+  void expand_index(unsigned w, std::uint32_t idx) {
+    const Node node = keys_[idx];
+    if (g_.prune(node)) return;
+    if (std::optional<WaveViolation> v = g_.inspect(node)) {
+      candidates_[w].push_back({idx, std::move(*v)});
+      found_.store(true, std::memory_order_relaxed);
+      return;
+    }
+    const std::size_t deg = g_.degree(node);
+    for (std::size_t i = 0; i < deg; ++i) {
+      WaveEdge<Node> e = g_.edge(node, i);
+      if (e.is_violation) {
+        candidates_[w].push_back({idx, std::move(e.violation)});
+        found_.store(true, std::memory_order_relaxed);
+        continue;  // keep scanning: the canonical pick needs every same-wave
+                   // candidate, whichever worker reaches it first
+      }
+      // Once any violation exists this wave is the last one, so new states
+      // can no longer matter; skipping the insert is pure optimisation (the
+      // merge discards `created_` on a violation) and cannot affect results.
+      if (found_.load(std::memory_order_relaxed)) continue;
+      propose(w, e.next,
+              (static_cast<std::uint64_t>(idx) << 32) |
+                  static_cast<std::uint64_t>(i));
+    }
+  }
+
+  void propose(unsigned w, const Node& node, std::uint64_t proposal) {
+    const std::size_t si = typename G::NodeHash{}(node) % kShardCount;
+    Shard& s = shards_[si];
+    // Uncontended at threads_ == 1; the lock_guard is kept unconditionally
+    // so the sequential and parallel paths are literally the same code.
+    std::lock_guard lk(s.mu);
+    auto [it, fresh] = s.map.try_emplace(
+        node, Slot{wave_detail::kUnassigned, proposal});
+    if (fresh) {
+      created_[w].push_back({node, static_cast<std::uint32_t>(si)});
+    } else if (it->second.index == wave_detail::kUnassigned &&
+               proposal < it->second.proposal) {
+      it->second.proposal = proposal;  // a sequential scan would have seen
+                                       // this edge first: keep the minimum
+    }
+  }
+
+  /// Runs single-threaded between barriers (workers are parked), so it may
+  /// touch shards and per-worker buffers without locks. Returns true when
+  /// the search is finished (violation selected, frontier exhausted, or an
+  /// abort was requested).
+  bool merge() {
+    if (abort_.load(std::memory_order_relaxed)) return true;
+
+    std::vector<Candidate> cands;
+    for (auto& c : candidates_) {
+      cands.insert(cands.end(), std::make_move_iterator(c.begin()),
+                   std::make_move_iterator(c.end()));
+      c.clear();
+    }
+    if (!cands.empty()) {
+      select_canonical(cands);
+      outcome_.visited = keys_.size();
+      return true;
+    }
+
+    std::vector<Created> fresh;
+    for (auto& c : created_) {
+      fresh.insert(fresh.end(), std::make_move_iterator(c.begin()),
+                   std::make_move_iterator(c.end()));
+      c.clear();
+    }
+    if (fresh.empty()) {
+      outcome_.visited = keys_.size();
+      return true;  // full pass: the reachable space is exhausted
+    }
+
+    // Sort by winning proposal: (parent wave position, successor ordinal)
+    // ascending — exactly the order a sequential scan inserts new states.
+    // Proposals are unique per state (each edge targets one state), so the
+    // order is total and thread-count independent.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> order;
+    order.reserve(fresh.size());
+    for (std::uint32_t i = 0; i < fresh.size(); ++i) {
+      order.emplace_back(shards_[fresh[i].shard].map.at(fresh[i].node).proposal,
+                         i);
+    }
+    std::sort(order.begin(), order.end());
+
+    wave_begin_ = keys_.size();
+    keys_.reserve(keys_.size() + fresh.size());
+    edges_.reserve(edges_.size() + fresh.size());
+    for (const auto& [proposal, fi] : order) {
+      const std::uint32_t parent = static_cast<std::uint32_t>(proposal >> 32);
+      const std::size_t ordinal =
+          static_cast<std::size_t>(proposal & 0xffffffffu);
+      const Node pnode = keys_[parent];  // copy before push_back reallocates
+      const WaveEdge<Node> e = g_.edge(pnode, ordinal);
+      const std::uint32_t id = static_cast<std::uint32_t>(keys_.size());
+      shards_[fresh[fi].shard].map.at(fresh[fi].node).index = id;
+      keys_.push_back(fresh[fi].node);
+      edges_.push_back({static_cast<std::int64_t>(parent), e.event});
+    }
+    wave_end_ = keys_.size();
+    return false;
+  }
+
+  /// Canonical counterexample: minimum by (trace length, lexicographic
+  /// trace, kind rank, event, acceptance). Every candidate of the violating
+  /// wave is compared, so ties between violations discovered by different
+  /// workers (or in a different scan order) resolve identically at any
+  /// thread count.
+  void select_canonical(std::vector<Candidate>& cands) {
+    std::vector<EventId> best_trace;
+    const Candidate* best = nullptr;
+    for (const Candidate& c : cands) {
+      std::vector<EventId> trace =
+          rebuild_trace(edges_, static_cast<std::int64_t>(c.parent));
+      if (!best || wins(trace, c, best_trace, *best)) {
+        best = &c;
+        best_trace = std::move(trace);
+      }
+    }
+    outcome_.violated = true;
+    outcome_.kind = best->v.kind;
+    outcome_.trace = std::move(best_trace);
+    outcome_.event = best->v.event;
+    outcome_.acceptance = best->v.acceptance;
+  }
+
+  static bool wins(const std::vector<EventId>& t, const Candidate& c,
+                   const std::vector<EventId>& bt, const Candidate& b) {
+    if (t.size() != bt.size()) return t.size() < bt.size();
+    if (t != bt) {
+      return std::lexicographical_compare(t.begin(), t.end(), bt.begin(),
+                                          bt.end());
+    }
+    if (c.v.kind != b.v.kind) return c.v.kind < b.v.kind;
+    if (c.v.event != b.v.event) return c.v.event < b.v.event;
+    return std::lexicographical_compare(
+        c.v.acceptance.items().begin(), c.v.acceptance.items().end(),
+        b.v.acceptance.items().begin(), b.v.acceptance.items().end());
+  }
+
+  void deal_chunks() {
+    const std::size_t n = wave_end_ - wave_begin_;
+    if (n == 0) return;
+    // Coarse chunks bound queue traffic; several chunks per worker leave
+    // room for stealing when per-state work is skewed.
+    const std::size_t chunk =
+        std::max<std::size_t>(64, n / (static_cast<std::size_t>(threads_) * 8));
+    unsigned q = 0;
+    for (std::size_t lo = wave_begin_; lo < wave_end_; lo += chunk) {
+      const std::size_t hi = std::min(wave_end_, lo + chunk);
+      queues_[q % threads_].push(
+          {static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(hi)});
+      ++q;
+    }
+  }
+
+  const G& g_;
+  unsigned threads_;
+  CancelToken* cancel_;
+
+  std::vector<Node> keys_;
+  std::vector<SearchEdge> edges_;
+  std::size_t wave_begin_ = 0;
+  std::size_t wave_end_ = 0;
+
+  std::vector<Shard> shards_;
+  std::vector<wave_detail::ChunkQueue> queues_;
+  std::vector<std::vector<Created>> created_;
+  std::vector<std::vector<Candidate>> candidates_;
+  std::vector<Lane> lanes_;
+
+  std::atomic<bool> found_{false};
+  std::atomic<bool> done_{false};
+  std::atomic<int> abort_{0};
+  std::mutex error_mu_;
+  std::exception_ptr error_;
+
+  WaveOutcome outcome_;
+};
+
+/// Explore `g` from its root with `threads` workers (callers normally pass
+/// resolve_check_threads(requested)). Throws CheckCancelled when the token
+/// fires mid-search; rethrows any exception a graph callback raised.
+template <typename G>
+WaveOutcome wave_search(const G& g, unsigned threads, CancelToken* cancel) {
+  return WaveSearch<G>(g, threads, cancel).run();
+}
+
+}  // namespace ecucsp

@@ -36,6 +36,15 @@ struct SchedulerOptions {
   unsigned jobs = 0;
   /// Applied to tasks that do not carry their own timeout.
   std::optional<std::chrono::milliseconds> default_timeout;
+  /// In-check exploration threads per task (the refine wave engine);
+  /// 0 means hardware_concurrency() / jobs. Whatever is requested is
+  /// clamped so that jobs × threads never oversubscribes the machine:
+  /// effective threads = max(1, min(threads, hardware / jobs)). The
+  /// effective value is installed as the ambient check_threads() for the
+  /// duration of every run(), so factory, CSPm and custom-mode tasks all
+  /// inherit it. Default 1: nested parallelism is opt-in — with enough
+  /// tasks, across-check parallelism already saturates the machine.
+  unsigned threads = 1;
 };
 
 class VerifyScheduler {
@@ -47,6 +56,10 @@ class VerifyScheduler {
   VerifyScheduler& operator=(const VerifyScheduler&) = delete;
 
   unsigned jobs() const { return jobs_; }
+
+  /// Effective in-check threads per task after the jobs × threads ≤ hardware
+  /// budget clamp (see SchedulerOptions::threads).
+  unsigned threads() const { return threads_; }
 
   /// Run the whole batch, blocking until every task has an outcome.
   /// Outcomes are returned in submission order. Only one run() may be active
@@ -68,6 +81,7 @@ class VerifyScheduler {
   void worker(std::stop_token stop);
 
   unsigned jobs_ = 1;
+  unsigned threads_ = 1;
   SchedulerOptions options_;
 
   std::mutex mu_;

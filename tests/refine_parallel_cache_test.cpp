@@ -1,0 +1,178 @@
+// Cache ↔ parallel-engine interaction: the thread count is deliberately NOT
+// part of the PR 2 cache key, because the wave engine's results are
+// byte-identical at any thread count. These tests pin the consequences:
+//   * a cache warmed by the sequential engine is hit — not invalidated — by
+//     the parallel engine, and vice versa;
+//   * the hit is identical (verdict, counterexample, vacuity) to a fresh
+//     parallel exploration at every thread count;
+//   * the disk tier carries sequential-warmed verdicts to a parallel engine
+//     in a fresh "process" (a reopened VerificationCache on the same dir);
+//   * the unary checks share the same property.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "refine/check.hpp"
+#include "store/cache.hpp"
+
+namespace ecucsp {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique scratch directory per test, removed on destruction (the
+/// store_cache_test idiom).
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    dir_ = fs::temp_directory_path() /
+           ("ecucsp_parcache_test_" + std::string(tag) + "_" +
+            std::to_string(::getpid()));
+    fs::remove_all(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  const fs::path& path() const { return dir_; }
+
+ private:
+  fs::path dir_;
+};
+
+// A failing refinement with a non-trivial counterexample: SPEC accepts only
+// a·b, IMPL offers a·a — trace violation <a> then a.
+ProcessRef failing_spec(Context& ctx) {
+  const EventId a = ctx.event(ctx.channel("a"));
+  const EventId b = ctx.event(ctx.channel("b"));
+  return ctx.prefix(a, ctx.prefix(b, ctx.stop()));
+}
+ProcessRef failing_impl(Context& ctx) {
+  const EventId a = ctx.event(ctx.channel("a"));
+  return ctx.prefix(a, ctx.prefix(a, ctx.stop()));
+}
+// A passing pair over the same alphabet.
+ProcessRef passing_spec(Context& ctx) {
+  const EventId a = ctx.event(ctx.channel("a"));
+  const EventId b = ctx.event(ctx.channel("b"));
+  return ctx.ext_choice(ctx.prefix(a, ctx.stop()), ctx.prefix(b, ctx.stop()));
+}
+ProcessRef passing_impl(Context& ctx) {
+  const EventId a = ctx.event(ctx.channel("a"));
+  return ctx.prefix(a, ctx.stop());
+}
+
+std::string cx_text(const Context& ctx, const CheckResult& r) {
+  return r.counterexample ? r.counterexample->describe(ctx) : std::string();
+}
+
+void expect_same_verdict(const Context& ctx, const CheckResult& want,
+                         const CheckResult& got, const std::string& where) {
+  EXPECT_EQ(got.passed, want.passed) << where;
+  EXPECT_EQ(got.vacuous, want.vacuous) << where;
+  EXPECT_EQ(cx_text(ctx, got), cx_text(ctx, want)) << where;
+}
+
+TEST(ParallelCache, SequentialWarmIsHitByParallelEngine) {
+  store::VerificationCache cache;  // memory tier only
+  ScopedCheckCache installed(&cache);
+  Context ctx;
+
+  const CheckResult warm = check_refinement(
+      ctx, failing_spec(ctx), failing_impl(ctx), Model::Traces, 1u << 22,
+      nullptr, /*threads=*/1);
+  ASSERT_FALSE(warm.passed);
+  ASSERT_FALSE(warm.from_cache);
+
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    const CheckResult hit = check_refinement(
+        ctx, failing_spec(ctx), failing_impl(ctx), Model::Traces, 1u << 22,
+        nullptr, threads);
+    EXPECT_TRUE(hit.from_cache) << "threads=" << threads;
+    expect_same_verdict(ctx, warm, hit,
+                        "threads=" + std::to_string(threads));
+  }
+  EXPECT_EQ(cache.stats().verdict_misses.load(), 1u);
+}
+
+TEST(ParallelCache, ParallelWarmIsHitBySequentialEngine) {
+  store::VerificationCache cache;
+  ScopedCheckCache installed(&cache);
+  Context ctx;
+
+  const CheckResult warm = check_refinement(
+      ctx, passing_spec(ctx), passing_impl(ctx), Model::Failures, 1u << 22,
+      nullptr, /*threads=*/4);
+  ASSERT_FALSE(warm.from_cache);
+
+  const CheckResult hit = check_refinement(
+      ctx, passing_spec(ctx), passing_impl(ctx), Model::Failures, 1u << 22,
+      nullptr, /*threads=*/1);
+  EXPECT_TRUE(hit.from_cache);
+  expect_same_verdict(ctx, warm, hit, "sequential hit");
+
+  // And the cached verdict equals a genuinely fresh parallel exploration.
+  Context fresh;
+  const CheckResult reference = check_refinement(
+      fresh, passing_spec(fresh), passing_impl(fresh), Model::Failures,
+      1u << 22, nullptr, /*threads=*/4);
+  EXPECT_EQ(reference.passed, hit.passed);
+  EXPECT_EQ(reference.vacuous, hit.vacuous);
+}
+
+TEST(ParallelCache, DiskTierCarriesSequentialVerdictToParallelRestart) {
+  TempDir tmp("restart");
+  Context ctx;
+  CheckResult warm;
+  {
+    store::VerificationCache cache(tmp.path());
+    ScopedCheckCache installed(&cache);
+    warm = check_refinement(ctx, failing_spec(ctx), failing_impl(ctx),
+                            Model::FailuresDivergences, 1u << 22, nullptr,
+                            /*threads=*/1);
+    ASSERT_FALSE(warm.passed);
+  }
+
+  // "Restart": a fresh cache instance over the same directory, queried by
+  // the parallel engine. The verdict must come off disk, not re-explore.
+  store::VerificationCache reopened(tmp.path());
+  ScopedCheckCache installed(&reopened);
+  const CheckResult hit = check_refinement(
+      ctx, failing_spec(ctx), failing_impl(ctx), Model::FailuresDivergences,
+      1u << 22, nullptr, /*threads=*/4);
+  EXPECT_TRUE(hit.from_cache);
+  EXPECT_EQ(reopened.stats().disk_hits.load(), 1u);
+  expect_same_verdict(ctx, warm, hit, "disk hit");
+}
+
+TEST(ParallelCache, UnaryChecksShareVerdictsAcrossEngines) {
+  store::VerificationCache cache;
+  ScopedCheckCache installed(&cache);
+  Context ctx;
+
+  // Deadlocking process: a → STOP.
+  const EventId a = ctx.event(ctx.channel("a"));
+  const ProcessRef p = ctx.prefix(a, ctx.stop());
+
+  const CheckResult warm =
+      check_deadlock_free(ctx, p, 1u << 22, nullptr, /*threads=*/4);
+  ASSERT_FALSE(warm.passed);
+  ASSERT_FALSE(warm.from_cache);
+
+  const CheckResult hit =
+      check_deadlock_free(ctx, p, 1u << 22, nullptr, /*threads=*/1);
+  EXPECT_TRUE(hit.from_cache);
+  expect_same_verdict(ctx, warm, hit, "deadlock hit");
+
+  // Same term, different question: deterministic must miss (CheckOp is part
+  // of the key), whatever the thread count.
+  const CheckResult det =
+      check_deterministic(ctx, p, 1u << 22, nullptr, /*threads=*/2);
+  EXPECT_FALSE(det.from_cache);
+  EXPECT_TRUE(det.passed);
+}
+
+}  // namespace
+}  // namespace ecucsp

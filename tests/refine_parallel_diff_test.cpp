@@ -1,0 +1,294 @@
+// Differential stress tests for the parallel in-check refinement engine.
+//
+// The wave engine's whole contract is that --threads is unobservable: for
+// any term pair and any model, verdicts, counterexamples (kind, trace,
+// event, acceptance, rendered text), vacuity flags and the deterministic
+// stats must be byte-identical at 1/2/4/8 threads. These tests drive seeded
+// random CSP term pairs (the refine_props_test generator) through every
+// model and every unary check at each thread count and compare against the
+// threads=1 reference field by field.
+//
+// Also here: the regression tests for canonical counterexample selection —
+// shortest product-BFS depth first, ties between same-wave violations
+// broken by lexicographic trace order then event id — pinned on terms with
+// multiple minimal-length failures, where a scan-order-dependent engine
+// would be free to report either one.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "refine/check.hpp"
+
+namespace ecucsp {
+namespace {
+
+constexpr unsigned kThreadCounts[] = {2, 4, 8};
+
+// Same shape as the refine_props_test generator: a seeded PRNG over a
+// four-event alphabet, depth-bounded, covering every process constructor.
+struct TermGen {
+  Context& ctx;
+  std::mt19937 rng;
+  std::vector<EventId> alphabet;
+
+  TermGen(Context& c, unsigned seed) : ctx(c), rng(seed) {
+    for (const char* name : {"a", "b", "c", "d"}) {
+      alphabet.push_back(ctx.event(ctx.channel(name)));
+    }
+  }
+
+  EventId event() {
+    return alphabet[std::uniform_int_distribution<std::size_t>(
+        0, alphabet.size() - 1)(rng)];
+  }
+
+  EventSet event_set() {
+    std::vector<EventId> out;
+    for (EventId e : alphabet) {
+      if (std::uniform_int_distribution<int>(0, 1)(rng)) out.push_back(e);
+    }
+    return EventSet(std::move(out));
+  }
+
+  ProcessRef process(int depth) {
+    const int max_pick = depth <= 0 ? 2 : 10;
+    switch (std::uniform_int_distribution<int>(0, max_pick)(rng)) {
+      case 0:
+        return ctx.stop();
+      case 1:
+        return ctx.prefix(event(),
+                          depth <= 0 ? ctx.stop() : process(depth - 1));
+      case 2:
+        return ctx.skip();
+      case 3:
+        return ctx.ext_choice(process(depth - 1), process(depth - 1));
+      case 4:
+        return ctx.int_choice(process(depth - 1), process(depth - 1));
+      case 5:
+        return ctx.par(process(depth - 1), event_set(), process(depth - 1));
+      case 6:
+        return ctx.interleave(process(depth - 1), process(depth - 1));
+      case 7:
+        return ctx.hide(process(depth - 1), event_set());
+      case 8: {
+        const EventId from = event();
+        const EventId to = event();
+        return ctx.rename(process(depth - 1), {{from, to}});
+      }
+      case 9:
+        return ctx.sliding(process(depth - 1), process(depth - 1));
+      default:
+        return ctx.seq(process(depth - 1), process(depth - 1));
+    }
+  }
+};
+
+/// Field-by-field equality of two results, including the rendered
+/// counterexample text — "byte-identical" taken literally.
+void expect_identical(const Context& ctx, const CheckResult& ref,
+                      const CheckResult& got, const std::string& where) {
+  EXPECT_EQ(ref.passed, got.passed) << where;
+  EXPECT_EQ(ref.vacuous, got.vacuous) << where;
+  EXPECT_EQ(ref.stats.impl_states, got.stats.impl_states) << where;
+  EXPECT_EQ(ref.stats.impl_transitions, got.stats.impl_transitions) << where;
+  EXPECT_EQ(ref.stats.spec_states, got.stats.spec_states) << where;
+  EXPECT_EQ(ref.stats.spec_norm_nodes, got.stats.spec_norm_nodes) << where;
+  EXPECT_EQ(ref.stats.product_states, got.stats.product_states) << where;
+  ASSERT_EQ(ref.counterexample.has_value(), got.counterexample.has_value())
+      << where;
+  if (ref.counterexample) {
+    const Counterexample& r = *ref.counterexample;
+    const Counterexample& g = *got.counterexample;
+    EXPECT_EQ(r.kind, g.kind) << where;
+    EXPECT_EQ(r.trace, g.trace) << where;
+    EXPECT_EQ(r.event, g.event) << where;
+    EXPECT_EQ(r.impl_acceptance, g.impl_acceptance) << where;
+    EXPECT_EQ(r.describe(ctx), g.describe(ctx)) << where;
+  }
+}
+
+class ParallelDiff : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelDiff, RefinementIdenticalAtEveryThreadCount) {
+  Context ctx;
+  TermGen gen(ctx, GetParam());
+  for (int i = 0; i < 3; ++i) {
+    const ProcessRef spec = gen.process(3);
+    const ProcessRef impl = gen.process(3);
+    for (const Model m :
+         {Model::Traces, Model::Failures, Model::FailuresDivergences}) {
+      const CheckResult ref =
+          check_refinement(ctx, spec, impl, m, 1u << 22, nullptr, 1);
+      for (const unsigned t : kThreadCounts) {
+        const CheckResult got =
+            check_refinement(ctx, spec, impl, m, 1u << 22, nullptr, t);
+        expect_identical(ctx, ref, got,
+                         "seed=" + std::to_string(GetParam()) +
+                             " term=" + std::to_string(i) +
+                             " model=" + to_string(m) +
+                             " threads=" + std::to_string(t));
+      }
+    }
+  }
+}
+
+TEST_P(ParallelDiff, UnaryChecksIdenticalAtEveryThreadCount) {
+  Context ctx;
+  TermGen gen(ctx, GetParam() + 1000);
+  for (int i = 0; i < 3; ++i) {
+    const ProcessRef p = gen.process(3);
+    const auto run = [&](unsigned t) {
+      return std::vector<CheckResult>{
+          check_deadlock_free(ctx, p, 1u << 22, nullptr, t),
+          check_divergence_free(ctx, p, 1u << 22, nullptr, t),
+          check_deterministic(ctx, p, 1u << 22, nullptr, t)};
+    };
+    const std::vector<CheckResult> ref = run(1);
+    for (const unsigned t : kThreadCounts) {
+      const std::vector<CheckResult> got = run(t);
+      for (std::size_t k = 0; k < ref.size(); ++k) {
+        expect_identical(ctx, ref[k], got[k],
+                         "seed=" + std::to_string(GetParam()) +
+                             " term=" + std::to_string(i) +
+                             " check=" + std::to_string(k) +
+                             " threads=" + std::to_string(t));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDiff, ::testing::Range(0u, 12u));
+
+// --- canonical counterexample selection regressions -------------------------
+
+class CanonicalCx : public ::testing::Test {
+ protected:
+  CanonicalCx() {
+    a = ctx.event(ctx.channel("a"));
+    b = ctx.event(ctx.channel("b"));
+    c = ctx.event(ctx.channel("c"));
+  }
+  Context ctx;
+  EventId a, b, c;
+};
+
+TEST_F(CanonicalCx, SameStateTieBreaksOnEventIdNotScanOrder) {
+  // SPEC = a -> a -> STOP; IMPL = a -> (c -> STOP [] b -> STOP).
+  // After <a> both branches violate in the same wave. The implementation
+  // lists c first, so a scan-order engine would report c; the canonical
+  // pick is the lexicographically smaller event b — at every thread count.
+  const ProcessRef spec = ctx.prefix(a, ctx.prefix(a, ctx.stop()));
+  const ProcessRef impl = ctx.prefix(
+      a, ctx.ext_choice(ctx.prefix(c, ctx.stop()), ctx.prefix(b, ctx.stop())));
+  for (const unsigned t : {1u, 2u, 4u, 8u}) {
+    const CheckResult r =
+        check_refinement(ctx, spec, impl, Model::Traces, 1u << 22, nullptr, t);
+    ASSERT_FALSE(r.passed) << "threads=" << t;
+    ASSERT_TRUE(r.counterexample) << "threads=" << t;
+    EXPECT_EQ(r.counterexample->kind, Counterexample::Kind::TraceViolation);
+    EXPECT_EQ(r.counterexample->trace, std::vector<EventId>{a})
+        << "threads=" << t;
+    EXPECT_EQ(r.counterexample->event, b) << "threads=" << t;
+  }
+}
+
+TEST_F(CanonicalCx, MultipleMinimalLengthFailuresPickLexSmallestTrace) {
+  // SPEC = (a -> a -> STOP) [] (b -> a -> STOP);
+  // IMPL = (a -> c -> STOP) [] (b -> b -> STOP).
+  // Two violations at minimal length 1: after <a> the event c, after <b>
+  // the event b. Same wave, different product states — the shortest-trace
+  // guarantee alone cannot separate them. The canonical pick is the
+  // lexicographically smaller trace <a>, hence event c.
+  const ProcessRef spec =
+      ctx.ext_choice(ctx.prefix(a, ctx.prefix(a, ctx.stop())),
+                     ctx.prefix(b, ctx.prefix(a, ctx.stop())));
+  const ProcessRef impl =
+      ctx.ext_choice(ctx.prefix(a, ctx.prefix(c, ctx.stop())),
+                     ctx.prefix(b, ctx.prefix(b, ctx.stop())));
+  for (const unsigned t : {1u, 2u, 4u, 8u}) {
+    const CheckResult r =
+        check_refinement(ctx, spec, impl, Model::Traces, 1u << 22, nullptr, t);
+    ASSERT_FALSE(r.passed) << "threads=" << t;
+    ASSERT_TRUE(r.counterexample) << "threads=" << t;
+    EXPECT_EQ(r.counterexample->trace, std::vector<EventId>{a})
+        << "threads=" << t;
+    EXPECT_EQ(r.counterexample->event, c) << "threads=" << t;
+  }
+}
+
+TEST_F(CanonicalCx, ShortestViolationWinsOverDeeperOnes) {
+  // SPEC = b -> a -> a -> STOP | IMPL = b -> a -> (b -> STOP [] a -> c -> STOP):
+  // a violation (b) at depth 2 and another (c) at depth 3 — the wave
+  // engine must stop at the first violating wave and never report c.
+  const ProcessRef spec =
+      ctx.prefix(b, ctx.prefix(a, ctx.prefix(a, ctx.stop())));
+  const ProcessRef impl = ctx.prefix(
+      b, ctx.prefix(a, ctx.ext_choice(
+                           ctx.prefix(b, ctx.stop()),
+                           ctx.prefix(a, ctx.prefix(c, ctx.stop())))));
+  for (const unsigned t : {1u, 2u, 4u, 8u}) {
+    const CheckResult r =
+        check_refinement(ctx, spec, impl, Model::Traces, 1u << 22, nullptr, t);
+    ASSERT_FALSE(r.passed) << "threads=" << t;
+    const std::vector<EventId> want{b, a};
+    EXPECT_EQ(r.counterexample->trace, want) << "threads=" << t;
+    EXPECT_EQ(r.counterexample->event, b) << "threads=" << t;
+  }
+}
+
+// --- targeted cross-thread cases the random generator may not hit ----------
+
+TEST_F(CanonicalCx, VacuousPassIsFlaggedAtEveryThreadCount) {
+  // SPEC = a -> STOP constrains {a}; IMPL = STOP never reaches it. The
+  // vacuity verdict must not depend on the thread count (the PR 3 flag is
+  // computed after the parallel sweep, from deterministic inputs).
+  const ProcessRef spec = ctx.prefix(a, ctx.stop());
+  const ProcessRef impl = ctx.stop();
+  for (const unsigned t : {1u, 4u, 8u}) {
+    const CheckResult r = check_refinement(ctx, spec, impl, Model::Traces,
+                                           1u << 22, nullptr, t);
+    EXPECT_TRUE(r.passed) << "threads=" << t;
+    EXPECT_TRUE(r.vacuous) << "threads=" << t;
+  }
+}
+
+TEST_F(CanonicalCx, FdDivergenceViolationIdenticalAcrossThreads) {
+  ctx.define("T", [this](Context& cx, std::span<const Value>) {
+    return cx.prefix(a, cx.var("T"));
+  });
+  const ProcessRef spec = ctx.prefix(b, ctx.stop());
+  const ProcessRef impl =
+      ctx.prefix(b, ctx.hide(ctx.var("T"), EventSet{a}));
+  const CheckResult ref = check_refinement(
+      ctx, spec, impl, Model::FailuresDivergences, 1u << 22, nullptr, 1);
+  ASSERT_FALSE(ref.passed);
+  ASSERT_EQ(ref.counterexample->kind,
+            Counterexample::Kind::DivergenceViolation);
+  for (const unsigned t : {2u, 4u, 8u}) {
+    const CheckResult got = check_refinement(
+        ctx, spec, impl, Model::FailuresDivergences, 1u << 22, nullptr, t);
+    expect_identical(ctx, ref, got, "threads=" + std::to_string(t));
+  }
+}
+
+TEST_F(CanonicalCx, AmbientThreadSettingIsPickedUpByDefaultArgument) {
+  // threads=0 defers to the ambient setting; installing 8 via the scoped
+  // guard must give the same result as passing 8 explicitly (and as 1).
+  const ProcessRef spec = ctx.prefix(a, ctx.prefix(a, ctx.stop()));
+  const ProcessRef impl = ctx.prefix(
+      a, ctx.ext_choice(ctx.prefix(c, ctx.stop()), ctx.prefix(b, ctx.stop())));
+  const CheckResult ref =
+      check_refinement(ctx, spec, impl, Model::Traces, 1u << 22, nullptr, 1);
+  {
+    const ScopedCheckThreads ambient(8);
+    EXPECT_EQ(check_threads(), 8u);
+    const CheckResult got =
+        check_refinement(ctx, spec, impl, Model::Traces);  // threads = 0
+    expect_identical(ctx, ref, got, "ambient=8");
+  }
+  EXPECT_EQ(check_threads(), 1u);  // restored
+}
+
+}  // namespace
+}  // namespace ecucsp

@@ -1,0 +1,189 @@
+// Nested parallelism: the PR 1 batch scheduler driving the PR 5 in-check
+// wave engine, with the jobs × threads ≤ hardware budget in between.
+//
+// The acceptance properties in test form:
+//   * the budget clamp holds for every requested (jobs, threads) combination,
+//     and the effective thread count is installed as the ambient
+//     check_threads() for exactly the duration of run();
+//   * the full OTA requirement × attacker matrix yields byte-identical
+//     reports at every (jobs, threads) in {1,2,4} × {1,2,4};
+//   * custom tasks that call the engine with an explicit per-call thread
+//     count inside scheduler workers still match the sequential reference;
+//   * a mid-flight cancel_all() unwinds a deep nested-parallel batch to
+//     terminal statuses without deadlocking or leaking workers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "refine/check.hpp"
+#include "verify/ota_batch.hpp"
+#include "verify/scheduler.hpp"
+
+namespace ecucsp::verify {
+namespace {
+
+std::vector<CheckTask> full_suite() {
+  std::vector<CheckTask> tasks = ota_requirement_matrix();
+  for (CheckTask& t : ota_extended_batch()) tasks.push_back(std::move(t));
+  return tasks;
+}
+
+/// Everything the budget must not be able to perturb: verdict,
+/// counterexample text, vacuity, and all the deterministic stats. The wave
+/// engine guarantees product_states is thread-invariant too, so unlike the
+/// cache fingerprint this one pins it.
+std::vector<std::string> fingerprint(const BatchResult& batch) {
+  std::vector<std::string> out;
+  out.reserve(batch.outcomes.size());
+  for (const TaskOutcome& o : batch.outcomes) {
+    out.push_back(o.name + "|" + std::string(to_string(o.status)) + "|" +
+                  o.counterexample + "|" + (o.vacuous ? "V" : "-") + "|" +
+                  std::to_string(o.stats.impl_states) + "|" +
+                  std::to_string(o.stats.impl_transitions) + "|" +
+                  std::to_string(o.stats.spec_states) + "|" +
+                  std::to_string(o.stats.spec_norm_nodes) + "|" +
+                  std::to_string(o.stats.product_states));
+  }
+  return out;
+}
+
+TEST(NestedParallel, BudgetClampKeepsJobsTimesThreadsOnTheMachine) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (const unsigned jobs : {1u, 2u, 4u}) {
+    for (const unsigned threads : {0u, 1u, 2u, 4u, 64u}) {
+      VerifyScheduler sched({.jobs = jobs, .threads = threads});
+      const unsigned per_job = std::max(1u, hw / sched.jobs());
+      const unsigned expected =
+          threads == 0 ? per_job : std::max(1u, std::min(threads, per_job));
+      EXPECT_EQ(sched.threads(), expected)
+          << "jobs=" << jobs << " threads=" << threads;
+      // jobs × threads never exceeds the hardware, modulo the floor of one
+      // thread per worker that keeps degenerate requests runnable.
+      EXPECT_LE(sched.jobs() * sched.threads(), std::max(hw, sched.jobs()))
+          << "jobs=" << jobs << " threads=" << threads;
+    }
+  }
+}
+
+TEST(NestedParallel, AmbientThreadsInstalledForTheBatchAndRestored) {
+  ASSERT_EQ(check_threads(), 1u) << "test requires the default ambient";
+
+  VerifyScheduler sched({.jobs = 2, .threads = 2});
+  std::atomic<unsigned> seen{0};
+
+  CheckTask probe;
+  probe.name = "ambient-probe";
+  probe.custom = [&seen](CancelToken&) -> RenderedCheck {
+    // What a factory/CSPm/custom task's engine calls would resolve to.
+    seen.store(check_threads(), std::memory_order_relaxed);
+    Context ctx;
+    const EventId a = ctx.event(ctx.channel("a"));
+    const ProcessRef p = ctx.prefix(a, ctx.stop());
+    return render(ctx, check_refinement(ctx, p, p, Model::Traces));
+  };
+  probe.expected = true;
+
+  const BatchResult batch = sched.run({probe});
+  ASSERT_TRUE(batch.all_as_expected());
+  EXPECT_EQ(seen.load(), sched.threads());
+  // run() returned: the scheduler's ScopedCheckThreads must have unwound.
+  EXPECT_EQ(check_threads(), 1u);
+}
+
+TEST(NestedParallel, MatrixIdenticalAcrossEveryJobsThreadsCombination) {
+  const std::vector<CheckTask> suite = full_suite();
+
+  const BatchResult reference = VerifyScheduler({.jobs = 1, .threads = 1}).run(suite);
+  ASSERT_TRUE(reference.all_as_expected());
+  const std::vector<std::string> want = fingerprint(reference);
+
+  for (const unsigned jobs : {1u, 2u, 4u}) {
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      if (jobs == 1 && threads == 1) continue;
+      VerifyScheduler sched({.jobs = jobs, .threads = threads});
+      const BatchResult got = sched.run(suite);
+      EXPECT_TRUE(got.all_as_expected())
+          << "jobs=" << jobs << " threads=" << threads;
+      EXPECT_EQ(fingerprint(got), want)
+          << "jobs=" << jobs << " threads=" << threads;
+    }
+  }
+}
+
+TEST(NestedParallel, ExplicitPerCallThreadsInsideWorkersMatchSequential) {
+  // Custom tasks may bypass the ambient budget with an explicit per-call
+  // thread count; verdicts must still be byte-identical. Two such tasks run
+  // concurrently on two workers, so this also soaks two wave teams live at
+  // once (the sharded visited-sets must not interfere across instances).
+  auto make = [](std::string name, bool should_pass) {
+    CheckTask t;
+    t.name = std::move(name);
+    t.expected = should_pass;
+    t.custom = [should_pass](CancelToken& token) -> RenderedCheck {
+      Context ctx;
+      const EventId a = ctx.event(ctx.channel("a"));
+      const EventId b = ctx.event(ctx.channel("b"));
+      const ProcessRef spec = ctx.prefix(a, ctx.prefix(b, ctx.stop()));
+      const ProcessRef impl =
+          should_pass ? ctx.prefix(a, ctx.prefix(b, ctx.stop()))
+                      : ctx.prefix(a, ctx.prefix(a, ctx.stop()));
+      return render(ctx, check_refinement(ctx, spec, impl, Model::Failures,
+                                          1u << 22, &token, /*threads=*/4));
+    };
+    return t;
+  };
+
+  std::vector<CheckTask> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back(make("pass-" + std::to_string(i), true));
+    tasks.push_back(make("fail-" + std::to_string(i), false));
+  }
+
+  const BatchResult reference = VerifyScheduler({.jobs = 1}).run(tasks);
+  ASSERT_TRUE(reference.all_as_expected());
+
+  const BatchResult nested = VerifyScheduler({.jobs = 2}).run(tasks);
+  EXPECT_TRUE(nested.all_as_expected());
+  EXPECT_EQ(fingerprint(nested), fingerprint(reference));
+}
+
+TEST(NestedParallel, MidFlightCancellationUnwindsWithoutDeadlockOrLeak) {
+  // Dilated matrix: enough product-space work that cancel_all() lands while
+  // wave teams are mid-exploration on multiple workers at once.
+  const std::vector<CheckTask> suite =
+      ota_requirement_matrix({.dilation = 5});
+
+  VerifyScheduler sched({.jobs = 2, .threads = 2});
+  std::jthread killer([&sched] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    sched.cancel_all();
+  });
+
+  const BatchResult batch = sched.run(suite);
+  killer.join();
+
+  // Every task reached a terminal status — nothing hung. Do NOT assert
+  // all_as_expected: whichever tasks finished before the cancellation keep
+  // their real verdicts, the rest come back Cancelled.
+  ASSERT_EQ(batch.outcomes.size(), suite.size());
+  for (const TaskOutcome& o : batch.outcomes) {
+    EXPECT_TRUE(o.status == TaskStatus::Passed ||
+                o.status == TaskStatus::Failed ||
+                o.status == TaskStatus::Cancelled ||
+                o.status == TaskStatus::TimedOut)
+        << o.name << ": " << to_string(o.status);
+  }
+
+  // The pool survived: a follow-up nested-parallel batch on the same
+  // scheduler runs to completion with correct verdicts (no leaked tokens,
+  // no worker stuck at a wave barrier).
+  const BatchResult probe = sched.run(full_suite());
+  EXPECT_TRUE(probe.all_as_expected());
+}
+
+}  // namespace
+}  // namespace ecucsp::verify
