@@ -19,6 +19,18 @@
 // process exits 1 on any mismatch. Speedup is reported but not gated: on a
 // single-core container every curve degenerates to ~1.0x.
 //
+// A second workload measures the PR 6 state-space reductions: K cyclers
+// whose phase steps each take a *hidden* micro-step (tau after every
+// visible event). Unreduced, the interleaving reaches 6^K product states
+// (every cycler independently visible- or micro-pending); the hidden
+// micro-steps of distinct cyclers are strongly confluent, so diamond
+// tau-priorisation serialises them and bisim folds the remainder — the
+// same semantics in ~3^K states. The bench sweeps the workload at
+// --compress none/bisim/diamond/full on 8 threads, reports the wall-clock
+// and reduction-factor curve, asserts verdict/counterexample coherence
+// against none, and gates "reduction_ok" on the acceptance threshold: full
+// must check >= 10x more raw product states per sweep than it visits.
+//
 // Usage: bench_parallel_refinement [cyclers] [out.json]
 // Writes a machine-readable report (default BENCH_refine_parallel.json).
 #include <algorithm>
@@ -31,6 +43,7 @@
 
 #include "core/context.hpp"
 #include "refine/check.hpp"
+#include "refine/compact.hpp"
 #include "refine/lts.hpp"
 #include "refine/normalize.hpp"
 
@@ -111,6 +124,64 @@ Workload build(std::int64_t cyclers, bool corrupt_last) {
   return w;
 }
 
+/// The compression workload: cyclers whose every visible phase step is
+/// followed by a hidden micro-step. Hiding makes the micro-steps tau, and
+/// taus of distinct interleaved cyclers commute — exactly the structure
+/// diamond's confluence priorisation eliminates.
+Workload build_hidden(std::int64_t cyclers, bool corrupt_last) {
+  Context ctx;
+  std::vector<Value> ids, phases;
+  for (std::int64_t i = 0; i < cyclers; ++i) ids.push_back(Value::integer(i));
+  for (int p = 0; p < 3; ++p) phases.push_back(Value::integer(p));
+  const ChannelId cyc = ctx.channel("bench_cyc", {ids, phases});
+  const ChannelId mic = ctx.channel("bench_mic", {ids});
+  const ChannelId bad = ctx.channel("bench_bad");
+
+  ctx.define("BENCH_HCYC", [cyc, mic](Context& cx,
+                                      std::span<const Value> args) {
+    const std::int64_t phase = args[1].as_int();
+    return cx.prefix(
+        cx.event(cyc, {args[0], Value::integer(phase)}),
+        cx.prefix(cx.event(mic, {args[0]}),
+                  cx.var("BENCH_HCYC",
+                         {args[0], Value::integer((phase + 1) % 3)})));
+  });
+  ctx.define("BENCH_HCNT", [cyc, mic, bad, cyclers](
+                               Context& cx, std::span<const Value> args) {
+    const std::int64_t loop = args[0].as_int();
+    const std::int64_t phase = args[1].as_int();
+    if (loop >= kLoops) return cx.prefix(cx.event(bad), cx.stop());
+    const Value id = Value::integer(cyclers - 1);
+    const std::int64_t nphase = (phase + 1) % 3;
+    return cx.prefix(
+        cx.event(cyc, {id, Value::integer(phase)}),
+        cx.prefix(cx.event(mic, {id}),
+                  cx.var("BENCH_HCNT",
+                         {Value::integer(loop + (nphase == 0 ? 1 : 0)),
+                          Value::integer(nphase)})));
+  });
+
+  const std::int64_t plain = corrupt_last ? cyclers - 1 : cyclers;
+  ProcessRef impl = ctx.var("BENCH_HCYC", {Value::integer(0), Value::integer(0)});
+  for (std::int64_t i = 1; i < plain; ++i)
+    impl = ctx.interleave(
+        impl, ctx.var("BENCH_HCYC", {Value::integer(i), Value::integer(0)}));
+  if (corrupt_last)
+    impl = ctx.interleave(
+        impl, ctx.var("BENCH_HCNT", {Value::integer(0), Value::integer(0)}));
+
+  std::vector<EventId> micro;
+  for (std::int64_t i = 0; i < cyclers; ++i)
+    micro.push_back(ctx.event(mic, {Value::integer(i)}));
+  impl = ctx.hide(impl, EventSet(std::move(micro)));
+
+  const ProcessRef spec = run_spec(ctx, cyc, cyclers);
+  Workload w;
+  w.impl = compile_lts(ctx, impl);
+  w.spec = normalize(compile_lts(ctx, spec), /*with_divergence=*/false);
+  return w;
+}
+
 double time_ms(const Workload& w, unsigned threads, CheckResult& out) {
   double best = 1e300;
   for (int rep = 0; rep < 3; ++rep) {
@@ -135,6 +206,31 @@ bool coherent(const CheckResult& ref, const CheckResult& got) {
   return ref.passed == got.passed && ref.vacuous == got.vacuous &&
          ref.stats.product_states == got.stats.product_states &&
          cx_key(ref) == cx_key(got);
+}
+
+/// Verdict-level coherence only: compressed PASS sweeps legitimately visit
+/// fewer product states, so unlike the thread curve the state counts are
+/// not compared (they are the measurement).
+bool verdict_coherent(const CheckResult& ref, const CheckResult& got) {
+  return ref.passed == got.passed && ref.vacuous == got.vacuous &&
+         cx_key(ref) == cx_key(got);
+}
+
+/// One compressed sweep: reduction + product walk, all inside the timer —
+/// the honest end-to-end cost a check pays for the mode.
+double time_compressed_ms(const Workload& w, const CompactLts& impl,
+                          Compression mode, unsigned threads,
+                          CheckResult& out) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    out = check_refinement_compiled(w.spec, impl, Model::Traces, threads,
+                                    nullptr, mode);
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
 }
 
 }  // namespace
@@ -190,6 +286,70 @@ int main(int argc, char** argv) {
             ",\"coherent\":" + (same ? "true" : "false") + "}";
   }
 
+  // --- compression curve: hidden-micro-step cyclers at 8 threads ------------
+  // 6^K unreduced product states and a ~2^K reduction factor, so cap K at 5:
+  // 7776 unreduced states fold to ~243, a ~32x factor that clears the >= 10x
+  // acceptance bar while staying cheap enough for unoptimised CI legs.
+  const std::int64_t kc = std::min<std::int64_t>(cyclers, 5);
+  const Workload hpass = build_hidden(kc, /*corrupt_last=*/false);
+  const Workload hfail = build_hidden(kc, /*corrupt_last=*/true);
+  const CompactLts hpass_impl = compact_from_lts(hpass.impl);
+  const CompactLts hfail_impl = compact_from_lts(hfail.impl);
+  constexpr unsigned kCompressThreads = 8;
+
+  std::printf("\nstate-space reduction bench: %ld hidden-micro cyclers, "
+              "%u threads\n", (long)kc, kCompressThreads);
+  std::printf("%-8s| %-12s| %-12s| %-14s| %-10s| %s\n", "mode", "pass (ms)",
+              "fail (ms)", "product states", "reduction", "verdicts");
+  std::printf(
+      "--------+-------------+-------------+---------------+-----------+"
+      "---------\n");
+
+  CheckResult hp_ref, hf_ref;
+  std::size_t none_product = 0;
+  double reduction_full = 1.0;
+  std::string crows;
+  for (const Compression mode : {Compression::None, Compression::Bisim,
+                                 Compression::Diamond, Compression::Full}) {
+    CheckResult p, f;
+    const double pms =
+        time_compressed_ms(hpass, hpass_impl, mode, kCompressThreads, p);
+    const double fms =
+        time_compressed_ms(hfail, hfail_impl, mode, kCompressThreads, f);
+    if (mode == Compression::None) {
+      hp_ref = p;
+      hf_ref = f;
+      none_product = p.stats.product_states;
+      if (!p.passed || f.passed || !f.counterexample) {
+        std::fprintf(stderr, "compression workload verdicts wrong at none\n");
+        return 1;
+      }
+    }
+    const bool same = verdict_coherent(hp_ref, p) && verdict_coherent(hf_ref, f);
+    ok &= same;
+    const double reduction = p.stats.product_states == 0
+                                 ? 1.0
+                                 : static_cast<double>(none_product) /
+                                       static_cast<double>(p.stats.product_states);
+    if (mode == Compression::Full) reduction_full = reduction;
+    std::printf("%-8s| %11.1f | %11.1f | %13zu | %8.1fx | %s\n",
+                std::string(to_string(mode)).c_str(), pms, fms,
+                p.stats.product_states, reduction,
+                same ? "coherent" : "MISMATCH");
+    if (!crows.empty()) crows += ",";
+    crows += "{\"mode\":\"" + std::string(to_string(mode)) + "\"" +
+             ",\"pass_ms\":" + std::to_string(pms) +
+             ",\"fail_ms\":" + std::to_string(fms) +
+             ",\"pass_product_states\":" + std::to_string(p.stats.product_states) +
+             ",\"reduction_factor\":" + std::to_string(reduction) +
+             ",\"coherent\":" + (same ? "true" : "false") + "}";
+  }
+  // The ISSUE acceptance bar: full compression must let the same sweep
+  // stand in for >= 10x as many raw product states.
+  const bool reduction_ok = reduction_full >= 10.0;
+  std::printf("full-mode reduction factor %.1fx (>= 10x required): %s\n",
+              reduction_full, reduction_ok ? "ok" : "TOO LOW");
+
   std::FILE* out = std::fopen(out_path, "w");
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", out_path);
@@ -199,15 +359,22 @@ int main(int argc, char** argv) {
                "{\"bench_format\":1,\"bench\":\"refine_parallel\","
                "\"cyclers\":%ld,\"pass_product_states\":%zu,"
                "\"fail_product_states\":%zu,\"runs\":[%s],"
+               "\"compress_cyclers\":%ld,"
+               "\"compress_unreduced_product_states\":%zu,"
+               "\"compress_runs\":[%s],"
+               "\"reduction_factor\":%.3f,\"reduction_ok\":%s,"
                "\"coherent\":%s}\n",
                (long)cyclers, pass_ref.stats.product_states,
-               fail_ref.stats.product_states, rows.c_str(),
-               ok ? "true" : "false");
+               fail_ref.stats.product_states, rows.c_str(), (long)kc,
+               none_product, crows.c_str(), reduction_full,
+               reduction_ok ? "true" : "false",
+               ok && reduction_ok ? "true" : "false");
   std::fclose(out);
 
   std::printf("\n%s; report written to %s\n",
-              ok ? "all thread counts byte-identical to the sequential sweep"
-                 : "MISMATCH between thread counts",
+              ok && reduction_ok
+                  ? "all thread counts and compression modes coherent"
+                  : "MISMATCH or insufficient reduction",
               out_path);
-  return ok ? 0 : 1;
+  return ok && reduction_ok ? 0 : 1;
 }

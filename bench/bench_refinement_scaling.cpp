@@ -11,7 +11,9 @@
 #include <benchmark/benchmark.h>
 
 #include "refine/check.hpp"
+#include "refine/compact.hpp"
 #include "refine/minimize.hpp"
+#include "refine/normalize.hpp"
 
 using namespace ecucsp;
 
@@ -154,6 +156,88 @@ void CompressionAblation(benchmark::State& state) {
   state.SetLabel(compressed ? "components compressed (sbisim)" : "raw");
 }
 BENCHMARK(CompressionAblation)->Arg(0)->Arg(1);
+
+/// The in-check reduction workload: n two-phase toggles whose every flip is
+/// followed by a *hidden* micro-step. Interleaved raw, the product reaches
+/// 2^n states (each toggle independently flip- or micro-pending); the micro
+/// taus of distinct toggles are confluent, so diamond tau-priorisation
+/// serialises them and bisim folds the residue to ~n states.
+struct CompressWorkload {
+  NormLts spec;
+  CompactLts impl;
+};
+
+CompressWorkload hidden_workload(int n) {
+  Context ctx;
+  std::vector<Value> domain;
+  for (int i = 0; i < n; ++i) domain.push_back(Value::integer(i));
+  const ChannelId flip = ctx.channel("flip", {domain});
+  const ChannelId micro = ctx.channel("micro", {domain});
+
+  ProcessRef impl = nullptr;
+  std::vector<EventId> hidden;
+  for (int i = 0; i < n; ++i) {
+    const std::string name = "HTGL" + std::to_string(i);
+    const EventId f = ctx.event(flip, {Value::integer(i)});
+    const EventId m = ctx.event(micro, {Value::integer(i)});
+    hidden.push_back(m);
+    ctx.define(name, [f, m, s = ctx.sym(name)](Context& cx,
+                                               std::span<const Value>) {
+      return cx.prefix(f, cx.prefix(m, cx.var(s, {})));
+    });
+    const ProcessRef cell = ctx.var(ctx.sym(name), {});
+    impl = impl ? ctx.interleave(impl, cell) : cell;
+  }
+  impl = ctx.hide(impl, EventSet(std::move(hidden)));
+
+  // RUN over the flip alphabet: one recursive state offering every flip.
+  ctx.define("CRUN", [flip, n](Context& cx, std::span<const Value>) {
+    ProcessRef p = nullptr;
+    for (int i = 0; i < n; ++i) {
+      const ProcessRef arm = cx.prefix(cx.event(flip, {Value::integer(i)}),
+                                       cx.var("CRUN", {}));
+      p = p ? cx.ext_choice(p, arm) : arm;
+    }
+    return p;
+  });
+
+  CompressWorkload w;
+  w.impl = compact_from_lts(compile_lts(ctx, impl));
+  w.spec = normalize(compile_lts(ctx, ctx.var("CRUN", {})),
+                     /*with_divergence=*/false);
+  return w;
+}
+
+void InCheckCompression(benchmark::State& state) {
+  // The PR 6 *in-check* reductions (vs CompressionAblation's compositional
+  // sbisim): the same product sweep at each --compress mode, reduction
+  // inside the measured region. Verdicts are mode-invariant by the
+  // fail-replay contract; product_states is the measurement.
+  const Compression mode = static_cast<Compression>(state.range(0));
+  const int n = 7;
+  const CompressWorkload w = hidden_workload(n);
+  const CheckResult base = check_refinement_compiled(
+      w.spec, w.impl, Model::Traces, 0, nullptr, Compression::None);
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const CheckResult r = check_refinement_compiled(w.spec, w.impl,
+                                                    Model::Traces, 0, nullptr,
+                                                    mode);
+    if (!r.passed) state.SkipWithError("refinement failed");
+    states = r.stats.product_states;
+  }
+  state.counters["product_states"] = static_cast<double>(states);
+  state.counters["reduction_factor"] =
+      static_cast<double>(base.stats.product_states) /
+      static_cast<double>(states == 0 ? 1 : states);
+  state.SetLabel("--compress=" + std::string(to_string(mode)) + " on 2^" +
+                 std::to_string(n) + " raw states");
+}
+BENCHMARK(InCheckCompression)
+    ->Arg(static_cast<int>(Compression::None))
+    ->Arg(static_cast<int>(Compression::Bisim))
+    ->Arg(static_cast<int>(Compression::Diamond))
+    ->Arg(static_cast<int>(Compression::Full));
 
 void MinimizationCost(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -41,6 +41,10 @@ int usage(const char* argv0) {
       "  --threads N     in-check exploration threads per oracle check\n"
       "                  (0 = hardware/jobs; default 1; jobs x threads is\n"
       "                  clamped to the hardware)\n"
+      "  --compress M    (or --compress=M) reduce oracle state spaces\n"
+      "                  before each sweep:\n"
+      "                  none | bisim | diamond | full (default none);\n"
+      "                  reports are identical at every level\n"
       "  --timeout MS    per-test wall-clock budget (default 10000)\n"
       "  --max-states N  oracle compilation state budget (default 2^20)\n"
       "  --json          machine-readable report on stdout\n"
@@ -69,7 +73,18 @@ int main(int argc, char** argv) {
   bool json = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    // Every value option accepts both `--opt V` and `--opt=V`.
+    std::string head;
+    const char* inline_value = nullptr;
+    if (std::strncmp(arg, "--", 2) == 0) {
+      if (const char* eq = std::strchr(arg, '=')) {
+        head.assign(arg, eq);
+        inline_value = eq + 1;
+        arg = head.c_str();
+      }
+    }
     auto value = [&]() -> const char* {
+      if (inline_value) return inline_value;
       return (i + 1 < argc) ? argv[++i] : nullptr;
     };
     std::uint64_t n = 0;
@@ -101,6 +116,15 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (!v || !parse_u64(v, n)) return usage(argv[0]);
       opt.threads = static_cast<unsigned>(n);
+    } else if (std::strcmp(arg, "--compress") == 0) {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      const auto mode = ecucsp::parse_compression(v);
+      if (!mode) {
+        std::fprintf(stderr, "unknown compression mode '%s'\n", v);
+        return usage(argv[0]);
+      }
+      opt.compress = *mode;
     } else if (std::strcmp(arg, "--timeout") == 0) {
       const char* v = value();
       if (!v || !parse_u64(v, n) || n == 0) return usage(argv[0]);

@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "refine/compact.hpp"
+
 namespace ecucsp::conform {
 
 struct ConformOptions {
@@ -43,6 +45,10 @@ struct ConformOptions {
   /// In-check exploration threads per oracle check, forwarded to the
   /// scheduler's nested-parallelism budget (jobs × threads ≤ hardware).
   unsigned threads = 1;
+  /// State-space reduction applied inside every oracle check
+  /// (refine/compact.hpp); verdict-preserving, so reports are identical at
+  /// every level.
+  Compression compress = Compression::None;
   std::chrono::milliseconds timeout{10'000};  // per test
   std::size_t max_states = 1u << 20;
   /// Seeded ECU fault injection (mutate.hpp); the spec side stays faithful.
@@ -76,6 +82,7 @@ struct ConformReport {
   std::uint64_t seed = 0;
   unsigned jobs = 0;
   unsigned threads = 1;  // effective in-check threads after the budget clamp
+  Compression compress = Compression::None;  // reduction mode of the run
   // Implementation-model automaton:
   std::size_t model_states = 0;
   std::size_t model_transitions = 0;

@@ -1,0 +1,117 @@
+// Cooperative cancellation for long-running engine passes.
+//
+// One verification task = one CancelToken. The owner (the verify scheduler's
+// worker, a CLI signal handler, a test) arms it with a deadline and/or flips
+// the cancel flag from any thread; the engine's exploration loops poll it and
+// unwind by throwing CheckCancelled. Nothing is ever killed preemptively: a
+// timed-out pass aborts at its next poll, destructors run, and the worker
+// thread survives to pick up the next task.
+//
+// Two poll flavours:
+//   * poll_now() — checks the cancel flag and the deadline unconditionally.
+//     Use at pass entry (an already-expired token must abort before any work)
+//     and from contexts that need no throttling.
+//   * poll()     — checks the cancel flag on every call but reads the clock
+//     only every 64th call per thread (a thread_local counter), so it is
+//     cheap enough for per-state exploration loops. A request_cancel() still
+//     lands on the very next poll().
+//
+// The token is all-atomic and safe to share: set_deadline/set_timeout/
+// request_cancel may race with polls from any number of engine threads.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <limits>
+
+namespace ecucsp {
+
+/// Thrown by CancelToken polls (and propagated out of every engine pass)
+/// when the task's deadline fired or a cancellation was requested.
+class CheckCancelled : public std::exception {
+ public:
+  enum class Reason {
+    Cancelled,          // request_cancel() — batch shutdown, ^C, test
+    DeadlineExceeded,   // per-check timeout armed via set_timeout/set_deadline
+  };
+
+  explicit CheckCancelled(Reason reason) : reason_(reason) {}
+
+  Reason reason() const noexcept { return reason_; }
+
+  const char* what() const noexcept override {
+    return reason_ == Reason::DeadlineExceeded ? "check deadline exceeded"
+                                               : "check cancelled";
+  }
+
+ private:
+  Reason reason_;
+};
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  // Atomics make the token neither copyable nor movable; containers of
+  // tokens (the scheduler's per-batch vector) are sized up front.
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arm (or re-arm) an absolute deadline. Monotonic clock only.
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  /// Arm a deadline `budget` from now.
+  void set_timeout(Clock::duration budget) {
+    set_deadline(Clock::now() + budget);
+  }
+
+  /// Flip the cancel flag; the next poll on any thread throws. Idempotent,
+  /// callable from any thread (including signal-handler worker paths).
+  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Unthrottled check of both the cancel flag and the deadline. Keeps no
+  /// per-thread state, so it is safe and deterministic from every worker.
+  void poll_now() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      throw CheckCancelled(CheckCancelled::Reason::Cancelled);
+    }
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d != kNoDeadline && Clock::now().time_since_epoch().count() >= d) {
+      throw CheckCancelled(CheckCancelled::Reason::DeadlineExceeded);
+    }
+  }
+
+  /// Exploration-loop poll: the cancel flag is checked on every call, the
+  /// deadline only every 64th call per thread to keep clock reads off the
+  /// hot path.
+  void poll() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      throw CheckCancelled(CheckCancelled::Reason::Cancelled);
+    }
+    thread_local std::uint32_t polls = 0;
+    if ((++polls & 0x3Fu) != 0) return;
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d != kNoDeadline && Clock::now().time_since_epoch().count() >= d) {
+      throw CheckCancelled(CheckCancelled::Reason::DeadlineExceeded);
+    }
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace ecucsp

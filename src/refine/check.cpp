@@ -109,17 +109,17 @@ namespace {
 // and everything below, instead of the per-check inline re-walk each of the
 // four uncached functions used to carry.
 
-EventSet visible_initials(const Lts& lts, StateId s) {
+EventSet visible_initials(const CompactLts& lts, StateId s) {
   std::vector<EventId> out;
-  for (const LtsTransition& t : lts.succ[s]) {
-    if (t.event != TAU) out.push_back(t.event);
+  for (std::uint32_t k = lts.begin(s); k < lts.end(s); ++k) {
+    if (lts.events[k] != lts.tau) out.push_back(lts.global_event(lts.events[k]));
   }
   return EventSet(std::move(out));
 }
 
-bool is_stable(const Lts& lts, StateId s) {
-  for (const LtsTransition& t : lts.succ[s]) {
-    if (t.event == TAU) return false;
+bool is_stable(const CompactLts& lts, StateId s) {
+  for (std::uint32_t k = lts.begin(s); k < lts.end(s); ++k) {
+    if (lts.events[k] == lts.tau) return false;
   }
   return true;
 }
@@ -150,16 +150,41 @@ Counterexample to_counterexample(WaveOutcome&& out) {
 //
 // Each check is a search over some graph; the adapters below give the wave
 // engine (parallel.hpp) its view of each. Their callbacks run concurrently,
-// so they read only the pre-compiled Lts/NormLts structures — never a
-// Context.
+// so they read only the pre-compiled CompactLts/NormLts structures — never a
+// Context. The hot loops index the compact CSR arrays directly: one pointer
+// chase per state row instead of the vector-of-vectors walk the engine used
+// to pay per edge.
 
 /// The normalized-spec × implementation product for SPEC [T=/[F=/[FD= IMPL.
 struct RefinementGraph {
   const NormLts& norm;
-  const Lts& impl;
+  const CompactLts& impl;
   const std::vector<bool>* impl_diverges;  // non-null iff FD model
   bool failures;                           // model != Traces
   bool with_div;                           // model == FailuresDivergences
+
+  /// Dense (norm node × interned impl event) successor table. The impl's
+  /// alphabet is small and contiguous after interning, so when the table
+  /// fits (~16M entries) every spec step in edge() is a single indexed load
+  /// instead of NormNode::successor's binary search. Falls back to the
+  /// search when it would be too large.
+  std::vector<NormId> spec_succ;
+  std::size_t width = 0;
+
+  RefinementGraph(const NormLts& n, const CompactLts& i,
+                  const std::vector<bool>* div, bool fail, bool wd)
+      : norm(n), impl(i), impl_diverges(div), failures(fail), with_div(wd) {
+    width = impl.alphabet.size();
+    if (width > 0 && norm.nodes.size() <= (std::size_t{1} << 24) / width) {
+      spec_succ.assign(norm.nodes.size() * width, NORM_NONE);
+      for (std::size_t id = 0; id < norm.nodes.size(); ++id) {
+        for (const auto& [event, target] : norm.nodes[id].succ) {
+          const LocalEvent le = impl.local_event(event);
+          if (le != NO_LOCAL_EVENT) spec_succ[id * width + le] = target;
+        }
+      }
+    }
+  }
 
   struct Node {
     NormId spec = 0;
@@ -195,18 +220,23 @@ struct RefinementGraph {
     return std::nullopt;
   }
 
-  std::size_t degree(const Node& n) const { return impl.succ[n.impl].size(); }
+  std::size_t degree(const Node& n) const { return impl.degree(n.impl); }
 
   WaveEdge<Node> edge(const Node& n, std::size_t i) const {
-    const LtsTransition& t = impl.succ[n.impl][i];
-    if (t.event == TAU) return {false, TAU, Node{n.spec, t.target}, {}};
-    const NormId next_spec = norm.nodes[n.spec].successor(t.event);
+    const std::uint32_t k = impl.begin(n.impl) + static_cast<std::uint32_t>(i);
+    const LocalEvent le = impl.events[k];
+    const StateId target = impl.targets[k];
+    if (le == impl.tau) return {false, TAU, Node{n.spec, target}, {}};
+    const EventId event = impl.global_event(le);
+    const NormId next_spec =
+        spec_succ.empty() ? norm.nodes[n.spec].successor(event)
+                          : spec_succ[n.spec * width + le];
     if (next_spec == NORM_NONE) {
-      return {true, t.event, Node{},
-              WaveViolation{rank(Counterexample::Kind::TraceViolation), t.event,
+      return {true, event, Node{},
+              WaveViolation{rank(Counterexample::Kind::TraceViolation), event,
                             EventSet{}}};
     }
-    return {false, t.event, Node{next_spec, t.target}, {}};
+    return {false, event, Node{next_spec, target}, {}};
   }
 };
 
@@ -215,10 +245,10 @@ struct LtsStateHash {
 };
 
 /// IMPL :[deadlock free] — a reachability search for stuck non-terminated
-/// states.
+/// states. Post-tick and Omega classification was baked into the compact
+/// flags at conversion time, so inspect() is a flag test.
 struct DeadlockGraph {
-  const Lts& lts;
-  const std::vector<bool>& post_tick;
+  const CompactLts& lts;
 
   using Node = StateId;
   using NodeHash = LtsStateHash;
@@ -228,23 +258,24 @@ struct DeadlockGraph {
 
   std::optional<WaveViolation> inspect(Node s) const {
     // States entered by a tick are successful termination, not deadlock.
-    if (lts.succ[s].empty() && !post_tick[s] &&
-        lts.term_of[s]->op() != Op::Omega) {
+    if (lts.is_deadlock(s)) {
       return WaveViolation{rank(Counterexample::Kind::Deadlock), 0, EventSet{}};
     }
     return std::nullopt;
   }
 
-  std::size_t degree(Node s) const { return lts.succ[s].size(); }
+  std::size_t degree(Node s) const { return lts.degree(s); }
   WaveEdge<Node> edge(Node s, std::size_t i) const {
-    const LtsTransition& t = lts.succ[s][i];
-    return {false, t.event, t.target, {}};
+    const std::uint32_t k = lts.begin(s) + static_cast<std::uint32_t>(i);
+    // global_event maps the interned tau back to TAU, so rebuild_trace's
+    // tau elision behaves exactly as before.
+    return {false, lts.global_event(lts.events[k]), lts.targets[k], {}};
   }
 };
 
 /// IMPL :[divergence free] — reachability of a state on a tau cycle.
 struct DivergenceGraph {
-  const Lts& lts;
+  const CompactLts& lts;
   const std::vector<bool>& diverges;
 
   using Node = StateId;
@@ -259,10 +290,10 @@ struct DivergenceGraph {
     }
     return std::nullopt;
   }
-  std::size_t degree(Node s) const { return lts.succ[s].size(); }
+  std::size_t degree(Node s) const { return lts.degree(s); }
   WaveEdge<Node> edge(Node s, std::size_t i) const {
-    const LtsTransition& t = lts.succ[s][i];
-    return {false, t.event, t.target, {}};
+    const std::uint32_t k = lts.begin(s) + static_cast<std::uint32_t>(i);
+    return {false, lts.global_event(lts.events[k]), lts.targets[k], {}};
   }
 };
 
@@ -328,91 +359,13 @@ CheckResult with_check_cache(Context& ctx, ProcessRef spec, ProcessRef impl,
   return result;
 }
 
-CheckResult refinement_uncached(Context& ctx, ProcessRef spec, ProcessRef impl,
-                                Model model, std::size_t max_states,
-                                CancelToken* cancel, unsigned threads) {
-  // Compilation and normalization need the Context, so they stay on the
-  // calling thread; the product sweep below is Context-free and parallel.
-  const Lts spec_lts = compile_or_load(ctx, spec, max_states, cancel);
-  const bool with_div = model == Model::FailuresDivergences;
-  const NormLts norm = normalize(spec_lts, with_div, cancel);
-  const Lts impl_lts = compile_or_load(ctx, impl, max_states, cancel);
-
-  CheckResult result =
-      check_refinement_compiled(norm, impl_lts, model, threads, cancel);
-  result.stats.spec_states = spec_lts.state_count();
-  return result;
-}
-
-CheckResult deadlock_free_uncached(Context& ctx, ProcessRef p,
-                                   std::size_t max_states, CancelToken* cancel,
-                                   unsigned threads) {
-  CheckResult result;
-  const Lts lts = compile_or_load(ctx, p, max_states, cancel);
-  result.stats.impl_states = lts.state_count();
-  result.stats.impl_transitions = lts.transition_count();
-
-  std::vector<bool> post_tick(lts.state_count(), false);
-  for (StateId s = 0; s < lts.state_count(); ++s) {
-    for (const LtsTransition& t : lts.succ[s]) {
-      if (t.event == TICK) post_tick[t.target] = true;
-    }
-  }
-
-  const DeadlockGraph g{lts, post_tick};
-  WaveOutcome out = wave_search(g, resolve_check_threads(threads), cancel);
-  if (out.violated) {
-    result.counterexample = to_counterexample(std::move(out));
-    return result;
-  }
-  result.passed = true;
-  return result;
-}
-
-CheckResult divergence_free_uncached(Context& ctx, ProcessRef p,
-                                     std::size_t max_states,
-                                     CancelToken* cancel, unsigned threads) {
-  CheckResult result;
-  const Lts lts = compile_or_load(ctx, p, max_states, cancel);
-  result.stats.impl_states = lts.state_count();
-  result.stats.impl_transitions = lts.transition_count();
-  const std::vector<bool> diverges = lts.divergent_states();
-
-  const DivergenceGraph g{lts, diverges};
-  WaveOutcome out = wave_search(g, resolve_check_threads(threads), cancel);
-  if (out.violated) {
-    result.counterexample = to_counterexample(std::move(out));
-    return result;
-  }
-  result.passed = true;
-  return result;
-}
-
-CheckResult deterministic_uncached(Context& ctx, ProcessRef p,
-                                   std::size_t max_states, CancelToken* cancel,
-                                   unsigned threads) {
-  CheckResult result;
-  const Lts lts = compile_or_load(ctx, p, max_states, cancel);
-  result.stats.impl_states = lts.state_count();
-  result.stats.impl_transitions = lts.transition_count();
-  const NormLts norm = normalize(lts, /*with_divergence=*/true, cancel);
-  result.stats.spec_norm_nodes = norm.nodes.size();
-
-  const DeterminismGraph g{norm};
-  WaveOutcome out = wave_search(g, resolve_check_threads(threads), cancel);
-  if (out.violated) {
-    result.counterexample = to_counterexample(std::move(out));
-    return result;
-  }
-  result.passed = true;
-  return result;
-}
-
-}  // namespace
-
-CheckResult check_refinement_compiled(const NormLts& norm, const Lts& impl,
-                                      Model model, unsigned threads,
-                                      CancelToken* cancel) {
+/// The refinement product sweep over pre-normalized spec and compact impl —
+/// the single code path every refinement entry point bottoms out in,
+/// whatever the compression mode (the mode only decides *which* machines
+/// are handed in).
+CheckResult refinement_sweep(const NormLts& norm, const CompactLts& impl,
+                             Model model, unsigned threads,
+                             CancelToken* cancel) {
   CheckResult result;
   const bool with_div = model == Model::FailuresDivergences;
   std::vector<bool> impl_diverges;
@@ -438,6 +391,10 @@ CheckResult check_refinement_compiled(const NormLts& norm, const Lts& impl,
   // set is the union-minus-intersection of per-node initials. If the
   // implementation's reachable alphabet misses all of them, the pass is
   // trivially true — flag it rather than let a broken extraction "verify".
+  // Both inputs are invariant under the reductions: the constrained set is
+  // a function of the spec's weak semantics (which normalization of a
+  // compressed spec preserves), and compression never removes an event
+  // from the impl's reachable alphabet without removing it everywhere.
   {
     EventSet allowed_union;
     EventSet allowed_inter;
@@ -451,13 +408,9 @@ CheckResult check_refinement_compiled(const NormLts& norm, const Lts& impl,
     constrained = constrained.set_difference(EventSet{TAU, TICK});
     if (!constrained.empty()) {
       bool touched = false;
-      for (StateId s = 0; s < impl.state_count() && !touched; ++s) {
-        for (const LtsTransition& t : impl.succ[s]) {
-          if (t.event != TAU && t.event != TICK && constrained.contains(t.event)) {
-            touched = true;
-            break;
-          }
-        }
+      for (std::size_t k = 0; k < impl.events.size() && !touched; ++k) {
+        const EventId e = impl.global_event(impl.events[k]);
+        if (e != TAU && e != TICK && constrained.contains(e)) touched = true;
       }
       result.vacuous = !touched;
     }
@@ -465,43 +418,213 @@ CheckResult check_refinement_compiled(const NormLts& norm, const Lts& impl,
   return result;
 }
 
-// Note: `threads` is deliberately NOT part of the cache key (and never
-// reaches the CheckCache) — the engine produces identical results at every
-// thread count, so a verdict cached at one count is valid at all of them.
+CheckResult refinement_uncached(Context& ctx, ProcessRef spec, ProcessRef impl,
+                                Model model, std::size_t max_states,
+                                CancelToken* cancel, unsigned threads,
+                                Compression mode) {
+  // Compilation and normalization need the Context, so they stay on the
+  // calling thread; the product sweep below is Context-free and parallel.
+  const Lts spec_lts = compile_or_load(ctx, spec, max_states, cancel);
+  const bool with_div = model == Model::FailuresDivergences;
+
+  CheckResult result;
+  if (mode == Compression::None) {
+    const NormLts norm = normalize(spec_lts, with_div, cancel);
+    const Lts impl_lts = compile_or_load(ctx, impl, max_states, cancel);
+    result = refinement_sweep(norm, compact_from_lts(impl_lts), model, threads,
+                              cancel);
+  } else {
+    // Compressed path: reduce both component machines before normalization
+    // and the product walk. The sweep over the reduced machines decides the
+    // verdict; a violation is replayed on the uncompressed machines so the
+    // counterexample (and its canonical minimal-trace tie-break) is byte
+    // for byte the one --compress=none reports — FDR's "debug the
+    // uncompressed process" discipline.
+    const CompactLts spec_c = compact_from_lts(spec_lts);
+    const NormLts norm_z =
+        normalize(compress_compact(spec_c, mode, nullptr, cancel), with_div,
+                  cancel);
+    const Lts impl_lts = compile_or_load(ctx, impl, max_states, cancel);
+    const CompactLts impl_c = compact_from_lts(impl_lts);
+    result = refinement_sweep(
+        norm_z, compress_compact(impl_c, mode, nullptr, cancel), model,
+        threads, cancel);
+    if (!result.passed) {
+      const NormLts norm = normalize(spec_c, with_div, cancel);
+      result = refinement_sweep(norm, impl_c, model, threads, cancel);
+    }
+  }
+  result.stats.spec_states = spec_lts.state_count();
+  return result;
+}
+
+CheckResult deadlock_free_uncached(Context& ctx, ProcessRef p,
+                                   std::size_t max_states, CancelToken* cancel,
+                                   unsigned threads, Compression mode) {
+  CheckResult result;
+  const Lts lts = compile_or_load(ctx, p, max_states, cancel);
+  result.stats.impl_states = lts.state_count();
+  result.stats.impl_transitions = lts.transition_count();
+  const CompactLts compact = compact_from_lts(lts);
+
+  const auto sweep = [&](const CompactLts& machine) {
+    const DeadlockGraph g{machine};
+    return wave_search(g, resolve_check_threads(threads), cancel);
+  };
+  WaveOutcome out;
+  if (mode == Compression::None) {
+    out = sweep(compact);
+  } else {
+    out = sweep(compress_compact(compact, mode, nullptr, cancel));
+    // Verdict from the reduced machine, counterexample from the original.
+    if (out.violated) out = sweep(compact);
+  }
+  if (out.violated) {
+    result.counterexample = to_counterexample(std::move(out));
+    return result;
+  }
+  result.passed = true;
+  return result;
+}
+
+CheckResult divergence_free_uncached(Context& ctx, ProcessRef p,
+                                     std::size_t max_states,
+                                     CancelToken* cancel, unsigned threads,
+                                     Compression mode) {
+  CheckResult result;
+  const Lts lts = compile_or_load(ctx, p, max_states, cancel);
+  result.stats.impl_states = lts.state_count();
+  result.stats.impl_transitions = lts.transition_count();
+  const CompactLts compact = compact_from_lts(lts);
+
+  const auto sweep = [&](const CompactLts& machine) {
+    const std::vector<bool> diverges = machine.divergent_states();
+    const DivergenceGraph g{machine, diverges};
+    return wave_search(g, resolve_check_threads(threads), cancel);
+  };
+  WaveOutcome out;
+  if (mode == Compression::None) {
+    out = sweep(compact);
+  } else {
+    out = sweep(compress_compact(compact, mode, nullptr, cancel));
+    if (out.violated) out = sweep(compact);
+  }
+  if (out.violated) {
+    result.counterexample = to_counterexample(std::move(out));
+    return result;
+  }
+  result.passed = true;
+  return result;
+}
+
+CheckResult deterministic_uncached(Context& ctx, ProcessRef p,
+                                   std::size_t max_states, CancelToken* cancel,
+                                   unsigned threads, Compression mode) {
+  CheckResult result;
+  const Lts lts = compile_or_load(ctx, p, max_states, cancel);
+  result.stats.impl_states = lts.state_count();
+  result.stats.impl_transitions = lts.transition_count();
+  const CompactLts compact = compact_from_lts(lts);
+
+  const auto sweep = [&](const NormLts& norm) {
+    result.stats.spec_norm_nodes = norm.nodes.size();
+    const DeterminismGraph g{norm};
+    return wave_search(g, resolve_check_threads(threads), cancel);
+  };
+  WaveOutcome out;
+  if (mode == Compression::None) {
+    out = sweep(normalize(compact, /*with_divergence=*/true, cancel));
+  } else {
+    out = sweep(normalize(compress_compact(compact, mode, nullptr, cancel),
+                          /*with_divergence=*/true, cancel));
+    // Normalizing the reduced machine yields an equivalent normal form, but
+    // node discovery order can differ — replay on the original so a
+    // nondeterminism witness matches --compress=none byte for byte.
+    if (out.violated) {
+      out = sweep(normalize(compact, /*with_divergence=*/true, cancel));
+    }
+  }
+  if (out.violated) {
+    result.counterexample = to_counterexample(std::move(out));
+    return result;
+  }
+  result.passed = true;
+  return result;
+}
+
+}  // namespace
+
+CheckResult check_refinement_compiled(const NormLts& norm,
+                                      const CompactLts& impl, Model model,
+                                      unsigned threads, CancelToken* cancel,
+                                      Compression compress) {
+  const Compression mode = resolve_check_compression(compress);
+  if (mode == Compression::None) {
+    return refinement_sweep(norm, impl, model, threads, cancel);
+  }
+  CheckResult result =
+      refinement_sweep(norm, compress_compact(impl, mode, nullptr, cancel),
+                       model, threads, cancel);
+  if (!result.passed) {
+    result = refinement_sweep(norm, impl, model, threads, cancel);
+  }
+  return result;
+}
+
+CheckResult check_refinement_compiled(const NormLts& norm, const Lts& impl,
+                                      Model model, unsigned threads,
+                                      CancelToken* cancel) {
+  return check_refinement_compiled(norm, compact_from_lts(impl), model,
+                                   threads, cancel, Compression::None);
+}
+
+// Note: neither `threads` nor `compress` is part of the cache key (they
+// never reach the CheckCache) — the engine produces identical verdicts,
+// counterexamples and vacuity flags at every thread count and compression
+// level (the fail-replay above guarantees the latter), so a verdict cached
+// under one configuration is valid under all of them.
 CheckResult check_refinement(Context& ctx, ProcessRef spec, ProcessRef impl,
                              Model model, std::size_t max_states,
-                             CancelToken* cancel, unsigned threads) {
+                             CancelToken* cancel, unsigned threads,
+                             Compression compress) {
+  const Compression mode = resolve_check_compression(compress);
   return with_check_cache(
       ctx, spec, impl, CheckOp::Refinement, model, max_states, [&] {
         return refinement_uncached(ctx, spec, impl, model, max_states, cancel,
-                                   threads);
+                                   threads, mode);
       });
 }
 
 CheckResult check_deadlock_free(Context& ctx, ProcessRef p,
                                 std::size_t max_states, CancelToken* cancel,
-                                unsigned threads) {
+                                unsigned threads, Compression compress) {
+  const Compression mode = resolve_check_compression(compress);
   return with_check_cache(
       ctx, nullptr, p, CheckOp::DeadlockFree, Model::Traces, max_states, [&] {
-        return deadlock_free_uncached(ctx, p, max_states, cancel, threads);
+        return deadlock_free_uncached(ctx, p, max_states, cancel, threads,
+                                      mode);
       });
 }
 
 CheckResult check_divergence_free(Context& ctx, ProcessRef p,
                                   std::size_t max_states, CancelToken* cancel,
-                                  unsigned threads) {
+                                  unsigned threads, Compression compress) {
+  const Compression mode = resolve_check_compression(compress);
   return with_check_cache(
       ctx, nullptr, p, CheckOp::DivergenceFree, Model::Traces, max_states, [&] {
-        return divergence_free_uncached(ctx, p, max_states, cancel, threads);
+        return divergence_free_uncached(ctx, p, max_states, cancel, threads,
+                                        mode);
       });
 }
 
 CheckResult check_deterministic(Context& ctx, ProcessRef p,
                                 std::size_t max_states, CancelToken* cancel,
-                                unsigned threads) {
+                                unsigned threads, Compression compress) {
+  const Compression mode = resolve_check_compression(compress);
   return with_check_cache(
       ctx, nullptr, p, CheckOp::Deterministic, Model::Traces, max_states, [&] {
-        return deterministic_uncached(ctx, p, max_states, cancel, threads);
+        return deterministic_uncached(ctx, p, max_states, cancel, threads,
+                                      mode);
       });
 }
 

@@ -20,6 +20,7 @@
 
 #include "core/cancel.hpp"
 #include "core/context.hpp"
+#include "refine/compact.hpp"
 #include "refine/lts.hpp"
 #include "refine/normalize.hpp"
 #include "refine/parallel.hpp"
@@ -151,29 +152,56 @@ class ScopedCheckCache {
 /// wall clock changes. LTS compilation and spec normalization stay on the
 /// calling thread (they need the Context, which is single-threaded by
 /// contract).
+///
+/// `compress` selects the FDR-style reductions (refine/compact.hpp) applied
+/// to the component LTSes before normalization and the product sweep;
+/// Compression::Ambient defers to check_compression() (installed by the
+/// scheduler or a CLI's --compress), defaulting to None. Reductions are
+/// verdict-, counterexample- and vacuity-preserving: a check that fails on
+/// the compressed machines is replayed on the uncompressed ones, so the
+/// counterexample bytes match --compress=none exactly. Like `threads`,
+/// `compress` is therefore deliberately NOT part of the cache key. Only the
+/// exploration *stats* may differ across compression levels on a PASS
+/// (fewer states swept is the point); refine_compress_diff_test pins the
+/// invariants.
 CheckResult check_refinement(Context& ctx, ProcessRef spec, ProcessRef impl,
                              Model model, std::size_t max_states = 1u << 22,
                              CancelToken* cancel = nullptr,
-                             unsigned threads = 0);
+                             unsigned threads = 0,
+                             Compression compress = Compression::Ambient);
 
 CheckResult check_deadlock_free(Context& ctx, ProcessRef p,
                                 std::size_t max_states = 1u << 22,
                                 CancelToken* cancel = nullptr,
-                                unsigned threads = 0);
+                                unsigned threads = 0,
+                                Compression compress = Compression::Ambient);
 CheckResult check_divergence_free(Context& ctx, ProcessRef p,
                                   std::size_t max_states = 1u << 22,
                                   CancelToken* cancel = nullptr,
-                                  unsigned threads = 0);
+                                  unsigned threads = 0,
+                                  Compression compress = Compression::Ambient);
 CheckResult check_deterministic(Context& ctx, ProcessRef p,
                                 std::size_t max_states = 1u << 22,
                                 CancelToken* cancel = nullptr,
-                                unsigned threads = 0);
+                                unsigned threads = 0,
+                                Compression compress = Compression::Ambient);
 
 /// Refinement between pre-compiled structures: no Context, no cache, no
-/// compilation — just the product-space sweep. This is what the bench layer
-/// times when measuring the parallel engine in isolation, and what
-/// refinement_uncached delegates to internally. stats.spec_states is left 0
-/// (the spec's un-normalized LTS is not visible here).
+/// compilation — just the product-space sweep over the compact form. This
+/// is what the bench layer times when measuring the parallel engine in
+/// isolation, and what refinement_uncached delegates to internally.
+/// stats.spec_states is left 0 (the spec's un-normalized LTS is not visible
+/// here). `compress` (default None — explicit control at this layer, no
+/// ambient lookup) reduces the already-compiled impl before the sweep, with
+/// the same fail-replay guarantee as the Context entry points; the spec
+/// arrives normalized, so spec-side reduction happens upstream.
+CheckResult check_refinement_compiled(const NormLts& norm,
+                                      const CompactLts& impl, Model model,
+                                      unsigned threads = 0,
+                                      CancelToken* cancel = nullptr,
+                                      Compression compress = Compression::None);
+
+/// Lts convenience overload: converts (order-preserving) and delegates.
 CheckResult check_refinement_compiled(const NormLts& norm, const Lts& impl,
                                       Model model, unsigned threads = 0,
                                       CancelToken* cancel = nullptr);

@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "refine/compact.hpp"
+
 namespace ecucsp {
 
 Lts compile_lts(Context& ctx, ProcessRef root, std::size_t max_states,
@@ -38,100 +40,17 @@ Lts compile_lts(Context& ctx, ProcessRef root, std::size_t max_states,
       if (dst >= expanded.size() || !expanded[dst]) frontier.push_back(dst);
     }
   }
+  lts.omega.reserve(lts.term_of.size());
+  for (const ProcessRef term : lts.term_of) {
+    lts.omega.push_back(term && term->op() == Op::Omega);
+  }
   return lts;
 }
 
 std::vector<bool> Lts::divergent_states() const {
-  // Tarjan-free approach: iteratively mark states that can take a tau step
-  // into the "can diverge" set, starting from states on tau-cycles.
-  //
-  // Step 1: find states on tau-cycles with Kosaraju-style SCCs restricted to
-  // tau edges, using an iterative DFS to avoid deep recursion.
-  const std::size_t n = succ.size();
-  std::vector<std::vector<StateId>> tau_succ(n);
-  std::vector<std::vector<StateId>> tau_pred(n);
-  for (StateId s = 0; s < n; ++s) {
-    for (const LtsTransition& t : succ[s]) {
-      if (t.event == TAU) {
-        tau_succ[s].push_back(t.target);
-        tau_pred[t.target].push_back(s);
-      }
-    }
-  }
-
-  // Iterative DFS finish order.
-  std::vector<StateId> order;
-  order.reserve(n);
-  std::vector<std::uint8_t> seen(n, 0);
-  for (StateId start = 0; start < n; ++start) {
-    if (seen[start]) continue;
-    std::vector<std::pair<StateId, std::size_t>> stack{{start, 0}};
-    seen[start] = 1;
-    while (!stack.empty()) {
-      auto& [s, i] = stack.back();
-      if (i < tau_succ[s].size()) {
-        const StateId nxt = tau_succ[s][i++];
-        if (!seen[nxt]) {
-          seen[nxt] = 1;
-          stack.emplace_back(nxt, 0);
-        }
-      } else {
-        order.push_back(s);
-        stack.pop_back();
-      }
-    }
-  }
-
-  // Reverse pass over transposed graph assigns SCC ids.
-  std::vector<std::int64_t> scc(n, -1);
-  std::int64_t scc_count = 0;
-  std::vector<std::size_t> scc_size;
-  std::vector<bool> scc_has_edge;
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    if (scc[*it] >= 0) continue;
-    const std::int64_t id = scc_count++;
-    scc_size.push_back(0);
-    scc_has_edge.push_back(false);
-    std::vector<StateId> stack{*it};
-    scc[*it] = id;
-    while (!stack.empty()) {
-      const StateId s = stack.back();
-      stack.pop_back();
-      ++scc_size[id];
-      for (StateId pre : tau_pred[s]) {
-        if (scc[pre] < 0) {
-          scc[pre] = id;
-          stack.push_back(pre);
-        }
-      }
-    }
-  }
-  for (StateId s = 0; s < n; ++s) {
-    for (StateId nxt : tau_succ[s]) {
-      if (scc[nxt] == scc[s]) scc_has_edge[scc[s]] = true;
-    }
-  }
-
-  // A state diverges iff some tau-path reaches a cyclic tau-SCC.
-  std::vector<bool> diverges(n, false);
-  std::deque<StateId> frontier;
-  for (StateId s = 0; s < n; ++s) {
-    if (scc_has_edge[scc[s]]) {
-      diverges[s] = true;
-      frontier.push_back(s);
-    }
-  }
-  while (!frontier.empty()) {
-    const StateId s = frontier.front();
-    frontier.pop_front();
-    for (StateId pre : tau_pred[s]) {
-      if (!diverges[pre]) {
-        diverges[pre] = true;
-        frontier.push_back(pre);
-      }
-    }
-  }
-  return diverges;
+  // One canonical SCC implementation: the compact core's. Conversion is
+  // O(states + transitions), noise next to the τ-SCC passes themselves.
+  return compact_from_lts(*this).divergent_states();
 }
 
 }  // namespace ecucsp

@@ -27,6 +27,13 @@ struct Lts {
   StateId root = 0;
   std::vector<std::vector<LtsTransition>> succ;
   std::vector<ProcessRef> term_of;  // originating term, for diagnostics
+  // Successful-termination (Omega) states, recorded at compile time while
+  // the owning Context is alive. term_of pointers dangle once the Context
+  // dies, but compiled Lts structures must stay usable as plain data (the
+  // check_refinement_compiled contract) — so anything the engines need
+  // from the terms is captured here instead. Empty on hand-built machines
+  // (consumers then fall back to term_of, which those keep alive).
+  std::vector<bool> omega;
 
   std::size_t state_count() const { return succ.size(); }
   std::size_t transition_count() const {
@@ -40,6 +47,8 @@ struct Lts {
 
   /// For each state, whether an infinite tau-path starts there
   /// (i.e. the state can reach a tau-cycle via tau steps only).
+  /// Delegates to CompactLts::divergent_states (refine/compact.hpp) — the
+  /// one SCC implementation shared with the reduction passes.
   std::vector<bool> divergent_states() const;
 };
 

@@ -16,11 +16,30 @@ MinimizeResult minimize_strong(const Lts& lts, CancelToken* cancel) {
   }
   if (cancel) cancel->poll_now();
 
-  // Kanellakis–Smolka: start with one block, split by transition signature
-  // (multimap event -> target block) until stable. O(n^2 log n) worst case,
-  // fine for explicit models.
+  // Kanellakis–Smolka: split by transition signature (multimap event ->
+  // target block) until stable. O(n^2 log n) worst case, fine for explicit
+  // models.
+  //
+  // The initial partition is seeded by each state's outgoing *label set* —
+  // always coarser than bisimilarity, so the fixpoint is unchanged, but an
+  // already-normalized (deterministic, τ-free) machine stabilises in one
+  // round instead of re-deriving what normalization established. The final
+  // block numbering comes from the last refinement round's first-occurrence
+  // scan, which depends only on the equivalence classes — so the quotient
+  // is byte-identical to the unseeded computation.
   std::vector<StateId> block(n, 0);
-  std::size_t blocks = 1;
+  {
+    std::map<std::set<EventId>, StateId> label_sig;
+    for (StateId s = 0; s < n; ++s) {
+      std::set<EventId> labels;
+      for (const LtsTransition& t : lts.succ[s]) labels.insert(t.event);
+      block[s] = label_sig
+                     .emplace(std::move(labels),
+                              static_cast<StateId>(label_sig.size()))
+                     .first->second;
+    }
+  }
+  std::size_t blocks = 0;  // != any reachable count: run at least one round
   for (;;) {
     // Signature of each state under the current partition.
     std::map<std::pair<StateId, std::set<std::pair<EventId, StateId>>>,
@@ -51,6 +70,7 @@ MinimizeResult minimize_strong(const Lts& lts, CancelToken* cancel) {
   result.block_of = block;
   result.lts.succ.assign(blocks, {});
   result.lts.term_of.assign(blocks, nullptr);
+  if (!lts.omega.empty()) result.lts.omega.assign(blocks, false);
   result.lts.root = block[lts.root];
   std::vector<std::set<std::pair<EventId, StateId>>> added(blocks);
   for (StateId s = 0; s < n; ++s) {
@@ -58,6 +78,7 @@ MinimizeResult minimize_strong(const Lts& lts, CancelToken* cancel) {
       result.lts.term_of[block[s]] = lts.term_of.empty() ? nullptr
                                                          : lts.term_of[s];
     }
+    if (s < lts.omega.size() && lts.omega[s]) result.lts.omega[block[s]] = true;
     for (const LtsTransition& t : lts.succ[s]) {
       if (added[block[s]].emplace(t.event, block[t.target]).second) {
         result.lts.succ[block[s]].push_back({t.event, block[t.target]});

@@ -29,18 +29,19 @@ struct StateSetHash {
   }
 };
 
-StateSet tau_closure(const Lts& lts, StateSet seed) {
+StateSet tau_closure(const CompactLts& lts, StateSet seed) {
   std::vector<StateId> stack(seed.begin(), seed.end());
   std::unordered_map<StateId, bool> in;
   for (StateId s : seed) in[s] = true;
   while (!stack.empty()) {
     const StateId s = stack.back();
     stack.pop_back();
-    for (const LtsTransition& t : lts.succ[s]) {
-      if (t.event != TAU) continue;
-      if (!in[t.target]) {
-        in[t.target] = true;
-        stack.push_back(t.target);
+    for (std::uint32_t k = lts.begin(s); k < lts.end(s); ++k) {
+      if (lts.events[k] != lts.tau) continue;
+      const StateId t = lts.targets[k];
+      if (!in[t]) {
+        in[t] = true;
+        stack.push_back(t);
       }
     }
   }
@@ -53,10 +54,17 @@ StateSet tau_closure(const Lts& lts, StateSet seed) {
   return out;
 }
 
-/// Keep only subset-minimal acceptance sets.
+/// Keep only subset-minimal acceptance sets, in canonical (size, lex) order.
+/// The order must not depend on the source machine's state numbering: it is
+/// part of the normal form compared across compression levels, and it feeds
+/// the determinism check's first-mismatch counterexample.
 std::vector<EventSet> minimise(std::vector<EventSet> sets) {
   std::sort(sets.begin(), sets.end(),
-            [](const EventSet& a, const EventSet& b) { return a.size() < b.size(); });
+            [](const EventSet& a, const EventSet& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return std::lexicographical_compare(a.begin(), a.end(),
+                                                  b.begin(), b.end());
+            });
   std::vector<EventSet> out;
   for (const EventSet& s : sets) {
     bool dominated = false;
@@ -68,12 +76,15 @@ std::vector<EventSet> minimise(std::vector<EventSet> sets) {
     }
     if (!dominated) out.push_back(s);
   }
+  // (size, lex) sorting can leave equal duplicates adjacent; subset_of
+  // already filters them (a set is a subset of its duplicate).
   return out;
 }
 
 }  // namespace
 
-NormLts normalize(const Lts& lts, bool with_divergence, CancelToken* cancel) {
+NormLts normalize(const CompactLts& lts, bool with_divergence,
+                  CancelToken* cancel) {
   if (cancel) cancel->poll_now();
   std::vector<bool> diverges;
   if (with_divergence) diverges = lts.divergent_states();
@@ -102,12 +113,11 @@ NormLts normalize(const Lts& lts, bool with_divergence, CancelToken* cancel) {
       return front;
     }();
     NormNode& node = norm.nodes[next];
-    const NormId self = next;
     ++next;
-    (void)self;
 
-    // Gather visible-event moves across the closure, and acceptance sets
-    // from stable members.
+    // Gather visible-event moves across the closure (keyed by global event
+    // id, so iteration order matches the un-interned engine exactly), and
+    // acceptance sets from stable members.
     std::map<EventId, StateSet> moves;
     std::vector<EventSet> acceptances;
     bool divergent = false;
@@ -115,13 +125,14 @@ NormLts normalize(const Lts& lts, bool with_divergence, CancelToken* cancel) {
       if (with_divergence && diverges[s]) divergent = true;
       bool stable = true;
       std::vector<EventId> offered;
-      for (const LtsTransition& t : lts.succ[s]) {
-        if (t.event == TAU) {
+      for (std::uint32_t k = lts.begin(s); k < lts.end(s); ++k) {
+        if (lts.events[k] == lts.tau) {
           stable = false;
           continue;
         }
-        moves[t.event].push_back(t.target);
-        offered.push_back(t.event);
+        const EventId event = lts.global_event(lts.events[k]);
+        moves[event].push_back(lts.targets[k]);
+        offered.push_back(event);
       }
       if (stable) acceptances.push_back(EventSet(std::move(offered)));
     }
@@ -144,6 +155,12 @@ NormLts normalize(const Lts& lts, bool with_divergence, CancelToken* cancel) {
     fresh.divergent = divergent;
   }
   return norm;
+}
+
+NormLts normalize(const Lts& lts, bool with_divergence, CancelToken* cancel) {
+  // compact_from_lts preserves state numbering and transition order, so
+  // this produces the same normal form as running directly on `lts`.
+  return normalize(compact_from_lts(lts), with_divergence, cancel);
 }
 
 }  // namespace ecucsp

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/cancel.hpp"
+#include "refine/compact.hpp"
 #include "refine/lts.hpp"
 
 namespace ecucsp {
@@ -45,6 +46,16 @@ struct NormLts {
 /// Normalisation is worst-case exponential in the source LTS (subset
 /// construction), so like compile_lts it polls `cancel` per expanded node
 /// and aborts with CheckCancelled when the token fires.
+///
+/// The compact overload is the implementation; the Lts overload converts
+/// and delegates (compact_from_lts preserves state numbering and transition
+/// order, so both produce the same NormLts byte for byte). Normal nodes are
+/// keyed on source-state *sets* and explored in event order, so the output
+/// depends only on the machine's weak semantics — which is why normalising
+/// a compressed spec (check.cpp's --compress path) yields an equivalent
+/// normal form.
+NormLts normalize(const CompactLts& lts, bool with_divergence,
+                  CancelToken* cancel = nullptr);
 NormLts normalize(const Lts& lts, bool with_divergence,
                   CancelToken* cancel = nullptr);
 

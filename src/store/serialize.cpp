@@ -227,8 +227,12 @@ std::vector<std::uint8_t> encode_lts(const Context& ctx, const Lts& lts) {
   w.uv(lts.succ.size());
   w.uv(lts.root);
   for (StateId s = 0; s < lts.state_count(); ++s) {
-    const bool omega = s < lts.term_of.size() && lts.term_of[s] &&
-                       lts.term_of[s]->op() == Op::Omega;
+    // Compiled machines carry their omega record as plain data; only
+    // hand-built ones (which keep their Context alive) fall back to terms.
+    const bool omega = s < lts.omega.size()
+                           ? lts.omega[s]
+                           : s < lts.term_of.size() && lts.term_of[s] &&
+                                 lts.term_of[s]->op() == Op::Omega;
     w.u8(omega ? 1 : 0);
     w.uv(lts.succ[s].size());
     for (const LtsTransition& t : lts.succ[s]) {
@@ -253,9 +257,11 @@ Lts decode_lts(ByteReader& r, Context& ctx) {
   lts.root = static_cast<StateId>(root);
   lts.succ.resize(static_cast<std::size_t>(n));
   lts.term_of.resize(static_cast<std::size_t>(n));
+  lts.omega.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t s = 0; s < n; ++s) {
     const std::uint8_t omega = r.u8();
     if (omega > 1) throw SerializeError("bad omega flag");
+    lts.omega.push_back(omega != 0);
     lts.term_of[static_cast<std::size_t>(s)] =
         omega ? ctx.omega() : ctx.stop();
     const std::uint64_t k = r.uv();

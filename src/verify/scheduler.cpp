@@ -181,10 +181,12 @@ void VerifyScheduler::worker(std::stop_token stop) {
 BatchResult VerifyScheduler::run(const std::vector<CheckTask>& tasks) {
   std::lock_guard run_lock(run_mu_);
 
-  // Install the budgeted per-task thread count as the ambient default for
-  // the whole batch: every check_* a worker reaches (factory, CSPm or
-  // custom mode) picks it up without signature plumbing. Restored on exit.
+  // Install the budgeted per-task thread count and the reduction mode as
+  // the ambient defaults for the whole batch: every check_* a worker
+  // reaches (factory, CSPm or custom mode) picks them up without signature
+  // plumbing. Restored on exit.
   const ScopedCheckThreads nested(threads_);
+  const ScopedCheckCompression reduced(options_.compression);
 
   BatchResult batch;
   batch.outcomes.resize(tasks.size());

@@ -45,6 +45,12 @@ struct SchedulerOptions {
   /// inherit it. Default 1: nested parallelism is opt-in — with enough
   /// tasks, across-check parallelism already saturates the machine.
   unsigned threads = 1;
+  /// State-space reduction applied inside every check of the batch
+  /// (refine/compact.hpp), installed as the ambient check_compression() for
+  /// the duration of run() exactly like `threads`. Verdict-, cx- and
+  /// vacuity-preserving, so batch outcomes are byte-identical at every
+  /// level; only wall time and exploration stats change.
+  Compression compression = Compression::None;
 };
 
 class VerifyScheduler {
@@ -60,6 +66,9 @@ class VerifyScheduler {
   /// Effective in-check threads per task after the jobs × threads ≤ hardware
   /// budget clamp (see SchedulerOptions::threads).
   unsigned threads() const { return threads_; }
+
+  /// Reduction mode installed for the duration of each run().
+  Compression compression() const { return options_.compression; }
 
   /// Run the whole batch, blocking until every task has an outcome.
   /// Outcomes are returned in submission order. Only one run() may be active

@@ -114,6 +114,43 @@ TEST(NestedParallel, MatrixIdenticalAcrossEveryJobsThreadsCombination) {
   }
 }
 
+TEST(NestedParallel, MatrixVerdictsIdenticalUnderFullCompression) {
+  // The compression dimension of the determinism contract: the full OTA
+  // requirement × attacker matrix must produce the same verdicts,
+  // counterexamples and vacuity flags at --compress=full as at none, at
+  // every (jobs, threads). Exploration stats are excluded — shrinking them
+  // is what the compression is for — so this fingerprints the invariant
+  // surface only.
+  const auto verdicts = [](const BatchResult& batch) {
+    std::vector<std::string> out;
+    out.reserve(batch.outcomes.size());
+    for (const TaskOutcome& o : batch.outcomes) {
+      out.push_back(o.name + "|" + std::string(to_string(o.status)) + "|" +
+                    o.counterexample + "|" + (o.vacuous ? "V" : "-"));
+    }
+    return out;
+  };
+  const std::vector<CheckTask> suite = full_suite();
+
+  const BatchResult reference =
+      VerifyScheduler({.jobs = 1, .threads = 1}).run(suite);
+  ASSERT_TRUE(reference.all_as_expected());
+  const std::vector<std::string> want = verdicts(reference);
+
+  for (const unsigned jobs : {1u, 2u}) {
+    for (const unsigned threads : {1u, 2u}) {
+      VerifyScheduler sched({.jobs = jobs,
+                             .threads = threads,
+                             .compression = Compression::Full});
+      const BatchResult got = sched.run(suite);
+      EXPECT_TRUE(got.all_as_expected())
+          << "jobs=" << jobs << " threads=" << threads;
+      EXPECT_EQ(verdicts(got), want)
+          << "jobs=" << jobs << " threads=" << threads;
+    }
+  }
+}
+
 TEST(NestedParallel, ExplicitPerCallThreadsInsideWorkersMatchSequential) {
   // Custom tasks may bypass the ambient budget with an explicit per-call
   // thread count; verdicts must still be byte-identical. Two such tasks run
