@@ -1,0 +1,355 @@
+// Serving-layer bench: what the coalescing daemon buys a fleet of clients
+// that keep asking the same questions.
+//
+// Four phases over the in-process VerifyService (no socket — this measures
+// the serving core, not the kernel's loopback). "Distinct" loads are
+// channel-renamed copies of one dilated model: structurally different to
+// every cache tier, identical in cost.
+//
+//   cold-distinct      N distinct requests, empty memo/store: every one
+//                      is a full engine sweep
+//   warm-distinct      the same N again on the same service: every one is
+//                      a response-memo hit
+//   uncoalesced-fleet  N *fresh* distinct requests submitted one at a
+//                      time: N sweeps of unshared work — what N clients
+//                      pay when nothing lets them share a flight
+//   identical-burst    N copies of ONE unseen request submitted
+//                      concurrently on a fresh service: single-flight
+//                      folds them into ONE sweep
+//
+// Coherence gate (exit 1 on violation): the warm phase must return
+// byte-identical verdict blocks to the cold phase, request for request,
+// and every burst response must be byte-identical to a solo engine sweep
+// of the same request. Perf gate: identical-burst must beat
+// uncoalesced-fleet by >= 10x. Results go to stdout as a table and to
+// BENCH_serve.json.
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/service.hpp"
+
+using namespace ecucsp;
+using namespace ecucsp::serve;
+
+namespace {
+
+/// `cyclers` disjoint-alphabet two-state processes interleaved: 3^cyclers
+/// product states — a dial for per-check cost. The variant is baked into
+/// every channel name, so different variants are structurally distinct
+/// models to EVERY dedup tier (request digest, response memo, verification
+/// store) while costing exactly the same to sweep.
+std::string dilated_script(unsigned cyclers, unsigned variant) {
+  const std::string v = "v" + std::to_string(variant);
+  std::string decl = "channel";
+  std::string procs;
+  std::string sys = "SYS =";
+  for (unsigned i = 0; i < cyclers; ++i) {
+    const std::string n = std::to_string(i) + v;
+    decl += (i ? ", " : " ") + ("p" + n) + ", q" + n;
+    procs += "C" + n + " = p" + n + " -> q" + n + " -> C" + n + "\n";
+    sys += (i ? " ||| C" : " C") + n;
+  }
+  return decl + "\n" + procs + sys + "\nassert SYS :[deadlock free [F]]\n";
+}
+
+CheckRequest request_for(unsigned cyclers, unsigned variant,
+                         std::uint64_t id) {
+  CheckRequest req;
+  req.id = id;
+  req.sources = {dilated_script(cyclers, variant)};
+  return req;
+}
+
+/// Submits requests against a service and collects responses + wall time.
+struct Run {
+  std::vector<CheckResponse> responses;  // indexed by request order
+  double wall_ms = 0;
+
+  double checks_per_sec() const {
+    return wall_ms > 0 ? 1000.0 * static_cast<double>(responses.size()) / wall_ms
+                       : 0;
+  }
+  double quantile_ms(double q) const {
+    std::vector<std::uint64_t> ns;
+    ns.reserve(responses.size());
+    for (const CheckResponse& r : responses) ns.push_back(r.wall_ns);
+    if (ns.empty()) return 0;
+    std::sort(ns.begin(), ns.end());
+    const std::size_t i = std::min(
+        ns.size() - 1, static_cast<std::size_t>(q * static_cast<double>(ns.size())));
+    return static_cast<double>(ns[i]) / 1e6;
+  }
+};
+
+Run run_requests(VerifyService& service, const std::vector<CheckRequest>& reqs,
+                 bool serial) {
+  Run run;
+  run.responses.resize(reqs.size());
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t landed = 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    service.submit(reqs[i], [&, i](CheckResponse r) {
+      std::lock_guard lk(m);
+      run.responses[i] = std::move(r);
+      ++landed;
+      cv.notify_all();
+    });
+    if (serial) {
+      std::unique_lock lk(m);
+      cv.wait(lk, [&] { return landed == i + 1; });
+    }
+  }
+  {
+    std::unique_lock lk(m);
+    cv.wait(lk, [&] { return landed == reqs.size(); });
+  }
+  run.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  return run;
+}
+
+struct Phase {
+  std::string name;
+  double wall_ms;
+  std::size_t checks;
+  double cps;
+  double p50_ms;
+  double p99_ms;
+  std::uint64_t engine_runs;
+  std::uint64_t memo_hits;
+  std::uint64_t coalesced;
+  std::size_t store_hits;  // responses served from the verification store
+};
+
+Phase phase_of(const char* name, const Run& run, const VerifyService& service,
+               const Phase* prev_same_service) {
+  Phase p;
+  p.name = name;
+  p.wall_ms = run.wall_ms;
+  p.checks = run.responses.size();
+  p.cps = run.checks_per_sec();
+  p.p50_ms = run.quantile_ms(0.50);
+  p.p99_ms = run.quantile_ms(0.99);
+  p.engine_runs = service.stats().engine_runs.load();
+  p.memo_hits = service.stats().memo_hits.load();
+  p.coalesced = service.stats().coalesced.load();
+  p.store_hits = 0;
+  for (const CheckResponse& r : run.responses) {
+    p.store_hits += r.from_cache && !r.memo_hit;
+  }
+  if (prev_same_service) {  // report per-phase deltas, not running totals
+    p.engine_runs -= prev_same_service->engine_runs;
+    p.memo_hits -= prev_same_service->memo_hits;
+    p.coalesced -= prev_same_service->coalesced;
+  }
+  return p;
+}
+
+void emit_json(const std::filesystem::path& path, unsigned jobs,
+               unsigned cyclers, std::size_t n,
+               const std::vector<Phase>& phases, double coalesce_speedup,
+               bool coherence_ok, bool speedup_ok) {
+  std::FILE* f = std::fopen(path.string().c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"serve\",\n"
+               "  \"serve_format\": %u,\n"
+               "  \"jobs\": %u,\n"
+               "  \"cyclers\": %u,\n"
+               "  \"requests_per_phase\": %zu,\n"
+               "  \"phases\": [\n",
+               kServeFormatVersion, jobs, cyclers, n);
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const Phase& p = phases[i];
+    std::fprintf(
+        f,
+        "    {\"phase\": \"%s\", \"wall_ms\": %.3f, \"checks_per_sec\": %.1f, "
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"engine_runs\": %llu, "
+        "\"memo_hits\": %llu, \"coalesced\": %llu, \"store_hits\": %zu}%s\n",
+        p.name.c_str(), p.wall_ms, p.cps, p.p50_ms, p.p99_ms,
+        static_cast<unsigned long long>(p.engine_runs),
+        static_cast<unsigned long long>(p.memo_hits),
+        static_cast<unsigned long long>(p.coalesced), p.store_hits,
+        i + 1 < phases.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"coalesce_speedup\": %.2f,\n"
+               "  \"coalesce_speedup_ok\": %s,\n"
+               "  \"coherence_ok\": %s\n"
+               "}\n",
+               coalesce_speedup, speedup_ok ? "true" : "false",
+               coherence_ok ? "true" : "false");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // bench_serve [requests] [cyclers] [jobs] [output.json]
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 32;
+  const unsigned cyclers =
+      argc > 2 ? static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10)) : 9;
+  const unsigned jobs =
+      argc > 3 ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10)) : 4;
+  const std::filesystem::path json_path =
+      argc > 4 ? argv[4] : "BENCH_serve.json";
+
+  std::printf(
+      "serve bench: %zu requests/phase, %u interleaved cyclers (3^%u product "
+      "states per check), %u worker(s)\n\n",
+      n, cyclers, cyclers, jobs);
+
+  bool coherence_ok = true;
+  std::vector<Phase> phases;
+
+  // Variants 0..n-1: the cold/warm load. Variants n..2n-1: fresh work for
+  // the uncoalesced baseline. Variant 2n: the burst request, unseen until
+  // the burst phase.
+  std::vector<CheckRequest> distinct, fleet, identical;
+  for (std::size_t i = 0; i < n; ++i) {
+    distinct.push_back(request_for(cyclers, static_cast<unsigned>(i), i + 1));
+    fleet.push_back(request_for(cyclers, static_cast<unsigned>(n + i), i + 1));
+    identical.push_back(request_for(cyclers, static_cast<unsigned>(2 * n), i + 1));
+  }
+
+  // --- cold-distinct then warm-distinct, one service -----------------------
+  std::vector<std::string> cold_blocks;
+  {
+    ServiceOptions opts;
+    opts.jobs = jobs;
+    VerifyService service(opts);
+
+    const Run cold = run_requests(service, distinct, /*serial=*/false);
+    phases.push_back(phase_of("cold-distinct", cold, service, nullptr));
+    if (phases.back().engine_runs != n || phases.back().store_hits != 0) {
+      std::fprintf(stderr,
+                   "FAIL [cold-distinct]: %llu engine runs / %zu store hits "
+                   "for %zu distinct requests\n",
+                   static_cast<unsigned long long>(phases.back().engine_runs),
+                   phases.back().store_hits, n);
+      coherence_ok = false;
+    }
+    for (const CheckResponse& r : cold.responses) {
+      if (r.status != ServeStatus::Passed) {
+        std::fprintf(stderr, "FAIL [cold-distinct]: unexpected verdict\n");
+        coherence_ok = false;
+      }
+      cold_blocks.push_back(r.verdict_block());
+    }
+
+    const Run warm = run_requests(service, distinct, /*serial=*/false);
+    phases.push_back(phase_of("warm-distinct", warm, service, &phases[0]));
+    if (phases.back().engine_runs != 0 || phases.back().memo_hits != n) {
+      std::fprintf(stderr, "FAIL [warm-distinct]: engine touched on a warm memo\n");
+      coherence_ok = false;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (warm.responses[i].verdict_block() != cold_blocks[i]) {
+        std::fprintf(stderr,
+                     "FAIL [warm-distinct]: request %zu not byte-identical to cold\n", i);
+        coherence_ok = false;
+      }
+    }
+  }
+
+  // --- uncoalesced-fleet: n sweeps of unshared work, one at a time ---------
+  VerifyService* oracle = nullptr;  // reused below for the ground-truth sweep
+  ServiceOptions fleet_opts;
+  fleet_opts.jobs = jobs;
+  VerifyService fleet_service(fleet_opts);
+  {
+    const Run serial = run_requests(fleet_service, fleet, /*serial=*/true);
+    phases.push_back(phase_of("uncoalesced-fleet", serial, fleet_service, nullptr));
+    if (phases.back().engine_runs != n || phases.back().store_hits != 0) {
+      std::fprintf(stderr, "FAIL [uncoalesced-fleet]: work was unexpectedly shared\n");
+      coherence_ok = false;
+    }
+    oracle = &fleet_service;
+  }
+
+  // --- identical-burst: all n at once, single-flight folds them ------------
+  std::vector<std::string> burst_blocks;
+  {
+    ServiceOptions opts;
+    opts.jobs = jobs;
+    VerifyService service(opts);
+    const Run burst = run_requests(service, identical, /*serial=*/false);
+    phases.push_back(phase_of("identical-burst", burst, service, nullptr));
+    const Phase& p = phases.back();
+    if (p.engine_runs + p.memo_hits + p.coalesced < n ||
+        p.engine_runs >= std::max<std::size_t>(n / 2, 2)) {
+      std::fprintf(stderr, "FAIL [identical-burst]: burst not coalesced (%llu runs)\n",
+                   static_cast<unsigned long long>(p.engine_runs));
+      coherence_ok = false;
+    }
+    for (const CheckResponse& r : burst.responses) {
+      burst_blocks.push_back(r.verdict_block());
+    }
+  }  // burst service torn down — its caches leave the ambient scope
+
+  // Ground truth: a solo engine sweep of the burst request on a service
+  // that has never seen it (the fleet service, whose cache is ambient
+  // again now). Every burst response must match it byte for byte.
+  {
+    const CheckResponse solo = oracle->serve(identical[0]);
+    if (solo.from_cache || solo.memo_hit) {
+      std::fprintf(stderr, "FAIL [oracle]: ground-truth sweep was cached\n");
+      coherence_ok = false;
+    }
+    for (const std::string& block : burst_blocks) {
+      if (block != solo.verdict_block()) {
+        std::fprintf(stderr,
+                     "FAIL [identical-burst]: served verdict differs from a solo sweep\n");
+        coherence_ok = false;
+        break;
+      }
+    }
+  }
+
+  const double coalesce_speedup = phases[3].wall_ms > 0
+                                      ? phases[2].wall_ms / phases[3].wall_ms
+                                      : 0;
+  const bool speedup_ok = coalesce_speedup >= 10.0;
+
+  std::printf("%-17s| %9s | %10s | %8s | %8s | %5s | %5s | %5s | %5s\n",
+              "phase", "wall (ms)", "checks/s", "p50 (ms)", "p99 (ms)", "runs",
+              "memo", "coal", "store");
+  std::printf(
+      "-----------------+-----------+------------+----------+----------+-------"
+      "+-------+-------+------\n");
+  for (const Phase& p : phases) {
+    std::printf(
+        "%-17s| %9.1f | %10.1f | %8.2f | %8.2f | %5llu | %5llu | %5llu | %5zu\n",
+        p.name.c_str(), p.wall_ms, p.cps, p.p50_ms, p.p99_ms,
+        static_cast<unsigned long long>(p.engine_runs),
+        static_cast<unsigned long long>(p.memo_hits),
+        static_cast<unsigned long long>(p.coalesced), p.store_hits);
+  }
+  std::printf("\ncoalesce speedup (serial vs burst): %.1fx (gate: >= 10x) %s\n",
+              coalesce_speedup, speedup_ok ? "OK" : "FAIL");
+  std::printf("%s\n", coherence_ok
+                          ? "all phases byte-identical where required"
+                          : "COHERENCE FAILURE");
+
+  emit_json(json_path, jobs, cyclers, n, phases, coalesce_speedup,
+            coherence_ok, speedup_ok);
+  std::printf("wrote %s\n", json_path.string().c_str());
+
+  return (coherence_ok && speedup_ok) ? 0 : 1;
+}

@@ -87,6 +87,10 @@ int usage(const char* argv0) {
       "                  verdicts\n"
       "  --cache-dir D   persist verdicts and compiled LTSes under D\n"
       "                  (default: $ECUCSP_CACHE_DIR if set)\n"
+      "  --shards N      split the cache into N digest-addressed shards\n"
+      "                  (default 1 = the flat layout; must match the shard\n"
+      "                  count the directory was written with, e.g. by\n"
+      "                  ecucsp_serve --shards N)\n"
       "  --no-cache      disable the verification cache entirely\n"
       "  --cache-stats   print cache counters after the run\n"
       "  --no-lint       skip the fail-fast static-analysis pre-flight over\n"
@@ -147,7 +151,9 @@ void print_cache_stats(const store::VerificationCache& cache) {
   std::printf("cache: %llu from memory, %llu from disk\n",
               static_cast<unsigned long long>(s.memory_hits.load()),
               static_cast<unsigned long long>(s.disk_hits.load()));
-  if (const store::ObjectStore* disk = cache.disk()) {
+  for (unsigned i = 0; i < cache.shard_count(); ++i) {
+    const store::ObjectStore* disk = cache.disk(i);
+    if (!disk) break;  // memory-only: no shard has a disk tier
     const store::ObjectStoreStats& d = disk->stats();
     std::printf(
         "cache: disk dir %s: %llu read(s) (%llu bytes), %llu write(s) "
@@ -177,6 +183,7 @@ int main(int argc, char** argv) {
   std::size_t max_states = 1u << 22;
   std::size_t dilation = 0;
   std::optional<std::filesystem::path> cache_dir;
+  unsigned cache_shards = 1;
   std::vector<const char*> paths;
 
   if (const char* env = std::getenv("ECUCSP_CACHE_DIR"); env && *env) {
@@ -205,6 +212,8 @@ int main(int argc, char** argv) {
       dilation = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc) {
       cache_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      cache_shards = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       no_cache = true;
     } else if (std::strcmp(argv[i], "--cache-stats") == 0) {
@@ -229,7 +238,7 @@ int main(int argc, char** argv) {
   std::optional<store::VerificationCache> cache;
   std::optional<ScopedCheckCache> installed;
   if (!no_cache) {
-    cache.emplace(cache_dir);
+    cache.emplace(cache_dir, cache_shards);
     installed.emplace(&*cache);
   }
 

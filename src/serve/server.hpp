@@ -1,0 +1,110 @@
+// The daemon's socket front end: a poll(2) readiness loop feeding
+// VerifyService and fanning completed verdicts back out.
+//
+// Single-threaded I/O: one loop owns every connection (accept, frame
+// reassembly, write-side flushing). Verification itself happens on the
+// scheduler's workers; their completion callbacks never touch a socket —
+// they encode the response bytes, append them to a mutex-guarded
+// completion queue tagged with the connection's id, and poke the loop's
+// self-pipe. The loop drains the queue on its next wakeup and routes each
+// buffer to its connection's outbox — or drops it when the client has
+// disconnected, which is precisely the waiter-departs semantics: the
+// shared flight finished for everyone else, only this delivery is lost.
+//
+// Shutdown: request_stop() (async-signal-safe: an atomic store plus one
+// self-pipe write) makes the loop stop accepting, puts the service into
+// drain, and keeps pumping completions so in-flight checks can land.
+// When the drain timeout expires the stragglers are cancelled
+// cooperatively; every queued response is flushed best-effort before
+// run() returns whether the drain was clean.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace ecucsp::serve {
+
+struct ServerOptions {
+  /// Unix-domain listening socket path; unlinked on bind and on close.
+  std::optional<std::string> unix_path;
+  /// TCP listening port on 127.0.0.1 (fleet front ends terminate TLS
+  /// elsewhere; the daemon itself trusts its host).
+  std::optional<std::uint16_t> tcp_port;
+  int backlog = 128;
+  /// Per-message frame ceiling (see protocol.hpp).
+  std::size_t max_frame = 64u << 20;
+  /// How long run() lets in-flight checks finish after request_stop()
+  /// before cancelling them.
+  std::chrono::milliseconds drain_timeout{10'000};
+};
+
+class Server {
+ public:
+  Server(VerifyService& service, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the configured listeners. Throws std::runtime_error on failure.
+  void listen();
+
+  /// Run the readiness loop until request_stop(); returns true when the
+  /// drain completed without cancelling any in-flight check.
+  bool run();
+
+  /// Async-signal-safe stop trigger (atomic store + pipe write); callable
+  /// from a signal handler or any thread.
+  void request_stop();
+
+  /// Bound addresses, for logs. Empty until listen().
+  const std::string& bound_description() const { return bound_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    FrameBuffer frames;
+    /// Encoded, unflushed response bytes; front may be partially written.
+    std::deque<std::vector<std::uint8_t>> outbox;
+    std::size_t front_written = 0;
+    explicit Connection(std::size_t max_frame) : frames(max_frame) {}
+  };
+
+  void accept_on(int listen_fd);
+  /// Returns false when the connection must close.
+  bool read_from(std::uint64_t conn_id, Connection& conn);
+  bool flush(Connection& conn);
+  void handle(std::uint64_t conn_id, Connection& conn, Msg msg);
+  void close_conn(std::uint64_t conn_id);
+  void drain_completions();
+  void enqueue(std::uint64_t conn_id, std::vector<std::uint8_t> bytes);
+  void wake();
+
+  VerifyService& service_;
+  ServerOptions options_;
+  std::string bound_;
+
+  std::vector<int> listeners_;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  std::atomic<bool> stop_{false};
+
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<std::uint64_t, Connection> conns_;
+
+  /// Worker → loop handoff: response bytes tagged with their connection.
+  std::mutex done_mu_;
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> done_;
+};
+
+}  // namespace ecucsp::serve

@@ -1,0 +1,38 @@
+#include "serve/single_flight.hpp"
+
+namespace ecucsp::serve {
+
+SingleFlight::JoinResult SingleFlight::join(
+    const store::Digest& key, Waiter& waiter,
+    const std::function<bool()>& leader_gate) {
+  std::lock_guard lk(mu_);
+  if (auto it = table_.find(key); it != table_.end()) {
+    it->second->waiters.push_back(std::move(waiter));
+    return {it->second, false};
+  }
+  if (leader_gate && !leader_gate()) return {nullptr, false};
+  auto flight = std::make_shared<Flight>();
+  flight->key = key;
+  flight->waiters.push_back(std::move(waiter));
+  table_.emplace(key, flight);
+  return {flight, true};
+}
+
+std::vector<SingleFlight::Waiter> SingleFlight::complete(
+    const std::shared_ptr<Flight>& flight) {
+  std::lock_guard lk(mu_);
+  table_.erase(flight->key);
+  return std::move(flight->waiters);
+}
+
+void SingleFlight::cancel_all() {
+  std::lock_guard lk(mu_);
+  for (auto& [key, flight] : table_) flight->token.request_cancel();
+}
+
+std::size_t SingleFlight::in_flight() const {
+  std::lock_guard lk(mu_);
+  return table_.size();
+}
+
+}  // namespace ecucsp::serve

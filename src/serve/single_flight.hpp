@@ -1,0 +1,77 @@
+// Request coalescing by digest — the single-flight table.
+//
+// A *flight* is one in-progress engine check keyed by the request digest.
+// The first request for a key creates the flight and becomes its leader
+// (it alone is charged against admission control and runs on the
+// scheduler); every concurrent request with the same key attaches as a
+// waiter for free. When the leader's check completes, the one result is
+// fanned out to every attached waiter — a million vehicles submitting the
+// same ECU configuration cost one state-space sweep.
+//
+// Waiters are completion callbacks, not blocked threads: a disconnected
+// client's callback simply finds its connection gone and drops the bytes —
+// the shared check is never aborted by one waiter leaving (the flight's
+// CancelToken belongs to the flight, not to any client).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cancel.hpp"
+#include "serve/protocol.hpp"
+#include "store/digest.hpp"
+
+namespace ecucsp::serve {
+
+class SingleFlight {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Waiter {
+    std::uint64_t request_id = 0;
+    Clock::time_point enqueued{};
+    std::function<void(CheckResponse)> done;
+  };
+
+  struct Flight {
+    store::Digest key;
+    /// Armed with the leader's deadline; request_cancel()ed only by the
+    /// daemon's drain path, never by a departing waiter.
+    CancelToken token;
+    std::vector<Waiter> waiters;  // waiters[0] is the leader
+  };
+
+  /// Attach to the flight for `key`, creating it if absent. Returns the
+  /// flight and whether the caller is its leader (and must run the check).
+  /// `leader_gate`: invoked under the table lock *before* the new flight is
+  /// published when the caller would become leader; returning false refuses
+  /// the flight (admission control) and nothing is inserted or attached —
+  /// `waiter` is moved from only on success, so a refused caller still owns
+  /// its callback and can answer with a rejection.
+  struct JoinResult {
+    std::shared_ptr<Flight> flight;  // null when refused
+    bool leader = false;
+  };
+  JoinResult join(const store::Digest& key, Waiter& waiter,
+                  const std::function<bool()>& leader_gate);
+
+  /// Remove the flight and return its waiters for fan-out. The caller
+  /// invokes the callbacks outside any lock.
+  std::vector<Waiter> complete(const std::shared_ptr<Flight>& flight);
+
+  /// Cancel every in-progress flight's token (drain/shutdown path).
+  void cancel_all();
+
+  std::size_t in_flight() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<store::Digest, std::shared_ptr<Flight>, store::DigestHash>
+      table_;
+};
+
+}  // namespace ecucsp::serve

@@ -1,12 +1,56 @@
 #include "store/object_store.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <system_error>
 
 namespace ecucsp::store {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// write(2) the whole buffer, retrying short writes and EINTR.
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool fsync_retry(int fd) {
+  while (::fsync(fd) != 0) {
+    if (errno != EINTR) return false;
+  }
+  return true;
+}
+
+/// fsync a directory so a rename into it survives a crash. Failure is
+/// non-fatal for the cache (worst case the object vanishes on power loss,
+/// which is just a future miss) but we report it for the put() contract.
+bool fsync_dir(const fs::path& dir) {
+  int fd;
+  do {
+    fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return false;
+  const bool ok = fsync_retry(fd);
+  while (::close(fd) != 0 && errno == EINTR) {
+  }
+  return ok;
+}
+
+}  // namespace
 
 ObjectStore::ObjectStore(fs::path dir) : dir_(std::move(dir)) {}
 
@@ -53,19 +97,33 @@ bool ObjectStore::put(const Digest& key, const std::vector<std::uint8_t>& blob) 
   const fs::path tmp = path.parent_path() /
                        (".tmp." + std::to_string(seq) + "." +
                         std::to_string(reinterpret_cast<std::uintptr_t>(this)));
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (!f) return false;
-  const std::size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
-  const bool flushed = std::fclose(f) == 0;
-  if (written != blob.size() || !flushed) {
+
+  // Durable sequence: write + fsync the temp file, rename into place, then
+  // fsync the parent directory — without the last step a crash after
+  // rename can leave the *name* unrecorded and a reopened store would miss
+  // an object it had reported stored. Every syscall retries EINTR.
+  int fd;
+  do {
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return false;
+  const bool wrote =
+      write_all(fd, blob.data(), blob.size()) && fsync_retry(fd);
+  while (::close(fd) != 0 && errno == EINTR) {
+  }
+  if (!wrote) {
     fs::remove(tmp, ec);
     return false;
   }
-  fs::rename(tmp, path, ec);
-  if (ec) {
+  int renamed;
+  do {
+    renamed = ::rename(tmp.c_str(), path.c_str());
+  } while (renamed != 0 && errno == EINTR);
+  if (renamed != 0) {
     fs::remove(tmp, ec);
     return false;
   }
+  if (!fsync_dir(path.parent_path())) return false;
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_written.fetch_add(blob.size(), std::memory_order_relaxed);
   return true;

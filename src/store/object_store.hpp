@@ -2,9 +2,11 @@
 //
 // Objects live at <dir>/objects/<hex[0:2]>/<hex[2:]>, named by the 128-bit
 // key digest. Writes are crash-safe: the blob goes to a unique temp file in
-// the same directory and is renamed into place (rename(2) is atomic within
-// a filesystem), so readers — including concurrent processes sharing the
-// cache directory — never observe a half-written object. Reads treat every
+// the same directory (written and fsynced through raw file descriptors,
+// retrying EINTR), is renamed into place (rename(2) is atomic within a
+// filesystem), and the parent directory is fsynced so the new name itself
+// survives a power loss. Readers — including concurrent processes sharing
+// the cache directory — never observe a half-written object. Reads treat every
 // failure mode (missing file, truncation, garbage, foreign format version)
 // as a miss, never an error: the envelope layer (serialize.hpp) verifies
 // magic, version and payload digest, and a corrupt object is deleted on

@@ -169,6 +169,19 @@ void VerifyScheduler::worker(std::stop_token stop) {
     const auto timeout =
         job.task->timeout ? job.task->timeout : options_.default_timeout;
     if (timeout) job.token->set_timeout(*timeout);
+    if (job.owned) {
+      TaskOutcome outcome = run_task(*job.task, *job.token);
+      // Count down before the callback: a caller draining on pending()==0
+      // may then tear down state the callback no longer touches — the
+      // callback itself must only use what it captured.
+      {
+        std::lock_guard lk(mu_);
+        --async_outstanding_;
+      }
+      cv_done_.notify_all();
+      job.owned->done(std::move(outcome));
+      continue;
+    }
     *job.outcome = run_task(*job.task, *job.token);
     {
       std::lock_guard lk(mu_);
@@ -176,6 +189,29 @@ void VerifyScheduler::worker(std::stop_token stop) {
     }
     cv_done_.notify_all();
   }
+}
+
+void VerifyScheduler::submit(CheckTask task, CancelToken* token,
+                             std::function<void(TaskOutcome)> done) {
+  auto owned = std::make_shared<AsyncJob>();
+  owned->task = std::move(task);
+  owned->token = token;
+  owned->done = std::move(done);
+  {
+    std::lock_guard lk(mu_);
+    Job job;
+    job.task = &owned->task;
+    job.token = owned->token;
+    job.owned = std::move(owned);
+    queue_.push_back(std::move(job));
+    ++async_outstanding_;
+  }
+  cv_.notify_one();
+}
+
+std::size_t VerifyScheduler::pending() const {
+  std::lock_guard lk(mu_);
+  return outstanding_ + async_outstanding_;
 }
 
 BatchResult VerifyScheduler::run(const std::vector<CheckTask>& tasks) {
@@ -197,7 +233,7 @@ BatchResult VerifyScheduler::run(const std::vector<CheckTask>& tasks) {
     std::lock_guard lk(mu_);
     batch_tokens_ = &tokens;
     for (std::size_t i = 0; i < tasks.size(); ++i) {
-      queue_.push_back(Job{&tasks[i], &batch.outcomes[i], &tokens[i]});
+      queue_.push_back(Job{&tasks[i], &batch.outcomes[i], &tokens[i], nullptr});
     }
     outstanding_ = tasks.size();
   }

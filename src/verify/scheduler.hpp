@@ -75,16 +75,42 @@ class VerifyScheduler {
   /// at a time; concurrent callers are serialised on an internal mutex.
   BatchResult run(const std::vector<CheckTask>& tasks);
 
+  /// Asynchronous single-task intake — the serve layer's path into the same
+  /// worker pool, without run()'s batch barrier. Enqueues `task` and returns
+  /// immediately; `done` runs on the worker thread that executed the task,
+  /// after the outcome is complete. The caller owns `token` (it must outlive
+  /// the completion callback) and arms nothing — the worker applies the
+  /// task's / scheduler's timeout exactly as run() does. Unlike run(),
+  /// submit() does not install the ambient check_threads()/compression for
+  /// the job: a long-running service installs them once for its own
+  /// lifetime (see serve::VerifyService). submit() may interleave freely
+  /// with batch run() calls; the pool serves both queues in FIFO order.
+  void submit(CheckTask task, CancelToken* token,
+              std::function<void(TaskOutcome)> done);
+
+  /// Tasks accepted (batch or async) whose outcome is not yet complete —
+  /// queued plus running. Admission-control signal for the serve layer.
+  std::size_t pending() const;
+
   /// Cooperatively cancel everything in flight and queued. Queued tasks
   /// complete immediately with status Cancelled; running tasks unwind at
   /// their next poll. Callable from any thread (e.g. a signal handler path).
   void cancel_all();
 
  private:
+  /// A submit()ed task owns its storage; the worker moves the outcome into
+  /// the completion callback instead of a caller-provided slot.
+  struct AsyncJob {
+    CheckTask task;
+    CancelToken* token = nullptr;
+    std::function<void(TaskOutcome)> done;
+  };
+
   struct Job {
     const CheckTask* task = nullptr;
     TaskOutcome* outcome = nullptr;
     CancelToken* token = nullptr;
+    std::shared_ptr<AsyncJob> owned;  // non-null for submit() jobs
   };
 
   void worker(std::stop_token stop);
@@ -93,11 +119,12 @@ class VerifyScheduler {
   unsigned threads_ = 1;
   SchedulerOptions options_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable_any cv_;       // workers wait here for jobs
   std::condition_variable cv_done_;      // run() waits here for completion
   std::deque<Job> queue_;
-  std::size_t outstanding_ = 0;          // jobs queued or running
+  std::size_t outstanding_ = 0;          // batch jobs queued or running
+  std::size_t async_outstanding_ = 0;    // submit() jobs queued or running
   std::vector<CancelToken>* batch_tokens_ = nullptr;  // for cancel_all
 
   std::mutex run_mu_;  // serialises concurrent run() callers

@@ -1,0 +1,225 @@
+// Wire-protocol contract: both framings round-trip every field, the frame
+// reassembler survives arbitrary fragmentation and interleaving, malformed
+// input is a ProtocolError (never a guess), and the request digest keys on
+// exactly the semantic inputs — the deadline is excluded by design.
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace ecucsp;
+using namespace ecucsp::serve;
+
+namespace {
+
+CheckRequest sample_request() {
+  CheckRequest req;
+  req.id = 0x0123456789abcdefull;
+  req.assertion_index = 3;
+  req.max_states = 1ull << 20;
+  req.timeout_ms = 2500;
+  req.sources = {"channel a\nP = a -> P\nassert P :[deadlock free [F]]\n",
+                 "-- second script, with \"quotes\" and \\ backslashes\n"};
+  return req;
+}
+
+CheckResponse sample_response() {
+  CheckResponse resp;
+  resp.id = 77;
+  resp.status = ServeStatus::Failed;
+  resp.vacuous = false;
+  resp.from_cache = true;
+  resp.coalesced = true;
+  resp.memo_hit = false;
+  resp.retry_after_ms = 0;
+  resp.states = 12345;
+  resp.transitions = 67890;
+  resp.wall_ns = 5'000'000;
+  resp.digest_hex = "0123456789abcdef0123456789abcdef";
+  resp.counterexample = "SPEC [T= IMPL: <send.reqSw, rec.rptSw> then attack";
+  resp.error = "";
+  return resp;
+}
+
+Msg decode_one(const std::vector<std::uint8_t>& bytes) {
+  FrameBuffer fb;
+  fb.feed(bytes.data(), bytes.size());
+  auto msg = fb.next();
+  EXPECT_TRUE(msg.has_value());
+  EXPECT_FALSE(fb.next().has_value());
+  return std::move(*msg);
+}
+
+TEST(ServeProtocolTest, BinaryRequestRoundTrip) {
+  const CheckRequest req = sample_request();
+  const Msg msg = decode_one(encode(req, /*json=*/false));
+  EXPECT_EQ(msg.type, MsgType::CheckRequest);
+  EXPECT_FALSE(msg.json);
+  EXPECT_EQ(msg.check.id, req.id);
+  EXPECT_EQ(msg.check.assertion_index, req.assertion_index);
+  EXPECT_EQ(msg.check.max_states, req.max_states);
+  EXPECT_EQ(msg.check.timeout_ms, req.timeout_ms);
+  EXPECT_EQ(msg.check.sources, req.sources);
+}
+
+TEST(ServeProtocolTest, JsonRequestRoundTrip) {
+  const CheckRequest req = sample_request();
+  const std::vector<std::uint8_t> bytes = encode(req, /*json=*/true);
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes.front(), '{');
+  EXPECT_EQ(bytes.back(), '\n');
+  const Msg msg = decode_one(bytes);
+  EXPECT_EQ(msg.type, MsgType::CheckRequest);
+  EXPECT_TRUE(msg.json);
+  EXPECT_EQ(msg.check.id, req.id);
+  EXPECT_EQ(msg.check.sources, req.sources);
+  EXPECT_EQ(msg.check.timeout_ms, req.timeout_ms);
+}
+
+TEST(ServeProtocolTest, ResponseRoundTripBothFramings) {
+  const CheckResponse resp = sample_response();
+  for (const bool json : {false, true}) {
+    const Msg msg = decode_one(encode(resp, json));
+    EXPECT_EQ(msg.type, MsgType::CheckResponse);
+    EXPECT_EQ(msg.json, json);
+    EXPECT_EQ(msg.response.id, resp.id);
+    EXPECT_EQ(msg.response.status, resp.status);
+    EXPECT_EQ(msg.response.from_cache, resp.from_cache);
+    EXPECT_EQ(msg.response.coalesced, resp.coalesced);
+    EXPECT_EQ(msg.response.memo_hit, resp.memo_hit);
+    EXPECT_EQ(msg.response.states, resp.states);
+    EXPECT_EQ(msg.response.transitions, resp.transitions);
+    EXPECT_EQ(msg.response.digest_hex, resp.digest_hex);
+    EXPECT_EQ(msg.response.counterexample, resp.counterexample);
+    // The byte-identity surface survives the wire in both framings.
+    EXPECT_EQ(msg.response.verdict_block(), resp.verdict_block());
+  }
+}
+
+TEST(ServeProtocolTest, ControlMessagesRoundTrip) {
+  for (const bool json : {false, true}) {
+    EXPECT_EQ(decode_one(encode_ping(json)).type, MsgType::Ping);
+    EXPECT_EQ(decode_one(encode_pong(json)).type, MsgType::Pong);
+    EXPECT_EQ(decode_one(encode_stats_request(json)).type,
+              MsgType::StatsRequest);
+    const Msg stats =
+        decode_one(encode_stats_response("{\"serve_format\":1}", json));
+    EXPECT_EQ(stats.type, MsgType::StatsResponse);
+    EXPECT_EQ(stats.stats_json, "{\"serve_format\":1}");
+  }
+}
+
+TEST(ServeProtocolTest, FrameBufferReassemblesByteByByte) {
+  const std::vector<std::uint8_t> bytes = encode(sample_request(), false);
+  FrameBuffer fb;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    fb.feed(&bytes[i], 1);
+    EXPECT_FALSE(fb.next().has_value()) << "complete at byte " << i;
+  }
+  fb.feed(&bytes.back(), 1);
+  auto msg = fb.next();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->check.sources, sample_request().sources);
+}
+
+TEST(ServeProtocolTest, FramingsInterleaveOnOneStream) {
+  std::vector<std::uint8_t> stream;
+  const auto append = [&stream](const std::vector<std::uint8_t>& b) {
+    stream.insert(stream.end(), b.begin(), b.end());
+  };
+  append(encode(sample_request(), false));
+  append(encode_ping(true));
+  append(encode(sample_response(), true));
+  append(encode_pong(false));
+
+  FrameBuffer fb;
+  fb.feed(stream.data(), stream.size());
+  auto m1 = fb.next();
+  ASSERT_TRUE(m1 && m1->type == MsgType::CheckRequest && !m1->json);
+  auto m2 = fb.next();
+  ASSERT_TRUE(m2 && m2->type == MsgType::Ping && m2->json);
+  auto m3 = fb.next();
+  ASSERT_TRUE(m3 && m3->type == MsgType::CheckResponse && m3->json);
+  auto m4 = fb.next();
+  ASSERT_TRUE(m4 && m4->type == MsgType::Pong && !m4->json);
+  EXPECT_FALSE(fb.next().has_value());
+}
+
+TEST(ServeProtocolTest, GarbageIsAProtocolError) {
+  FrameBuffer fb;
+  const std::uint8_t garbage[] = {0x00, 0x01, 0x02};
+  EXPECT_THROW(
+      {
+        fb.feed(garbage, sizeof garbage);
+        fb.next();
+      },
+      ProtocolError);
+}
+
+TEST(ServeProtocolTest, OversizedFrameIsRejectedWithoutAllocating) {
+  FrameBuffer fb(/*max_frame=*/64);
+  // A binary header claiming a 16 MiB payload must be rejected from the
+  // six header bytes alone.
+  const std::uint8_t header[] = {0xEC, 0x01, 0x00, 0x00, 0x00, 0x01};
+  fb.feed(header, sizeof header);
+  EXPECT_THROW(fb.next(), ProtocolError);
+}
+
+TEST(ServeProtocolTest, MalformedJsonLineIsAProtocolError) {
+  FrameBuffer fb;
+  const std::string line = "{\"op\":\"check\", busted\n";
+  fb.feed(line.data(), line.size());
+  EXPECT_THROW(fb.next(), ProtocolError);
+}
+
+TEST(ServeProtocolTest, RequestDigestKeysOnSemanticInputsOnly) {
+  const CheckRequest base = sample_request();
+  const store::Digest d0 = request_digest(base);
+
+  // Same semantics, different correlation id / deadline: same flight.
+  CheckRequest same = base;
+  same.id = 999;
+  same.timeout_ms = 1;
+  EXPECT_EQ(request_digest(same), d0);
+
+  CheckRequest other_index = base;
+  other_index.assertion_index += 1;
+  EXPECT_NE(request_digest(other_index), d0);
+
+  CheckRequest other_budget = base;
+  other_budget.max_states /= 2;
+  EXPECT_NE(request_digest(other_budget), d0);
+
+  CheckRequest other_source = base;
+  other_source.sources[0] += " ";
+  EXPECT_NE(request_digest(other_source), d0);
+
+  // Source *boundaries* matter: ["ab"] and ["a","b"] are different loads.
+  CheckRequest split = base;
+  split.sources = {base.sources[0] + base.sources[1]};
+  EXPECT_NE(request_digest(split), d0);
+}
+
+TEST(ServeProtocolTest, VerdictBlockExcludesTransportFields) {
+  CheckResponse a = sample_response();
+  CheckResponse b = a;
+  b.id = 1;
+  b.wall_ns = 42;
+  b.from_cache = !a.from_cache;
+  b.coalesced = !a.coalesced;
+  b.memo_hit = !a.memo_hit;
+  EXPECT_EQ(a.verdict_block(), b.verdict_block());
+
+  CheckResponse c = a;
+  c.counterexample += "!";
+  EXPECT_NE(a.verdict_block(), c.verdict_block());
+  CheckResponse d = a;
+  d.status = ServeStatus::Passed;
+  EXPECT_NE(a.verdict_block(), d.verdict_block());
+  CheckResponse e = a;
+  e.vacuous = !a.vacuous;
+  EXPECT_NE(a.verdict_block(), e.verdict_block());
+}
+
+}  // namespace
