@@ -98,7 +98,13 @@ int usage(const char* argv0) {
       "  --inject-alphabet-mismatch\n"
       "                  (--matrix) fault injection: rename the system under\n"
       "                  test onto a primed alphabet so passing cells become\n"
-      "                  vacuous — exercises the vacuity detector\n",
+      "                  vacuous — exercises the vacuity detector\n"
+      "  --prune=M       static pruning of vacuous-PASS cells: none | static\n"
+      "                  (default none). 'static' certifies cells whose\n"
+      "                  implementation can never reach a constrained event\n"
+      "                  and skips their exploration; verdicts and vacuity\n"
+      "                  flags are byte-identical to an unpruned run, and\n"
+      "                  pruned cells are marked (pruned)\n",
       argv0, argv0);
   return 2;
 }
@@ -108,11 +114,12 @@ int report(const verify::BatchResult& batch) {
   std::size_t cached = 0;
   for (const verify::TaskOutcome& o : batch.outcomes) {
     if (o.cached) ++cached;
-    std::printf("check %-58.58s %s  (%zu states, %.1f ms)%s%s%s\n",
+    std::printf("check %-58.58s %s  (%zu states, %.1f ms)%s%s%s%s\n",
                 o.name.c_str(),
                 std::string(verify::to_string(o.status)).c_str(),
                 o.stats.impl_states, o.wall.count() / 1e6,
                 o.cached ? "  (cached)" : "",
+                o.pruned ? "  (pruned)" : "",
                 o.vacuous ? "  VACUOUS" : "",
                 o.as_expected() ? "" : "  UNEXPECTED");
     if (o.vacuous) {
@@ -176,6 +183,7 @@ int main(int argc, char** argv) {
   bool cache_stats = false;
   bool no_lint = false;
   bool inject_mismatch = false;
+  bool prune = false;
   unsigned jobs = 1;
   std::optional<unsigned> threads;
   Compression compress = Compression::None;
@@ -186,6 +194,9 @@ int main(int argc, char** argv) {
   unsigned cache_shards = 1;
   std::vector<const char*> paths;
 
+  // Read once at startup before any thread exists, so the mt-unsafety of
+  // getenv cannot bite.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("ECUCSP_CACHE_DIR"); env && *env) {
     cache_dir = env;
   }
@@ -224,6 +235,15 @@ int main(int argc, char** argv) {
       no_lint = true;
     } else if (std::strcmp(argv[i], "--inject-alphabet-mismatch") == 0) {
       inject_mismatch = true;
+    } else if (std::strncmp(argv[i], "--prune=", 8) == 0) {
+      const char* mode = argv[i] + 8;
+      if (std::strcmp(mode, "static") == 0) {
+        prune = true;
+      } else if (std::strcmp(mode, "none") == 0) {
+        prune = false;
+      } else {
+        return usage(argv[0]);
+      }
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else {
@@ -269,6 +289,7 @@ int main(int argc, char** argv) {
       opts.max_states = max_states;
       opts.dilation = dilation;
       opts.inject_alphabet_mismatch = inject_mismatch;
+      opts.prune = prune;
       std::vector<verify::CheckTask> tasks =
           verify::ota_requirement_matrix(opts);
       for (verify::CheckTask& t : verify::ota_extended_batch(opts)) {
@@ -305,6 +326,7 @@ int main(int argc, char** argv) {
         tasks[i].assertion_index = i;
         tasks[i].timeout = timeout;
         tasks[i].max_states = max_states;
+        tasks[i].prune = prune;
         // A user assertion is expected to hold, so a failure (or timeout)
         // drives the exit code just as it does in sequential mode.
         tasks[i].expected = true;

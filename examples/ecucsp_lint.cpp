@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "capl/parser.hpp"
+#include "lint/baseline.hpp"
 #include "lint/lint.hpp"
 #include "ota/ota.hpp"
 #include "translate/extractor.hpp"
@@ -55,6 +56,11 @@ int usage(const char* argv0) {
       "  --cspm FILE   treat FILE as CSPm\n"
       "  --json        machine-readable report on stdout\n"
       "  --werror      any finding (warnings included) fails the run\n"
+      "  --baseline F  suppress the findings fingerprinted in baseline file\n"
+      "                F; only new findings are reported / fail the run\n"
+      "  --write-baseline F\n"
+      "                write the current findings to F as a baseline and\n"
+      "                exit 0 (adopt-the-linter mode)\n"
       "  --ota         lint the built-in OTA case study (embedded CAPL +\n"
       "                CANdb + the CSPm model extracted from them)\n"
       "  --list-rules  print the rule catalogue and exit\n",
@@ -103,6 +109,8 @@ int main(int argc, char** argv) {
   bool json = false;
   bool werror = false;
   bool ota = false;
+  const char* baseline_path = nullptr;
+  const char* write_baseline_path = nullptr;
   lint::LintRequest req;
 
   for (int i = 1; i < argc; ++i) {
@@ -120,6 +128,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       req.dbc = lint::SourceFile{f, {}};
+    } else if (const char* f = flag_with_file("--baseline")) {
+      baseline_path = f;
+    } else if (const char* f = flag_with_file("--write-baseline")) {
+      write_baseline_path = f;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--werror") == 0) {
@@ -168,7 +180,26 @@ int main(int argc, char** argv) {
       for (auto& f : req.cspm) f.text = slurp(f.path);
     }
 
-    const lint::LintReport report = lint::run_lint(req);
+    lint::LintReport report = lint::run_lint(req);
+    if (write_baseline_path) {
+      const lint::Baseline base =
+          lint::Baseline::from_diagnostics(report.diagnostics);
+      std::ofstream out(write_baseline_path, std::ios::binary);
+      out << base.serialize();
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write baseline '%s'\n",
+                     write_baseline_path);
+        return 2;
+      }
+      std::printf("wrote %zu baseline entr%s to %s\n", base.size(),
+                  base.size() == 1 ? "y" : "ies", write_baseline_path);
+      return 0;
+    }
+    if (baseline_path) {
+      const lint::Baseline base = lint::Baseline::parse(slurp(baseline_path));
+      report.diagnostics =
+          lint::filter_baselined(std::move(report.diagnostics), base);
+    }
     if (json) {
       std::fputs(lint::render_json(report.diagnostics).c_str(), stdout);
     } else {

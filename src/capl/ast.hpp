@@ -53,6 +53,11 @@ struct CaplExpr {
   CExprKind kind = CExprKind::Number;
   int line = 0;
   int column = 0;
+  /// Stable pre-order id assigned by the parser (0 until numbered). Flow
+  /// analyses key CFG nodes and taint facts on these rather than on node
+  /// addresses, so results are reproducible across runs and mutations
+  /// applied to a re-parsed copy line up with the original ids.
+  std::uint32_t node_id = 0;
 
   std::int64_t number = 0;   // Number / CharLit (code point)
   std::string text;          // StringLit / Name / Call head / Member name
@@ -87,6 +92,7 @@ struct CaplStmt {
   CStmtKind kind = CStmtKind::Block;
   int line = 0;
   int column = 0;
+  std::uint32_t node_id = 0;  // see CaplExpr::node_id
 
   std::vector<CaplStmtPtr> body;  // Block
   // VarDecl:
@@ -153,5 +159,10 @@ struct CaplProgram {
                                    const std::string& target = {}) const;
   const FunctionDecl* find_function(const std::string& name) const;
 };
+
+/// Assign pre-order node ids (1-based; 0 stays "unnumbered") to every
+/// statement and expression in the program. parse_capl() calls this before
+/// returning; re-run it after structural mutation to renumber.
+void number_nodes(CaplProgram& prog);
 
 }  // namespace ecucsp::capl

@@ -587,8 +587,53 @@ class Parser {
 
 }  // namespace
 
+namespace {
+
+/// Deterministic pre-order numbering over the whole program: statements and
+/// expressions share one counter, so any two distinct nodes have distinct
+/// ids regardless of kind.
+class Numberer {
+ public:
+  void run(CaplProgram& prog) {
+    for (auto& v : prog.variables) visit(v.init.get());
+    for (auto& h : prog.handlers) visit(h.body.get());
+    for (auto& f : prog.functions) visit(f.body.get());
+  }
+
+ private:
+  void visit(CaplStmt* s) {
+    if (!s) return;
+    s->node_id = ++next_;
+    for (auto& kid : s->body) visit(kid.get());
+    visit(s->init.get());
+    visit(s->lvalue.get());
+    visit(s->value.get());
+    visit(s->then_branch.get());
+    visit(s->else_branch.get());
+    visit(s->for_init.get());
+    visit(s->loop_body.get());
+    visit(s->for_step.get());
+    visit(s->expr.get());
+  }
+
+  void visit(CaplExpr* e) {
+    if (!e) return;
+    e->node_id = ++next_;
+    for (auto& arg : e->args) visit(arg.get());
+    visit(e->object.get());
+  }
+
+  std::uint32_t next_ = 0;
+};
+
+}  // namespace
+
+void number_nodes(CaplProgram& prog) { Numberer().run(prog); }
+
 CaplProgram parse_capl(std::string_view source) {
-  return Parser(source).program();
+  CaplProgram prog = Parser(source).program();
+  number_nodes(prog);
+  return prog;
 }
 
 }  // namespace ecucsp::capl

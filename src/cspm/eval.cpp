@@ -204,6 +204,26 @@ AssertionResult Evaluator::check_assertion(std::size_t index,
   return r;
 }
 
+std::optional<AssertionTerms> Evaluator::assertion_terms(std::size_t index) {
+  const AssertionAst* a = assertions_.at(index);
+  switch (a->kind) {
+    case AssertionAst::Kind::RefinesT:
+    case AssertionAst::Kind::RefinesF:
+    case AssertionAst::Kind::RefinesFD: {
+      AssertionTerms t;
+      t.model = a->kind == AssertionAst::Kind::RefinesT ? Model::Traces
+                : a->kind == AssertionAst::Kind::RefinesF
+                    ? Model::Failures
+                    : Model::FailuresDivergences;
+      t.spec = eval_process(*a->lhs, {});
+      t.impl = eval_process(*a->rhs, {});
+      return t;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
 // --- lookup & calls ------------------------------------------------------------------
 
 CVal Evaluator::lookup(const std::string& name, const Env& env,

@@ -10,6 +10,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -78,6 +79,17 @@ struct AssertionResult {
   int line = 0;
 };
 
+/// The (spec, impl, model) triple a Refines* assertion would hand to
+/// check_refinement — the same eval_process results check_assertion uses.
+/// Lets the verify layer's static pruner inspect the terms without running
+/// the check. Property assertions (:[deadlock free] etc.) have no such
+/// decomposition.
+struct AssertionTerms {
+  ProcessRef spec = nullptr;
+  ProcessRef impl = nullptr;
+  Model model = Model::Traces;
+};
+
 class Evaluator {
  public:
   explicit Evaluator(Context& ctx) : ctx_(ctx) {}
@@ -108,6 +120,11 @@ class Evaluator {
   AssertionResult check_assertion(std::size_t index,
                                   std::size_t max_states = 1u << 22,
                                   CancelToken* cancel = nullptr);
+
+  /// Evaluate assertion `index`'s terms without running the check. Returns
+  /// nullopt for non-refinement assertions. Evaluation is memoised, so a
+  /// following check_assertion(index) reuses the same hash-consed terms.
+  std::optional<AssertionTerms> assertion_terms(std::size_t index);
 
   Context& context() { return ctx_; }
 

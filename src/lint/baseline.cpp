@@ -1,0 +1,71 @@
+#include "lint/baseline.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ecucsp::lint {
+
+std::string baseline_key(const Diagnostic& d) {
+  // Newlines never appear in rule ids, file names or messages (the renderers
+  // rely on that too), so the line-oriented format is unambiguous.
+  return d.rule + "\t" + d.file + "\t" + d.message;
+}
+
+Baseline Baseline::from_diagnostics(const std::vector<Diagnostic>& diags) {
+  Baseline b;
+  b.keys_.reserve(diags.size());
+  for (const Diagnostic& d : diags) b.keys_.push_back(baseline_key(d));
+  std::sort(b.keys_.begin(), b.keys_.end());
+  b.keys_.erase(std::unique(b.keys_.begin(), b.keys_.end()), b.keys_.end());
+  return b;
+}
+
+Baseline Baseline::parse(const std::string& text) {
+  Baseline b;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t t1 = line.find('\t');
+    const std::size_t t2 = t1 == std::string::npos ? t1 : line.find('\t', t1 + 1);
+    if (t2 == std::string::npos) {
+      throw std::runtime_error("baseline line " + std::to_string(lineno) +
+                               ": expected 'rule<TAB>file<TAB>message'");
+    }
+    b.keys_.push_back(line);
+  }
+  std::sort(b.keys_.begin(), b.keys_.end());
+  b.keys_.erase(std::unique(b.keys_.begin(), b.keys_.end()), b.keys_.end());
+  return b;
+}
+
+std::string Baseline::serialize() const {
+  std::string out =
+      "# ecucsp_lint baseline: rule<TAB>file<TAB>message, one per line.\n"
+      "# Findings listed here are suppressed; regenerate with "
+      "--write-baseline.\n";
+  for (const std::string& k : keys_) {
+    out += k;
+    out += '\n';
+  }
+  return out;
+}
+
+bool Baseline::contains(const Diagnostic& d) const {
+  return std::binary_search(keys_.begin(), keys_.end(), baseline_key(d));
+}
+
+std::vector<Diagnostic> filter_baselined(std::vector<Diagnostic> diags,
+                                         const Baseline& base) {
+  diags.erase(std::remove_if(
+                  diags.begin(), diags.end(),
+                  [&](const Diagnostic& d) { return base.contains(d); }),
+              diags.end());
+  return diags;
+}
+
+}  // namespace ecucsp::lint

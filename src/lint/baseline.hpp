@@ -1,0 +1,55 @@
+// Suppression baselines: adopt the linter on a codebase with existing
+// findings without drowning CI in known noise.
+//
+// A baseline is a plain-text set of diagnostic fingerprints. A fingerprint
+// deliberately omits line/column — moving a finding around a file (the
+// normal churn of editing) does not un-suppress it; changing the rule, the
+// file, or the message text (which embeds the offending names) does.
+// Workflow:
+//
+//   $ ecucsp_lint --write-baseline lint.baseline src/*.can net.dbc
+//   ... later, in CI ...
+//   $ ecucsp_lint --werror --baseline lint.baseline src/*.can net.dbc
+//
+// The CI run fails only on findings that are NOT in the baseline — i.e. on
+// regressions. Baselined findings are filtered out of the report entirely;
+// fixing one simply leaves a stale entry behind (regenerate to tidy up).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+
+namespace ecucsp::lint {
+
+/// Stable identity of a finding for suppression purposes:
+/// "rule\tfile\tmessage".
+std::string baseline_key(const Diagnostic& d);
+
+class Baseline {
+ public:
+  /// Collect the fingerprints of every diagnostic in `diags`.
+  static Baseline from_diagnostics(const std::vector<Diagnostic>& diags);
+
+  /// Parse the on-disk format: '#' comments and blank lines ignored, every
+  /// other line a fingerprint. Throws std::runtime_error on a line with
+  /// fewer than two tab separators (a corrupted or non-baseline file).
+  static Baseline parse(const std::string& text);
+
+  /// Serialize to the on-disk format: a header comment plus the sorted
+  /// fingerprints, newline-terminated. Byte-stable for identical findings.
+  std::string serialize() const;
+
+  bool contains(const Diagnostic& d) const;
+  std::size_t size() const { return keys_.size(); }
+
+ private:
+  std::vector<std::string> keys_;  // sorted unique
+};
+
+/// The diagnostics of `diags` not suppressed by `base`, in original order.
+std::vector<Diagnostic> filter_baselined(std::vector<Diagnostic> diags,
+                                         const Baseline& base);
+
+}  // namespace ecucsp::lint

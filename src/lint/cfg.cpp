@@ -1,0 +1,264 @@
+#include "lint/cfg.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+namespace ecucsp::lint {
+
+using capl::CaplExpr;
+using capl::CaplProgram;
+using capl::CaplStmt;
+using capl::CExprKind;
+using capl::CStmtKind;
+using capl::EventHandler;
+
+// Defined at namespace scope (not in the anonymous namespace) so it matches
+// Cfg's friend declaration.
+class CfgBuilder {
+ public:
+  Cfg build(const CaplStmt* body) {
+    add_node(CfgNode::Kind::Entry, nullptr, nullptr);
+    add_node(CfgNode::Kind::Exit, nullptr, nullptr);
+    Pending out = build_stmt(body, {{cfg_.entry(), CfgEdgeLabel::Fallthrough}});
+    wire(out, cfg_.exit());
+    return std::move(cfg_);
+  }
+
+ private:
+  /// Dangling out-edges waiting for their target node.
+  using Pending = std::vector<std::pair<std::size_t, CfgEdgeLabel>>;
+
+  std::size_t add_node(CfgNode::Kind kind, const CaplStmt* stmt,
+                       const CaplExpr* cond) {
+    CfgNode n;
+    n.kind = kind;
+    n.stmt = stmt;
+    n.cond = cond;
+    cfg_.nodes_.push_back(std::move(n));
+    return cfg_.nodes_.size() - 1;
+  }
+
+  void wire(const Pending& from, std::size_t to) {
+    for (const auto& [node, label] : from) {
+      cfg_.nodes_[node].succ.push_back({to, label});
+    }
+  }
+
+  Pending build_seq(const std::vector<capl::CaplStmtPtr>& body, Pending in) {
+    for (const auto& kid : body) in = build_stmt(kid.get(), std::move(in));
+    return in;
+  }
+
+  Pending build_stmt(const CaplStmt* s, Pending in) {
+    if (!s) return in;
+    switch (s->kind) {
+      case CStmtKind::Block:
+      case CStmtKind::Case:  // bare Case outside a switch: plain sequence
+        return build_seq(s->body, std::move(in));
+
+      case CStmtKind::VarDecl:
+      case CStmtKind::ExprStmt:
+      case CStmtKind::Assign:
+      case CStmtKind::IncDec: {
+        const std::size_t n = add_node(CfgNode::Kind::Stmt, s, nullptr);
+        wire(in, n);
+        return {{n, CfgEdgeLabel::Fallthrough}};
+      }
+
+      case CStmtKind::Return: {
+        const std::size_t n = add_node(CfgNode::Kind::Stmt, s, nullptr);
+        wire(in, n);
+        cfg_.nodes_[n].succ.push_back({cfg_.exit(), CfgEdgeLabel::Fallthrough});
+        return {};
+      }
+
+      case CStmtKind::Break: {
+        const std::size_t n = add_node(CfgNode::Kind::Stmt, s, nullptr);
+        wire(in, n);
+        if (!break_stack_.empty()) {
+          break_stack_.back().push_back({n, CfgEdgeLabel::Fallthrough});
+        } else {
+          // Break outside any loop/switch: treat as procedure exit so the
+          // graph stays connected (the parser tolerates this form).
+          cfg_.nodes_[n].succ.push_back({cfg_.exit(), CfgEdgeLabel::Fallthrough});
+        }
+        return {};
+      }
+
+      case CStmtKind::If: {
+        const std::size_t b = add_node(CfgNode::Kind::Branch, s, s->value.get());
+        wire(in, b);
+        Pending out =
+            build_stmt(s->then_branch.get(), {{b, CfgEdgeLabel::True}});
+        if (s->else_branch) {
+          Pending e =
+              build_stmt(s->else_branch.get(), {{b, CfgEdgeLabel::False}});
+          out.insert(out.end(), e.begin(), e.end());
+        } else {
+          out.push_back({b, CfgEdgeLabel::False});
+        }
+        return out;
+      }
+
+      case CStmtKind::While: {
+        const std::size_t b = add_node(CfgNode::Kind::Branch, s, s->value.get());
+        wire(in, b);
+        break_stack_.emplace_back();
+        Pending body = build_stmt(s->loop_body.get(), {{b, CfgEdgeLabel::True}});
+        wire(body, b);
+        Pending out = std::move(break_stack_.back());
+        break_stack_.pop_back();
+        out.push_back({b, CfgEdgeLabel::False});
+        return out;
+      }
+
+      case CStmtKind::For: {
+        in = build_stmt(s->for_init.get(), std::move(in));
+        const std::size_t b = add_node(CfgNode::Kind::Branch, s, s->value.get());
+        wire(in, b);
+        break_stack_.emplace_back();
+        Pending body = build_stmt(s->loop_body.get(), {{b, CfgEdgeLabel::True}});
+        body = build_stmt(s->for_step.get(), std::move(body));
+        wire(body, b);
+        Pending out = std::move(break_stack_.back());
+        break_stack_.pop_back();
+        // Without a condition the only way past the loop is a break.
+        if (s->value) out.push_back({b, CfgEdgeLabel::False});
+        return out;
+      }
+
+      case CStmtKind::Switch: {
+        const std::size_t b = add_node(CfgNode::Kind::Branch, s, s->value.get());
+        wire(in, b);
+        break_stack_.emplace_back();
+        Pending fall;  // fallthrough from the previous arm's last statement
+        bool has_default = false;
+        for (const auto& arm : s->body) {
+          if (arm->kind != CStmtKind::Case) continue;
+          has_default = has_default || arm->delta == 1;
+          Pending arm_in = std::move(fall);
+          arm_in.push_back({b, CfgEdgeLabel::Case});
+          fall = build_seq(arm->body, std::move(arm_in));
+        }
+        Pending out = std::move(break_stack_.back());
+        break_stack_.pop_back();
+        out.insert(out.end(), fall.begin(), fall.end());
+        // No default arm: the dispatch itself may skip every case.
+        if (!has_default) out.push_back({b, CfgEdgeLabel::Fallthrough});
+        return out;
+      }
+    }
+    return in;
+  }
+
+  Cfg cfg_;
+  std::vector<Pending> break_stack_;
+};
+
+namespace {
+
+/// Collect user-function call sites in deterministic AST order.
+class CallCollector {
+ public:
+  CallCollector(const std::set<std::string>& functions,
+                std::vector<CallSite>& out)
+      : functions_(functions), out_(out) {}
+
+  void stmt(const CaplStmt* s) {
+    if (!s) return;
+    for (const auto& kid : s->body) stmt(kid.get());
+    expr(s->init.get());
+    expr(s->lvalue.get());
+    expr(s->value.get());
+    stmt(s->then_branch.get());
+    stmt(s->else_branch.get());
+    stmt(s->for_init.get());
+    stmt(s->loop_body.get());
+    stmt(s->for_step.get());
+    expr(s->expr.get());
+  }
+
+  void expr(const CaplExpr* e) {
+    if (!e) return;
+    if (e->kind == CExprKind::Call && functions_.count(e->text)) {
+      out_.push_back({e, e->text});
+    }
+    for (const auto& arg : e->args) expr(arg.get());
+    expr(e->object.get());
+  }
+
+ private:
+  const std::set<std::string>& functions_;
+  std::vector<CallSite>& out_;
+};
+
+}  // namespace
+
+std::string handler_label(const EventHandler& h) {
+  switch (h.kind) {
+    case EventHandler::Kind::Start:
+      return "on start";
+    case EventHandler::Kind::StopMeasurement:
+      return "on stopMeasurement";
+    case EventHandler::Kind::Key:
+      return "on key " + h.target;
+    case EventHandler::Kind::Timer:
+      return "on timer " + h.target;
+    case EventHandler::Kind::Message:
+      if (h.any_message) return "on message *";
+      if (!h.target.empty()) return "on message " + h.target;
+      return "on message 0x" + [&] {
+        char buf[24];
+        std::snprintf(buf, sizeof buf, "%llx",
+                      static_cast<unsigned long long>(h.msg_id));
+        return std::string(buf);
+      }();
+  }
+  return "on ?";
+}
+
+Cfg build_cfg(const CaplStmt* body) { return CfgBuilder().build(body); }
+
+ProgramCfg build_program_cfg(const CaplProgram& prog) {
+  ProgramCfg out;
+  std::set<std::string> fn_names;
+  for (const auto& fn : prog.functions) fn_names.insert(fn.name);
+
+  for (const auto& h : prog.handlers) {
+    ProcCfg p;
+    p.name = handler_label(h);
+    p.handler = &h;
+    p.cfg = build_cfg(h.body.get());
+    CallCollector(fn_names, p.calls).stmt(h.body.get());
+    out.procs.push_back(std::move(p));
+  }
+  for (const auto& fn : prog.functions) {
+    ProcCfg p;
+    p.name = fn.name;
+    p.function = &fn;
+    p.cfg = build_cfg(fn.body.get());
+    CallCollector(fn_names, p.calls).stmt(fn.body.get());
+    // First definition wins on duplicate names, matching find_function().
+    out.function_index.emplace(fn.name, out.procs.size());
+    out.procs.push_back(std::move(p));
+  }
+
+  out.callees_of.resize(out.procs.size());
+  out.callers_of.resize(out.procs.size());
+  for (std::size_t i = 0; i < out.procs.size(); ++i) {
+    std::set<std::size_t> callees;
+    for (const CallSite& c : out.procs[i].calls) {
+      const auto it = out.function_index.find(c.callee);
+      if (it != out.function_index.end()) callees.insert(it->second);
+    }
+    out.callees_of[i].assign(callees.begin(), callees.end());
+    for (const std::size_t j : out.callees_of[i]) {
+      out.callers_of[j].push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace ecucsp::lint

@@ -1,0 +1,99 @@
+// Control-flow graphs for CAPL event procedures and functions.
+//
+// One Cfg per procedure body: a synthetic Entry and Exit plus one node per
+// executable statement. Branching statements (if/while/for/switch) become
+// Branch nodes whose outgoing edges are labelled True/False (Case for
+// switch dispatch), which is where the taint rules' path-sensitivity comes
+// from — a sanitizing comparison only blesses the True side.
+//
+// The ProgramCfg bundles every procedure's graph with an interprocedural
+// call graph over user-defined functions, resolved by name the way the
+// CAPL runtime dispatches them. CFG nodes reference AST statements by
+// pointer *and* by their stable pre-order node_id (capl/ast.hpp), so
+// analyses can report reproducible references into the source.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "capl/ast.hpp"
+
+namespace ecucsp::lint {
+
+enum class CfgEdgeLabel : std::uint8_t {
+  Fallthrough,  // unconditional successor
+  True,         // branch condition held
+  False,        // branch condition failed
+  Case,         // switch dispatch into one arm (value match or default)
+};
+
+struct CfgEdge {
+  std::size_t to = 0;
+  CfgEdgeLabel label = CfgEdgeLabel::Fallthrough;
+};
+
+struct CfgNode {
+  enum class Kind : std::uint8_t { Entry, Exit, Stmt, Branch };
+  Kind kind = Kind::Stmt;
+  /// The AST statement this node executes; null for Entry/Exit. For Branch
+  /// nodes this is the if/while/for/switch statement and `cond` its
+  /// controlling expression (null for a for-loop without a condition).
+  const capl::CaplStmt* stmt = nullptr;
+  const capl::CaplExpr* cond = nullptr;
+  std::vector<CfgEdge> succ;
+};
+
+class Cfg {
+ public:
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t entry() const { return 0; }
+  std::size_t exit() const { return 1; }
+  const CfgNode& node(std::size_t i) const { return nodes_[i]; }
+  const std::vector<CfgEdge>& successors(std::size_t i) const {
+    return nodes_[i].succ;
+  }
+
+ private:
+  friend class CfgBuilder;
+  std::vector<CfgNode> nodes_;
+};
+
+/// One call expression inside a procedure, resolved to a user function name
+/// (builtins are not call-graph edges).
+struct CallSite {
+  const capl::CaplExpr* call = nullptr;
+  std::string callee;
+};
+
+struct ProcCfg {
+  /// Display label: "on message X" / "on timer t" / function name.
+  std::string name;
+  const capl::EventHandler* handler = nullptr;   // null for functions
+  const capl::FunctionDecl* function = nullptr;  // null for handlers
+  Cfg cfg;
+  std::vector<CallSite> calls;  // user-function call sites, AST order
+};
+
+struct ProgramCfg {
+  std::vector<ProcCfg> procs;  // handlers first (program order), then functions
+  /// Index into `procs` by function name (handlers are not callable).
+  std::map<std::string, std::size_t> function_index;
+
+  /// procs-index lists: callees_of[i] = distinct procs called from procs[i],
+  /// callers_of[i] = inverse. Deterministic (ascending) order.
+  std::vector<std::vector<std::size_t>> callees_of;
+  std::vector<std::vector<std::size_t>> callers_of;
+};
+
+/// Build the CFG for one procedure body (may be null → Entry→Exit only).
+Cfg build_cfg(const capl::CaplStmt* body);
+
+/// Build every procedure's CFG plus the call graph.
+ProgramCfg build_program_cfg(const capl::CaplProgram& prog);
+
+/// Human label for a handler ("on message UpdApplyReq", "on start", ...).
+std::string handler_label(const capl::EventHandler& h);
+
+}  // namespace ecucsp::lint

@@ -1,0 +1,48 @@
+// Reachability/alphabet-flow analysis over CSP terms and CSPm scripts.
+//
+// Two over-approximations of "which events can this process ever perform",
+// at two levels of the stack:
+//
+//   * reachable_events_over — TERM level: a fixpoint over the hash-consed
+//     ProcessNode DAG (Var references expanded through Context::resolve,
+//     which is memoised, so the walk is linear in the number of distinct
+//     *instantiations*, never in the state space — a k-cycler network costs
+//     k definitions here, not exponentially many product states). Hide
+//     subtracts, Rename maps, everything else unions its operands; the
+//     result is a superset of the compiled LTS's reachable alphabet.
+//
+//   * reachable_cspm_channels — SOURCE level: the channel names reachable
+//     from a CSPm expression, following definition references transitively
+//     (purely syntactic, no evaluation). This powers the S005 vacuous-
+//     refinement lint.
+//
+// The term-level set is what verified matrix pruning (src/verify/prune.hpp)
+// compares against the specification's constrained alphabet: over-
+// approximation on the implementation side makes "predicted vacuous PASS"
+// sound — the prediction can only fail towards running the real check.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "core/context.hpp"
+#include "cspm/ast.hpp"
+
+namespace ecucsp::lint {
+
+/// Superset of the events `p` can ever perform (TICK included when any
+/// reachable component may terminate; TAU never included). Expands Var
+/// nodes via ctx.resolve, so unresolvable references throw ModelError just
+/// as compilation would.
+EventSet reachable_events_over(Context& ctx, ProcessRef p);
+
+/// Every Name/Call identifier mentioned in `e` (transitively through its
+/// sub-expressions, fields, generators, renames and let-bindings).
+void collect_cspm_names(const cspm::Expr* e, std::set<std::string>& out);
+
+/// Channel names syntactically reachable from `e`, following the script's
+/// definition references transitively.
+std::set<std::string> reachable_cspm_channels(const cspm::Script& script,
+                                              const cspm::Expr* e);
+
+}  // namespace ecucsp::lint

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/cspm_reach.hpp"
 #include "lint/lint.hpp"
 
 namespace ecucsp::lint {
@@ -40,24 +41,10 @@ Span span_of(const Expr* e, int length = 1) {
 }
 
 /// Every Name / Call-head occurring under `e`, binders included
-/// (over-approximation used by the usage rules).
+/// (over-approximation used by the usage rules). Shared with the
+/// reachability analysis in cspm_reach.
 void collect_names(const Expr* e, std::set<std::string>& out) {
-  if (!e) return;
-  if (e->kind == ExprKind::Name || e->kind == ExprKind::Call) {
-    out.insert(e->name);
-  }
-  for (const auto& kid : e->kids) collect_names(kid.get(), out);
-  collect_names(e->head.get(), out);
-  for (const auto& f : e->fields) {
-    collect_names(f.restriction.get(), out);
-    collect_names(f.expr.get(), out);
-  }
-  for (const auto& g : e->gens) collect_names(g.set.get(), out);
-  for (const auto& r : e->renames) {
-    collect_names(r.from.get(), out);
-    collect_names(r.to.get(), out);
-  }
-  for (const auto& b : e->bindings) collect_names(b.body.get(), out);
+  collect_cspm_names(e, out);
 }
 
 class CspmLinter {
@@ -324,30 +311,9 @@ class CspmLinter {
   // --- S005: static refinement vacuity ---------------------------------------
 
   /// Channels syntactically reachable from `e`, following definition
-  /// references transitively.
+  /// references transitively (shared with cspm_reach).
   std::set<std::string> reachable_channels(const Expr* e) const {
-    std::set<std::string> names;
-    collect_names(e, names);
-    std::vector<std::string> work(names.begin(), names.end());
-    std::set<std::string> seen_defs;
-    while (!work.empty()) {
-      const std::string cur = work.back();
-      work.pop_back();
-      if (!defs_.count(cur) || !seen_defs.insert(cur).second) continue;
-      for (const auto& d : script_.definitions) {
-        if (d.name != cur) continue;
-        std::set<std::string> inner;
-        collect_names(d.body.get(), inner);
-        for (const auto& n : inner) {
-          if (names.insert(n).second) work.push_back(n);
-        }
-      }
-    }
-    std::set<std::string> chans;
-    for (const auto& n : names) {
-      if (channels_.count(n)) chans.insert(n);
-    }
-    return chans;
+    return reachable_cspm_channels(script_, e);
   }
 
   void report_vacuous_assertions() {

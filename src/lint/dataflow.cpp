@@ -1,0 +1,18 @@
+#include "lint/dataflow.hpp"
+
+namespace ecucsp::lint {
+
+void Worklist::push(std::size_t i) {
+  if (queued_[i]) return;
+  queued_[i] = true;
+  pending_.insert(i);
+}
+
+std::size_t Worklist::pop() {
+  const std::size_t i = *pending_.begin();
+  pending_.erase(pending_.begin());
+  queued_[i] = false;
+  return i;
+}
+
+}  // namespace ecucsp::lint

@@ -1,0 +1,118 @@
+// Worklist-driven dataflow solving over small join-semilattices.
+//
+// Two solver shapes cover every flow analysis in the lint pass:
+//   * solve_forward — classic forward dataflow over an edge-labelled CFG
+//     (taint/T0xx rules): node transfer + edge transfer, fixpoint by
+//     chaotic iteration with a deterministic (lowest-index-first) worklist,
+//     so results are byte-stable across runs.
+//   * solve_equations — a generic monotone equation system X_i = F_i(X)
+//     (interprocedural call-graph summaries, CSPm reachable-event sets):
+//     re-evaluates an unknown whenever one of its dependencies grew.
+// Both terminate for monotone transfer functions over finite-height
+// lattices; the small lattice helpers below (set-union, bool-or) are the
+// building blocks the analyses compose their domains from.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+namespace ecucsp::lint {
+
+/// Deterministic worklist: pop always returns the smallest queued index, and
+/// an index is queued at most once. Lowest-first iteration makes fixpoint
+/// results independent of the order in which facts happened to change.
+class Worklist {
+ public:
+  explicit Worklist(std::size_t size) : queued_(size, false) {}
+
+  void push(std::size_t i);
+  bool empty() const { return pending_.empty(); }
+  std::size_t pop();
+
+ private:
+  std::set<std::size_t> pending_;
+  std::vector<bool> queued_;
+};
+
+// --- lattice helpers ---------------------------------------------------------
+
+/// Join-by-set-union; returns true when `into` grew.
+template <typename T>
+bool join_union(std::set<T>& into, const std::set<T>& from) {
+  bool changed = false;
+  for (const T& v : from) changed |= into.insert(v).second;
+  return changed;
+}
+
+/// Join-by-disjunction; returns true when `into` flipped to true.
+inline bool join_or(bool& into, bool from) {
+  const bool changed = from && !into;
+  into = into || from;
+  return changed;
+}
+
+// --- solvers -----------------------------------------------------------------
+
+/// Forward dataflow over a graph given as per-node successor edge lists.
+///
+///   Graph   — exposes node_count(), entry(), and for a node n a range of
+///             edge descriptors via successors(n); each edge has a .to.
+///   join    — bool join(Value& into, const Value& from): merge, report growth.
+///   fnode   — Value fnode(std::size_t node, const Value& in): node transfer.
+///   fedge   — Value fedge(std::size_t from, const Edge& e, const Value& out):
+///             edge transfer (where path-sensitivity lives: branch-true vs
+///             branch-false see their own facts).
+///
+/// Returns the in-value of every node (the state *before* its transfer);
+/// unreachable nodes keep the default-constructed bottom value.
+template <typename Value, typename Graph, typename Join, typename FNode,
+          typename FEdge>
+std::vector<Value> solve_forward(const Graph& g, Value entry_value, Join join,
+                                 FNode fnode, FEdge fedge) {
+  std::vector<Value> in(g.node_count());
+  std::vector<bool> reached(g.node_count(), false);
+  in[g.entry()] = std::move(entry_value);
+  reached[g.entry()] = true;
+
+  Worklist work(g.node_count());
+  work.push(g.entry());
+  while (!work.empty()) {
+    const std::size_t n = work.pop();
+    const Value out = fnode(n, in[n]);
+    for (const auto& e : g.successors(n)) {
+      Value v = fedge(n, e, out);
+      if (!reached[e.to]) {
+        reached[e.to] = true;
+        in[e.to] = std::move(v);
+        work.push(e.to);
+      } else if (join(in[e.to], v)) {
+        work.push(e.to);
+      }
+    }
+  }
+  return in;
+}
+
+/// Monotone equation system X_i = F_i(X). `deps_of[i]` lists the unknowns j
+/// that read X_i (i.e. must be re-evaluated when X_i grows). `eval` computes
+/// F_i from the current assignment; `join` merges it into X_i and reports
+/// growth. All unknowns are evaluated at least once.
+template <typename Value, typename Join, typename Eval>
+std::vector<Value> solve_equations(
+    std::size_t n, const std::vector<std::vector<std::size_t>>& deps_of,
+    Join join, Eval eval) {
+  std::vector<Value> x(n);
+  Worklist work(n);
+  for (std::size_t i = 0; i < n; ++i) work.push(i);
+  while (!work.empty()) {
+    const std::size_t i = work.pop();
+    Value next = eval(i, x);
+    if (join(x[i], next)) {
+      for (const std::size_t j : deps_of[i]) work.push(j);
+    }
+  }
+  return x;
+}
+
+}  // namespace ecucsp::lint

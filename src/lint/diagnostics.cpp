@@ -104,10 +104,23 @@ std::string render_text(const std::vector<Diagnostic>& diags,
     out += ": ";
     out += to_string(d.severity);
     out += ": " + d.message + " [" + d.rule + "]\n";
-    if (d.span.line > 0) {
-      if (const auto it = sources.find(d.file); it != sources.end()) {
-        const std::string_view line = source_line(it->second, d.span.line);
-        if (!line.empty()) append_caret_block(out, line, d.span);
+    const auto source = sources.find(d.file);
+    if (d.span.line > 0 && source != sources.end()) {
+      const std::string_view line = source_line(source->second, d.span.line);
+      if (!line.empty()) append_caret_block(out, line, d.span);
+    }
+    // Flow chain: one note per step, source first, each with its own caret.
+    for (const ChainStep& step : d.chain) {
+      out += d.file;
+      if (step.span.line > 0) {
+        out += ':' + std::to_string(step.span.line) + ':' +
+               std::to_string(step.span.column);
+      }
+      out += ": note: " + step.note + "\n";
+      if (step.span.line > 0 && source != sources.end()) {
+        const std::string_view line =
+            source_line(source->second, step.span.line);
+        if (!line.empty()) append_caret_block(out, line, step.span);
       }
     }
   }
@@ -115,7 +128,7 @@ std::string render_text(const std::vector<Diagnostic>& diags,
 }
 
 std::string render_json(const std::vector<Diagnostic>& diags) {
-  std::string out = "{\"lint_format\":1,\"diagnostics\":[";
+  std::string out = "{\"lint_format\":2,\"diagnostics\":[";
   bool first = true;
   std::size_t errors = 0, warnings = 0, notes = 0;
   for (const Diagnostic& d : diags) {
@@ -136,7 +149,23 @@ std::string render_json(const std::vector<Diagnostic>& diags) {
            ",\"column\":" + std::to_string(d.span.column) +
            ",\"length\":" + std::to_string(d.span.length) + ",\"message\":\"";
     json_escape(out, d.message);
-    out += "\"}";
+    out += '"';
+    if (!d.chain.empty()) {
+      out += ",\"chain\":[";
+      bool first_step = true;
+      for (const ChainStep& step : d.chain) {
+        if (!first_step) out += ',';
+        first_step = false;
+        out += "{\"line\":" + std::to_string(step.span.line) +
+               ",\"column\":" + std::to_string(step.span.column) +
+               ",\"length\":" + std::to_string(step.span.length) +
+               ",\"note\":\"";
+        json_escape(out, step.note);
+        out += "\"}";
+      }
+      out += ']';
+    }
+    out += '}';
   }
   out += "],\"summary\":{\"errors\":" + std::to_string(errors) +
          ",\"warnings\":" + std::to_string(warnings) +

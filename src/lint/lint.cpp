@@ -43,6 +43,7 @@ LintReport run_lint(const LintRequest& req) {
     try {
       const capl::CaplProgram prog = capl::parse_capl(f.text);
       lint_capl(prog, db ? &*db : nullptr, f.path, sink);
+      lint_capl_taint(prog, db ? &*db : nullptr, f.path, sink);
     } catch (const capl::CaplError& e) {
       sink.add(std::string(kRuleParseError), Severity::Error, f.path,
                Span{e.line, e.column, 1}, e.what());

@@ -51,6 +51,11 @@ LintReport run_lint(const LintRequest& req);
 void lint_capl(const capl::CaplProgram& prog, const can::DbcDatabase* db,
                const std::string& file, DiagnosticSink& sink);
 
+/// CAPL interprocedural taint/dataflow checks (T0xx). `db` may be null
+/// (MAC-signal-dependent rules are skipped; pure taint flow still runs).
+void lint_capl_taint(const capl::CaplProgram& prog, const can::DbcDatabase* db,
+                     const std::string& file, DiagnosticSink& sink);
+
 /// CANdb consistency checks.
 void lint_dbc(const can::DbcDatabase& db, const std::string& file,
               DiagnosticSink& sink);

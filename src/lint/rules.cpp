@@ -51,6 +51,16 @@ constexpr RuleInfo kRules[] = {
      "the specification side; a PASS would be vacuous"},
     {kRuleCspmUnusedChannel, Severity::Warning,
      "channel is declared but never used by any definition or assertion"},
+
+    {kRuleTaintToBus, Severity::Warning,
+     "received payload flows to output() without passing a MAC/validation "
+     "check on the way (unvalidated input forwarded to the bus)"},
+    {kRuleMacBypass, Severity::Warning,
+     "handler of a MAC-carrying frame reaches a transmission or global "
+     "state change on a path that never checks the MAC field"},
+    {kRuleStaleFreshness, Severity::Warning,
+     "freshness counter is compared against received data but never "
+     "advanced on the accepting path (replay window)"},
 };
 
 }  // namespace

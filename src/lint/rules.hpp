@@ -7,6 +7,8 @@
 //   C0xx  CAPL semantic checks
 //   D0xx  CANdb (DBC) consistency checks
 //   S0xx  CSPm / model checks (including refinement vacuity)
+//   T0xx  CAPL taint/dataflow findings (CFG + worklist solver; every
+//         diagnostic carries a source→sink chain)
 // The full catalogue with examples lives in DESIGN.md.
 #pragma once
 
@@ -50,6 +52,11 @@ inline constexpr std::string_view kRuleCspmUnusedDefinition = "S003";
 inline constexpr std::string_view kRuleCspmUnguardedRecursion = "S004";
 inline constexpr std::string_view kRuleCspmVacuousRefinement = "S005";
 inline constexpr std::string_view kRuleCspmUnusedChannel = "S006";
+
+// --- CAPL taint/dataflow -----------------------------------------------------
+inline constexpr std::string_view kRuleTaintToBus = "T001";
+inline constexpr std::string_view kRuleMacBypass = "T002";
+inline constexpr std::string_view kRuleStaleFreshness = "T003";
 
 /// The whole catalogue, in id order.
 std::span<const RuleInfo> all_rules();

@@ -1,0 +1,756 @@
+// Interprocedural CAPL taint/dataflow rules (T0xx).
+//
+// Built on the CFG builder (cfg.hpp) and the worklist solver (dataflow.hpp):
+// a forward, path-aware taint analysis per event procedure, composed with
+// context-insensitive function summaries solved to fixpoint over the call
+// graph.
+//
+//   sources     received frame data: any payload access through 'this'
+//               ('this.byte(i)', 'this.<signal>', ...) inside an
+//               'on message' procedure, propagated through assignments,
+//               arithmetic, message-variable payload writes and user
+//               function calls;
+//   sinks       output() (bus transmission) and — for T002 — writes to
+//               global state (the persistent effects a forged frame must
+//               not reach);
+//   sanitizers  branch conditions that consult the triggering frame's
+//               MAC/auth signal, and more generally any branch that
+//               inspects tainted data (an equality/freshness validation).
+//
+// The rules:
+//   T001  tainted data reaches output() on a path with no validation;
+//   T002  the handler of a MAC-carrying frame reaches a sink on a path
+//         that never consulted the MAC field (DropGuard on the OTA ECU's
+//         MAC check flips the handler from clean to exactly this);
+//   T003  a freshness counter is ordering-compared against received data
+//         but not advanced on the accepting path before the procedure
+//         exits (replay window).
+// Every diagnostic carries the full source→sink ChainStep trail.
+//
+// Direction of approximation: reported paths are CFG-feasible but not
+// necessarily executable (classic may-analysis over-approximation), while
+// the *absence* of a report is meaningful only for the modelled
+// sources/sinks — see DESIGN.md §14 for the soundness discussion shared
+// with the CSPm pruner.
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/cfg.hpp"
+#include "lint/dataflow.hpp"
+#include "lint/lint.hpp"
+
+namespace ecucsp::lint {
+
+namespace {
+
+using capl::CaplExpr;
+using capl::CaplProgram;
+using capl::CaplStmt;
+using capl::CaplType;
+using capl::CBinOp;
+using capl::CExprKind;
+using capl::CStmtKind;
+using capl::EventHandler;
+
+/// Intermediate chain steps are capped; the final sink step is always kept
+/// (reports append it directly), so a chain is never truncated at the sink.
+constexpr std::size_t kMaxChainSteps = 6;
+
+Span span_of(const CaplExpr* e, int length = 1) {
+  return Span{e->line, e->column > 0 ? e->column : 1, length > 0 ? length : 1};
+}
+
+Span span_of(const CaplStmt* s) {
+  return Span{s->line, s->column > 0 ? s->column : 1, 1};
+}
+
+bool is_scalar(CaplType t) {
+  return t != CaplType::Message && t != CaplType::MsTimer &&
+         t != CaplType::Timer;
+}
+
+bool is_ordering(CBinOp op) {
+  return op == CBinOp::Lt || op == CBinOp::Gt || op == CBinOp::Le ||
+         op == CBinOp::Ge;
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+/// Does this DBC signal look like an authenticator? Matches the SecOC-style
+/// naming the case studies use (MacTag, AuthCode, Cmac, ...).
+bool is_mac_signal(const can::DbcSignal& sig) {
+  const std::string n = lower(sig.spec.name);
+  return n.find("mac") != std::string::npos ||
+         n.find("auth") != std::string::npos ||
+         (n.size() >= 3 && n.compare(n.size() - 3, 3, "tag") == 0);
+}
+
+/// Payload byte range [first, last] covered by a signal (both byte orders
+/// approximated by the containing span — exact enough for "does this byte
+/// access touch the MAC field").
+std::pair<int, int> signal_bytes(const can::SignalSpec& spec) {
+  const int first = spec.start_bit / 8;
+  const int last = (spec.start_bit + spec.length - 1) / 8;
+  return {std::min(first, last), std::max(first, last)};
+}
+
+// --- the dataflow domain -----------------------------------------------------
+
+/// Provenance trail; ordered lexicographically so joins can pick one chain
+/// deterministically (the smallest), independent of visit order.
+struct Chain {
+  std::vector<ChainStep> steps;
+
+  void append(Span span, std::string note) {
+    if (steps.size() >= kMaxChainSteps) return;
+    steps.push_back({span, std::move(note)});
+  }
+
+  friend bool operator<(const Chain& a, const Chain& b) {
+    const std::size_t n = std::min(a.steps.size(), b.steps.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const ChainStep& x = a.steps[i];
+      const ChainStep& y = b.steps[i];
+      if (x.span.line != y.span.line) return x.span.line < y.span.line;
+      if (x.span.column != y.span.column) return x.span.column < y.span.column;
+      if (x.note != y.note) return x.note < y.note;
+    }
+    return a.steps.size() < b.steps.size();
+  }
+  friend bool operator==(const Chain& a, const Chain& b) {
+    return !(a < b) && !(b < a);
+  }
+};
+
+struct Taint {
+  bool tainted = false;               // derived from received data
+  std::set<std::size_t> from_params;  // summary mode: tainted iff these are
+  Chain chain;
+
+  bool any() const { return tainted || !from_params.empty(); }
+};
+
+/// Join `from` into `into`; true when `into` changed.
+bool join_taint(Taint& into, const Taint& from) {
+  bool changed = join_or(into.tainted, from.tainted);
+  changed |= join_union(into.from_params, from.from_params);
+  if (from.any() && from.chain < into.chain &&
+      (into.chain.steps.empty() || !(into.chain == from.chain))) {
+    into.chain = from.chain;
+    changed = true;
+  }
+  if (into.any() && into.chain.steps.empty() && !from.chain.steps.empty()) {
+    into.chain = from.chain;
+    changed = true;
+  }
+  return changed;
+}
+
+struct Env {
+  /// Reachability: only the entry starts live; join is disjunction. Reports
+  /// are suppressed for dead states (e.g. code after 'return').
+  bool live = false;
+  std::map<std::string, Taint> vars;  // scalars and message variables alike
+  /// Must-information (join = conjunction over live paths): every path into
+  /// this point consulted the MAC field / inspected tainted input.
+  bool mac_checked = false;
+  bool validated = false;
+  /// T003 obligations: counter -> provenance of the passed check.
+  std::map<std::string, Chain> fresh;
+};
+
+bool join_env(Env& into, const Env& from) {
+  if (!from.live) return false;  // nothing flows in from a dead path
+  bool changed = false;
+  if (!into.live) {
+    into = from;
+    return true;
+  }
+  changed |= join_or(into.live, from.live);
+  for (const auto& [name, taint] : from.vars) {
+    changed |= join_taint(into.vars[name], taint);
+  }
+  if (into.mac_checked && !from.mac_checked) {
+    into.mac_checked = false;
+    changed = true;
+  }
+  if (into.validated && !from.validated) {
+    into.validated = false;
+    changed = true;
+  }
+  for (const auto& [name, chain] : from.fresh) {
+    const auto it = into.fresh.find(name);
+    if (it == into.fresh.end()) {
+      into.fresh.emplace(name, chain);
+      changed = true;
+    } else if (chain < it->second) {
+      it->second = chain;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+// --- function summaries ------------------------------------------------------
+
+struct FnSummary {
+  /// Parameter indices whose value reaches output() inside the function
+  /// (directly or through further calls), with a representative inner sink
+  /// chain to splice into the caller's report.
+  std::map<std::size_t, Chain> sink_params;
+  /// Return value is derived from these parameter indices.
+  std::set<std::size_t> return_params;
+
+  bool merge(const FnSummary& o) {
+    bool changed = false;
+    for (const auto& [idx, chain] : o.sink_params) {
+      const auto it = sink_params.find(idx);
+      if (it == sink_params.end()) {
+        sink_params.emplace(idx, chain);
+        changed = true;
+      } else if (chain < it->second) {
+        it->second = chain;
+        changed = true;
+      }
+    }
+    changed |= join_union(return_params, o.return_params);
+    return changed;
+  }
+};
+
+// --- the per-procedure analysis ---------------------------------------------
+
+class ProcAnalysis {
+ public:
+  ProcAnalysis(const ProgramCfg& pcfg, std::size_t proc_index,
+               const can::DbcMessage* trigger,
+               const std::map<std::string, CaplType>& globals,
+               const std::vector<FnSummary>& summaries, const std::string& file)
+      : pcfg_(pcfg),
+        proc_(pcfg.procs[proc_index]),
+        trigger_(trigger),
+        globals_(globals),
+        summaries_(summaries),
+        file_(file) {
+    if (trigger_) {
+      for (const auto& sig : trigger_->signals) {
+        if (is_mac_signal(sig)) {
+          mac_signal_ = &sig;
+          break;
+        }
+      }
+    }
+    if (proc_.function) {
+      for (std::size_t i = 0; i < proc_.function->params.size(); ++i) {
+        param_index_[proc_.function->params[i].second] = i;
+      }
+    }
+  }
+
+  /// Solve the procedure to fixpoint; report into `sink` (null in summary
+  /// mode) and return the function summary accumulated along the way.
+  FnSummary run(DiagnosticSink* sink) {
+    summary_ = FnSummary{};
+    const Cfg& cfg = proc_.cfg;
+
+    Env entry;
+    entry.live = true;
+    if (proc_.function) {
+      for (const auto& [name, idx] : param_index_) {
+        Taint t;
+        t.from_params.insert(idx);
+        entry.vars[name] = t;
+      }
+    }
+
+    const std::vector<Env> in = solve_forward<Env>(
+        cfg, std::move(entry),
+        [](Env& into, const Env& from) { return join_env(into, from); },
+        [this](std::size_t n, const Env& env) { return transfer(n, env); },
+        [this](std::size_t from, const CfgEdge& e, const Env& out) {
+          return edge_transfer(from, e, out);
+        });
+
+    // Reporting pass over the solved states: emit diagnostics and summary
+    // facts exactly once per node, from the fixpoint in-values.
+    sink_ = sink;
+    reporting_ = true;
+    for (std::size_t n = 0; n < cfg.node_count(); ++n) {
+      if (!in[n].live) continue;
+      if (cfg.node(n).kind == CfgNode::Kind::Exit) {
+        report_exit(in[n]);
+      } else {
+        (void)transfer(n, in[n]);
+      }
+    }
+    reporting_ = false;
+    sink_ = nullptr;
+    return summary_;
+  }
+
+ private:
+  bool in_message_handler() const {
+    return proc_.handler && proc_.handler->kind == EventHandler::Kind::Message;
+  }
+
+  bool is_global(const std::string& name) const {
+    return globals_.count(name) > 0;
+  }
+
+  bool is_global_scalar(const std::string& name) const {
+    const auto it = globals_.find(name);
+    return it != globals_.end() && is_scalar(it->second);
+  }
+
+  // --- expression classification --------------------------------------------
+
+  /// Does `e` read the triggering frame's MAC field ('this.byte(i)' inside
+  /// the MAC signal's bytes, or 'this.<MacSignal>')?
+  bool reads_mac_field(const CaplExpr* e) const {
+    if (!e || !mac_signal_) return false;
+    const bool on_this = e->object && e->object->kind == CExprKind::This;
+    if (e->kind == CExprKind::Member && on_this &&
+        e->text == mac_signal_->spec.name) {
+      return true;
+    }
+    if (e->kind == CExprKind::ByteAccess && on_this && !e->args.empty()) {
+      const CaplExpr* idx = e->args[0].get();
+      if (idx->kind == CExprKind::Number) {
+        // byte/word/dword indices are in access-width units (see C005).
+        const auto [first, last] = signal_bytes(mac_signal_->spec);
+        const std::int64_t from_byte = idx->number * e->access_width;
+        const std::int64_t to_byte = from_byte + e->access_width - 1;
+        if (to_byte >= first && from_byte <= last) return true;
+      } else {
+        return true;  // dynamic index: assume it may touch the MAC field
+      }
+    }
+    for (const auto& arg : e->args) {
+      if (reads_mac_field(arg.get())) return true;
+    }
+    return e->object && reads_mac_field(e->object.get());
+  }
+
+  /// Global scalar names read anywhere inside `e` (T003 counter candidates).
+  void collect_global_scalars(const CaplExpr* e,
+                              std::set<std::string>& out) const {
+    if (!e) return;
+    if (e->kind == CExprKind::Name && is_global_scalar(e->text)) {
+      out.insert(e->text);
+    }
+    for (const auto& arg : e->args) collect_global_scalars(arg.get(), out);
+    collect_global_scalars(e->object.get(), out);
+  }
+
+  /// Payload description for a source step ("this.byte(7)", "this.ModuleId").
+  static std::string source_text(const CaplExpr* e) {
+    if (e->kind == CExprKind::ByteAccess) {
+      std::string idx = "?";
+      if (!e->args.empty() && e->args[0]->kind == CExprKind::Number) {
+        idx = std::to_string(e->args[0]->number);
+      }
+      const char* unit = e->access_width == 1   ? "byte"
+                         : e->access_width == 2 ? "word"
+                                                : "dword";
+      return "this." + std::string(unit) + "(" + idx + ")";
+    }
+    return "this." + e->text;
+  }
+
+  Taint eval(const CaplExpr* e, const Env& env) const {
+    Taint t;
+    if (!e) return t;
+    switch (e->kind) {
+      case CExprKind::Number:
+      case CExprKind::CharLit:
+      case CExprKind::StringLit:
+        return t;
+      case CExprKind::This:
+        if (in_message_handler()) {  // e.g. output(this)
+          t.tainted = true;
+          t.chain.append(span_of(e, 4), "received frame used directly");
+        }
+        return t;
+      case CExprKind::Name: {
+        const auto it = env.vars.find(e->text);
+        if (it != env.vars.end()) return it->second;
+        return t;
+      }
+      case CExprKind::Member:
+      case CExprKind::ByteAccess: {
+        const CaplExpr* base = e->object.get();
+        if (base && base->kind == CExprKind::This && in_message_handler()) {
+          t.tainted = true;
+          const int len = e->text.empty() ? 1 : int(e->text.size());
+          t.chain.append(span_of(e, len), "value read from received frame (" +
+                                              source_text(e) + ")");
+          return t;
+        }
+        // Reading out of a tainted message variable's payload.
+        if (base && base->kind == CExprKind::Name) {
+          const auto it = env.vars.find(base->text);
+          if (it != env.vars.end()) t = it->second;
+        }
+        for (const auto& arg : e->args) join_taint(t, eval(arg.get(), env));
+        return t;
+      }
+      case CExprKind::Call: {
+        Taint out;
+        std::vector<Taint> args;
+        args.reserve(e->args.size());
+        for (const auto& arg : e->args) args.push_back(eval(arg.get(), env));
+        const auto fi = pcfg_.function_index.find(e->text);
+        if (fi != pcfg_.function_index.end()) {
+          for (const std::size_t p : summaries_[fi->second].return_params) {
+            if (p < args.size()) join_taint(out, args[p]);
+          }
+          return out;
+        }
+        // Builtins: timeNow() is clean; anything else conservatively
+        // forwards its arguments' taint.
+        if (e->text == "timeNow") return out;
+        for (Taint& a : args) join_taint(out, a);
+        return out;
+      }
+      case CExprKind::Binary:
+      case CExprKind::Unary: {
+        Taint out;
+        for (const auto& arg : e->args) join_taint(out, eval(arg.get(), env));
+        return out;
+      }
+    }
+    return t;
+  }
+
+  // --- transfer functions ----------------------------------------------------
+
+  Env transfer(std::size_t n, const Env& in) {
+    const CfgNode& node = proc_.cfg.node(n);
+    Env env = in;
+    switch (node.kind) {
+      case CfgNode::Kind::Entry:
+      case CfgNode::Kind::Exit:
+        return env;
+      case CfgNode::Kind::Branch:
+        if (node.cond) {
+          visit_calls(node.cond, env);
+          if (reads_mac_field(node.cond)) {
+            // Consulting the MAC field counts whichever way the branch
+            // goes: guard style (then-body) and early-out style (if !=
+            // return) both validate the continuing path.
+            env.mac_checked = true;
+            env.validated = true;
+          } else if (eval(node.cond, env).any()) {
+            env.validated = true;
+          }
+        }
+        return env;
+      case CfgNode::Kind::Stmt:
+        return transfer_stmt(node.stmt, std::move(env));
+    }
+    return env;
+  }
+
+  /// Path-sensitivity: the accepting (True) edge of an ordering comparison
+  /// between a global counter and received data opens a T003 obligation.
+  Env edge_transfer(std::size_t from, const CfgEdge& e, const Env& out) {
+    const CfgNode& node = proc_.cfg.node(from);
+    if (node.kind != CfgNode::Kind::Branch || !node.cond ||
+        e.label != CfgEdgeLabel::True) {
+      return out;
+    }
+    const CaplExpr* cond = node.cond;
+    if (cond->kind != CExprKind::Binary || !is_ordering(cond->bin) ||
+        cond->args.size() != 2 || reads_mac_field(cond)) {
+      return out;
+    }
+    Env env = out;
+    for (int side = 0; side < 2; ++side) {
+      const CaplExpr* counter_side = cond->args[side].get();
+      const CaplExpr* data_side = cond->args[1 - side].get();
+      const Taint data = eval(data_side, env);
+      if (!data.tainted) continue;
+      std::set<std::string> counters;
+      collect_global_scalars(counter_side, counters);
+      for (const std::string& g : counters) {
+        if (env.fresh.count(g)) continue;
+        Chain chain = data.chain;
+        chain.append(span_of(cond),
+                     "freshness check against counter '" + g + "' passes");
+        env.fresh.emplace(g, std::move(chain));
+      }
+    }
+    return env;
+  }
+
+  Env transfer_stmt(const CaplStmt* s, Env env) {
+    if (!s) return env;
+    switch (s->kind) {
+      case CStmtKind::VarDecl:
+        if (s->init) {
+          visit_calls(s->init.get(), env);
+          Taint t = eval(s->init.get(), env);
+          if (t.any()) {
+            t.chain.append(span_of(s), "copied into '" + s->var_name + "'");
+          }
+          env.vars[s->var_name] = std::move(t);
+        }
+        break;
+      case CStmtKind::ExprStmt:
+        if (s->expr) {
+          visit_calls(s->expr.get(), env);
+          check_output(s->expr.get(), env);
+        }
+        break;
+      case CStmtKind::Assign:
+        if (s->value) visit_calls(s->value.get(), env);
+        apply_assign(s, env);
+        break;
+      case CStmtKind::IncDec:
+        apply_incdec(s, env);
+        break;
+      case CStmtKind::Return:
+        if (s->value) {
+          visit_calls(s->value.get(), env);
+          if (proc_.function) {
+            FnSummary delta;
+            delta.return_params = eval(s->value.get(), env).from_params;
+            summary_.merge(delta);
+          }
+        }
+        break;
+      default:
+        break;
+    }
+    return env;
+  }
+
+  void apply_assign(const CaplStmt* s, Env& env) {
+    const CaplExpr* lv = s->lvalue.get();
+    if (!lv || !s->value) return;
+    Taint rhs = eval(s->value.get(), env);
+    const bool compound = s->assign_op != 0;  // += / -= keep the old taint
+
+    if (lv->kind == CExprKind::Name) {
+      const std::string& name = lv->text;
+      if (rhs.any()) {
+        rhs.chain.append(span_of(s), "copied into '" + name + "'");
+      }
+      Taint& slot = env.vars[name];
+      if (compound) {
+        join_taint(slot, rhs);
+      } else {
+        slot = std::move(rhs);
+      }
+      note_global_write(name, span_of(s), env);
+      env.fresh.erase(name);  // the counter advanced
+      return;
+    }
+
+    // Payload write into a message object: m.byte(i) = e / m.Sig = e.
+    if ((lv->kind == CExprKind::ByteAccess || lv->kind == CExprKind::Member) &&
+        lv->object && lv->object->kind == CExprKind::Name) {
+      const std::string& msg_var = lv->object->text;
+      if (rhs.any()) {
+        rhs.chain.append(span_of(s),
+                         "written into outgoing frame '" + msg_var + "'");
+        join_taint(env.vars[msg_var], rhs);
+      }
+      note_global_write(msg_var, span_of(s), env);
+    }
+  }
+
+  void apply_incdec(const CaplStmt* s, Env& env) {
+    const CaplExpr* lv = s->lvalue.get();
+    if (!lv || lv->kind != CExprKind::Name) return;
+    note_global_write(lv->text, span_of(s), env);
+    env.fresh.erase(lv->text);
+  }
+
+  /// A write to global state: the persistent effect a forged frame must not
+  /// reach, so a T002 sink alongside transmission.
+  void note_global_write(const std::string& name, Span span, const Env& env) {
+    if (!is_global(name)) return;
+    report_mac_bypass(span, "global '" + name + "' is written", env);
+  }
+
+  // --- sinks and reports -----------------------------------------------------
+
+  /// Walk an expression for user-function calls: a tainted actual passed to
+  /// a parameter that reaches output() inside the callee is a T001 sink at
+  /// the call site.
+  void visit_calls(const CaplExpr* e, const Env& env) {
+    if (!e) return;
+    if (e->kind == CExprKind::Call) {
+      const auto fi = pcfg_.function_index.find(e->text);
+      if (fi != pcfg_.function_index.end()) {
+        for (const auto& [param, inner] : summaries_[fi->second].sink_params) {
+          if (param >= e->args.size()) continue;
+          Taint arg = eval(e->args[param].get(), env);
+          if (!arg.any()) continue;
+          Chain chain = arg.chain;
+          chain.append(span_of(e, int(e->text.size())),
+                       "passed to parameter " + std::to_string(param + 1) +
+                           " of '" + e->text + "()'");
+          for (const ChainStep& step : inner.steps) {
+            chain.append(step.span, step.note);
+          }
+          report_taint_to_bus(span_of(e, int(e->text.size())), arg.tainted,
+                              arg.from_params, chain, env);
+        }
+      }
+    }
+    for (const auto& arg : e->args) visit_calls(arg.get(), env);
+    if (e->object) visit_calls(e->object.get(), env);
+  }
+
+  /// output(x): the canonical bus sink (T001 for tainted x, T002 for any
+  /// transmission on an unchecked path).
+  void check_output(const CaplExpr* e, const Env& env) {
+    if (e->kind != CExprKind::Call || e->text != "output" || e->args.empty()) {
+      return;
+    }
+    const Span call_span = span_of(e, 6);
+    report_mac_bypass(call_span, "a frame is transmitted", env);
+
+    const CaplExpr* a = e->args[0].get();
+    const Taint arg = eval(a, env);
+    if (!arg.any()) return;
+    Chain chain = arg.chain;
+    const std::string what = a->kind == CExprKind::Name
+                                 ? "frame '" + a->text + "'"
+                                 : "the received frame";
+    chain.steps.push_back(
+        {call_span, what + " reaches the bus via output()"});
+    report_taint_to_bus(call_span, arg.tainted, arg.from_params, chain, env);
+  }
+
+  void report_taint_to_bus(Span span, bool tainted,
+                           const std::set<std::size_t>& from_params,
+                           const Chain& chain, const Env& env) {
+    if (env.validated) return;  // a validation guards this path
+    if (tainted && reporting_ && sink_) {
+      Diagnostic d;
+      d.rule = std::string(kRuleTaintToBus);
+      d.severity = Severity::Warning;
+      d.file = file_;
+      d.span = span;
+      d.message = "in '" + proc_.name +
+                  "': received data reaches the bus without validation";
+      d.chain = chain.steps;
+      sink_->add(std::move(d));
+    }
+    // Summary mode: parameters that reach this sink unvalidated.
+    if (proc_.function) {
+      for (const std::size_t p : from_params) {
+        FnSummary delta;
+        delta.sink_params.emplace(p, chain);
+        summary_.merge(delta);
+      }
+    }
+  }
+
+  void report_mac_bypass(Span span, const std::string& what, const Env& env) {
+    if (!mac_signal_ || env.mac_checked) return;
+    if (!reporting_ || !sink_) return;
+    Diagnostic d;
+    d.rule = std::string(kRuleMacBypass);
+    d.severity = Severity::Warning;
+    d.file = file_;
+    d.span = span;
+    d.message = "in '" + proc_.name + "': " + what +
+                " although the MAC signal '" + mac_signal_->spec.name +
+                "' of frame '" + trigger_->name + "' was never checked";
+    d.chain.push_back(
+        {Span{proc_.handler->line,
+              proc_.handler->column > 0 ? proc_.handler->column : 1, 1},
+         "frame '" + trigger_->name + "' carries MAC signal '" +
+             mac_signal_->spec.name + "'"});
+    d.chain.push_back({span, what + " on a path with no MAC check"});
+    sink_->add(std::move(d));
+  }
+
+  void report_exit(const Env& env) {
+    if (!reporting_ || !sink_) return;
+    for (const auto& [name, chain] : env.fresh) {
+      Diagnostic d;
+      d.rule = std::string(kRuleStaleFreshness);
+      d.severity = Severity::Warning;
+      d.file = file_;
+      d.span = chain.steps.empty() ? Span{0, 1, 1} : chain.steps.back().span;
+      d.message = "in '" + proc_.name + "': freshness counter '" + name +
+                  "' is checked but never advanced on the accepting path";
+      d.chain = chain.steps;
+      d.chain.push_back({d.span, "the procedure can exit with '" + name +
+                                     "' unchanged (replay window)"});
+      sink_->add(std::move(d));
+    }
+  }
+
+  const ProgramCfg& pcfg_;
+  const ProcCfg& proc_;
+  const can::DbcMessage* trigger_;
+  const std::map<std::string, CaplType>& globals_;
+  const std::vector<FnSummary>& summaries_;
+  const std::string& file_;
+  const can::DbcSignal* mac_signal_ = nullptr;
+  std::map<std::string, std::size_t> param_index_;
+
+  DiagnosticSink* sink_ = nullptr;
+  FnSummary summary_;
+  bool reporting_ = false;
+};
+
+}  // namespace
+
+void lint_capl_taint(const capl::CaplProgram& prog, const can::DbcDatabase* db,
+                     const std::string& file, DiagnosticSink& sink) {
+  const ProgramCfg pcfg = build_program_cfg(prog);
+
+  std::map<std::string, CaplType> globals;
+  for (const auto& v : prog.variables) globals.emplace(v.name, v.type);
+
+  const auto trigger_of = [&](const ProcCfg& p) -> const can::DbcMessage* {
+    if (!db || !p.handler || p.handler->kind != EventHandler::Kind::Message) {
+      return nullptr;
+    }
+    if (!p.handler->target.empty()) {
+      return db->find_message(p.handler->target);
+    }
+    if (p.handler->msg_id >= 0) {
+      return db->find_message(can::CanId(p.handler->msg_id));
+    }
+    return nullptr;
+  };
+
+  // Phase 1: function summaries to fixpoint over the call graph. Evaluating
+  // proc i re-reads its callees' summaries, so a callee that grew requeues
+  // its callers (callers_of is exactly that dependency edge).
+  const std::vector<FnSummary> summaries = solve_equations<FnSummary>(
+      pcfg.procs.size(), pcfg.callers_of,
+      [](FnSummary& into, const FnSummary& from) { return into.merge(from); },
+      [&](std::size_t i, const std::vector<FnSummary>& current) {
+        if (!pcfg.procs[i].function) return FnSummary{};
+        return ProcAnalysis(pcfg, i, nullptr, globals, current, file)
+            .run(nullptr);
+      });
+
+  // Phase 2: analyze every procedure with the final summaries and report.
+  for (std::size_t i = 0; i < pcfg.procs.size(); ++i) {
+    ProcAnalysis(pcfg, i, trigger_of(pcfg.procs[i]), globals, summaries, file)
+        .run(&sink);
+  }
+}
+
+}  // namespace ecucsp::lint

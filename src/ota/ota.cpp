@@ -150,36 +150,44 @@ std::unique_ptr<OtaModel> build_ota_model() {
   return model;
 }
 
-CheckResult check_requirement_on(OtaModel& model, std::string_view id,
-                                 ProcessRef system, std::size_t max_states,
-                                 CancelToken* cancel) {
+RequirementCheck requirement_check_parts(OtaModel& model, std::string_view id,
+                                         ProcessRef system) {
   Context& ctx = model.ctx;
   if (id == "R01") {
     // The very first network action is the inventory request.
-    const ProcessRef spec =
-        ctx.prefix(model.send_reqSw, ctx.run(ctx.alphabet()));
-    return check_refinement(ctx, spec, system, Model::Traces, max_states,
-                            cancel);
+    return {ctx.prefix(model.send_reqSw, ctx.run(ctx.alphabet())), system,
+            Model::Traces};
   }
   if (id == "R02") {
-    return security::check_response(ctx, system, model.send_reqSw,
-                                    model.rec_rptSw, max_states, cancel);
+    const auto p =
+        security::response_parts(ctx, system, model.send_reqSw, model.rec_rptSw);
+    return {p.spec, p.impl, Model::Traces};
   }
   if (id == "R03") {
-    return security::check_response(ctx, system, model.send_reqApp,
-                                    model.install, max_states, cancel);
+    const auto p = security::response_parts(ctx, system, model.send_reqApp,
+                                            model.install);
+    return {p.spec, p.impl, Model::Traces};
   }
   if (id == "R04") {
-    return security::check_response(ctx, system, model.install,
-                                    model.rec_rptUpd, max_states, cancel);
+    const auto p = security::response_parts(ctx, system, model.install,
+                                            model.rec_rptUpd);
+    return {p.spec, p.impl, Model::Traces};
   }
   if (id == "R05") {
     // Installation requires a prior genuine update request.
-    return security::check_precedence_witness(ctx, system, model.send_reqApp,
-                                              model.install, max_states,
-                                              cancel);
+    const auto p = security::precedence_witness_parts(
+        ctx, system, model.send_reqApp, model.install);
+    return {p.spec, p.impl, Model::Traces};
   }
   throw std::out_of_range("unknown requirement id '" + std::string(id) + "'");
+}
+
+CheckResult check_requirement_on(OtaModel& model, std::string_view id,
+                                 ProcessRef system, std::size_t max_states,
+                                 CancelToken* cancel) {
+  const RequirementCheck rc = requirement_check_parts(model, id, system);
+  return check_refinement(model.ctx, rc.spec, rc.impl, rc.model, max_states,
+                          cancel);
 }
 
 CheckResult check_requirement(OtaModel& model, std::string_view id,

@@ -94,6 +94,20 @@ CheckResult check_requirement_on(OtaModel& model, std::string_view id,
                                  std::size_t max_states = 1u << 22,
                                  CancelToken* cancel = nullptr);
 
+/// The exact refinement check_requirement_on would run for `id` against
+/// `system`: (spec, possibly-projected impl, model). Exposed so the verify
+/// layer's static pruner reasons about the identical terms — any drift here
+/// would show up as a verdict mismatch in the CI prune-coherence gate.
+/// Throws std::out_of_range for unknown ids.
+struct RequirementCheck {
+  ProcessRef spec = nullptr;
+  ProcessRef impl = nullptr;
+  Model model = Model::Traces;
+};
+
+RequirementCheck requirement_check_parts(OtaModel& model, std::string_view id,
+                                         ProcessRef system);
+
 // --- extended scope: the Update Server (paper Section VIII-A) ---------------
 //
 // The paper restricts its demonstration to VMG + ECU and names the Update

@@ -70,6 +70,13 @@ struct CheckResult {
   /// extraction/renaming bug upstream. Always false for failed or unary
   /// checks.
   bool vacuous = false;
+  /// True when this verdict was *predicted* by the static pruner
+  /// (verify/prune.hpp) instead of explored: the check was statically shown
+  /// to be a guaranteed vacuous PASS, so the engine never ran. The engine
+  /// itself never sets this; it is provenance recorded by the verify layer
+  /// and preserved by the store so reports can tell predicted cells from
+  /// swept ones. Only ever true together with passed && vacuous.
+  bool pruned = false;
   /// True when this verdict was served by the installed CheckCache instead
   /// of a fresh exploration. Transient — never serialized into the store.
   bool from_cache = false;

@@ -64,13 +64,17 @@ ProcessRef project(Context& ctx, ProcessRef system, const EventSet& keep) {
   return ctx.hide(system, ctx.alphabet().set_difference(keep));
 }
 
+PropertyParts response_parts(Context& ctx, ProcessRef system, EventId request,
+                             EventId response) {
+  return {response_spec(ctx, request, response),
+          project(ctx, system, EventSet{request, response})};
+}
+
 CheckResult check_response(Context& ctx, ProcessRef system, EventId request,
                            EventId response, std::size_t max_states,
                            CancelToken* cancel) {
-  const ProcessRef spec = response_spec(ctx, request, response);
-  const ProcessRef projected =
-      project(ctx, system, EventSet{request, response});
-  return check_refinement(ctx, spec, projected, Model::Traces, max_states,
+  const PropertyParts p = response_parts(ctx, system, request, response);
+  return check_refinement(ctx, p.spec, p.impl, Model::Traces, max_states,
                           cancel);
 }
 
@@ -83,12 +87,10 @@ CheckResult check_precedence(Context& ctx, ProcessRef system, EventId pre,
                           cancel);
 }
 
-CheckResult check_precedence_witness(Context& ctx, ProcessRef system,
-                                     EventId pre, EventId post,
-                                     std::size_t max_states,
-                                     CancelToken* cancel) {
+PropertyParts precedence_witness_parts(Context& ctx, ProcessRef system,
+                                       EventId pre, EventId post) {
   // SPEC: until `pre` happens, anything but `post` is allowed; afterwards
-  // the process is unconstrained.
+  // the process is unconstrained. Checked against the *unprojected* system.
   const EventSet sigma = ctx.alphabet();
   const std::string name = "_PRECEDENCE_FULL_" + ctx.event_name(pre) + "_" +
                            ctx.event_name(post);
@@ -103,7 +105,15 @@ CheckResult check_precedence_witness(Context& ctx, ProcessRef system,
     }
     return cx.ext_choice(branches);
   });
-  return check_refinement(ctx, ctx.var(s), system, Model::Traces, max_states,
+  return {ctx.var(s), system};
+}
+
+CheckResult check_precedence_witness(Context& ctx, ProcessRef system,
+                                     EventId pre, EventId post,
+                                     std::size_t max_states,
+                                     CancelToken* cancel) {
+  const PropertyParts p = precedence_witness_parts(ctx, system, pre, post);
+  return check_refinement(ctx, p.spec, p.impl, Model::Traces, max_states,
                           cancel);
 }
 

@@ -47,10 +47,26 @@ CheckResult check_bounded_response(Context& ctx, ProcessRef system,
 /// traces model ignores — use for [T= checks.)
 ProcessRef project(Context& ctx, ProcessRef system, const EventSet& keep);
 
+/// The exact (spec, impl-to-sweep) pair a property wrapper hands to
+/// check_refinement — exposed so static analyses (the verify layer's
+/// --prune=static predictor) can reason about the very terms the check
+/// would run, not a reconstruction of them. All parts here are Traces-model
+/// refinements.
+struct PropertyParts {
+  ProcessRef spec = nullptr;
+  ProcessRef impl = nullptr;  // projected system, or the system itself
+};
+
+PropertyParts response_parts(Context& ctx, ProcessRef system, EventId request,
+                             EventId response);
+PropertyParts precedence_witness_parts(Context& ctx, ProcessRef system,
+                                       EventId pre, EventId post);
+
 /// Convenience wrappers running the projection + refinement in one step.
 /// Every wrapper forwards its optional CancelToken into the underlying
 /// refinement check, so batch schedulers can impose deadlines without a
-/// separate warm-up compilation.
+/// separate warm-up compilation. check_response / check_precedence_witness
+/// are defined as check_refinement over their *_parts above.
 CheckResult check_response(Context& ctx, ProcessRef system, EventId request,
                            EventId response, std::size_t max_states = 1u << 22,
                            CancelToken* cancel = nullptr);

@@ -16,7 +16,7 @@ namespace {
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("client: " + what + ": " +
-                           std::string(std::strerror(errno)));
+                           errno_text(errno));
 }
 
 }  // namespace

@@ -596,4 +596,23 @@ std::optional<Msg> FrameBuffer::next() {
   throw ProtocolError("unrecognised framing byte");
 }
 
+namespace {
+
+// strerror_r comes in two flavours — GNU returns char* (possibly a static
+// string, ignoring the buffer), POSIX returns int and fills the buffer.
+// Overload resolution picks the right reading without feature-test macros.
+const char* strerror_result(const char* returned, const char*) {
+  return returned;
+}
+const char* strerror_result(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+
+}  // namespace
+
+std::string errno_text(int err) {
+  char buf[256] = {};
+  return strerror_result(::strerror_r(err, buf, sizeof buf), buf);
+}
+
 }  // namespace ecucsp::serve

@@ -175,4 +175,9 @@ store::Digest request_digest(const CheckRequest& req);
 /// (exposed for the stats renderer and tests).
 std::string json_escape(std::string_view s);
 
+/// Thread-safe strerror: the server and client format errno from worker
+/// and poll-loop threads, where std::strerror's shared static buffer is a
+/// data race (clang-tidy concurrency-mt-unsafe).
+std::string errno_text(int err);
+
 }  // namespace ecucsp::serve

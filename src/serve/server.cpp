@@ -33,7 +33,7 @@ Server::Server(VerifyService& service, ServerOptions options)
   int pipefd[2];
   if (::pipe(pipefd) != 0) {
     throw std::runtime_error("serve: pipe() failed: " +
-                             std::string(std::strerror(errno)));
+                             errno_text(errno));
   }
   wake_rd_ = pipefd[0];
   wake_wr_ = pipefd[1];
@@ -58,7 +58,7 @@ void Server::listen() {
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) {
       throw std::runtime_error("serve: socket(AF_UNIX) failed: " +
-                               std::string(std::strerror(errno)));
+                               errno_text(errno));
     }
     ::unlink(path.c_str());
     sockaddr_un addr{};
@@ -66,7 +66,7 @@ void Server::listen() {
     std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
     if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
         ::listen(fd, options_.backlog) != 0) {
-      const std::string err = std::strerror(errno);
+      const std::string err = errno_text(errno);
       close_retry(fd);
       throw std::runtime_error("serve: bind/listen " + path + ": " + err);
     }
@@ -78,7 +78,7 @@ void Server::listen() {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
       throw std::runtime_error("serve: socket(AF_INET) failed: " +
-                               std::string(std::strerror(errno)));
+                               errno_text(errno));
     }
     const int one = 1;
     ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
@@ -88,7 +88,7 @@ void Server::listen() {
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
         ::listen(fd, options_.backlog) != 0) {
-      const std::string err = std::strerror(errno);
+      const std::string err = errno_text(errno);
       close_retry(fd);
       throw std::runtime_error("serve: bind/listen tcp:" +
                                std::to_string(*options_.tcp_port) + ": " + err);

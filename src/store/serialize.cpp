@@ -297,6 +297,7 @@ std::vector<std::uint8_t> encode_check(const Context& ctx,
   ByteWriter w;
   w.u8(res.passed ? 1 : 0);
   w.u8(res.vacuous ? 1 : 0);
+  w.u8(res.pruned ? 1 : 0);
   w.u8(res.counterexample ? 1 : 0);
   if (res.counterexample) {
     const Counterexample& c = *res.counterexample;
@@ -322,6 +323,9 @@ CheckResult decode_check(ByteReader& r, Context& ctx) {
   const std::uint8_t vacuous = r.u8();
   if (vacuous > 1) throw SerializeError("bad vacuous flag");
   res.vacuous = vacuous == 1;
+  const std::uint8_t pruned = r.u8();
+  if (pruned > 1) throw SerializeError("bad pruned flag");
+  res.pruned = pruned == 1;
   const std::uint8_t has_cex = r.u8();
   if (has_cex > 1) throw SerializeError("bad counterexample flag");
   if (has_cex) {

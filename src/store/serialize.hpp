@@ -31,7 +31,7 @@
 namespace ecucsp::store {
 
 /// Bump on any wire-format or digest-scheme change.
-inline constexpr std::uint32_t kStoreFormatVersion = 2;  // v2: vacuous flag
+inline constexpr std::uint32_t kStoreFormatVersion = 3;  // v3: pruned flag
 
 enum class ArtifactKind : std::uint8_t {
   Lts = 1,

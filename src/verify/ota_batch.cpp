@@ -3,6 +3,7 @@
 #include <iterator>
 
 #include "ota/ota.hpp"
+#include "verify/prune.hpp"
 
 namespace ecucsp::verify {
 
@@ -135,13 +136,23 @@ std::vector<CheckTask> ota_requirement_matrix(OtaMatrixOptions options) {
     const std::size_t dilation = options.dilation;
     const std::size_t max_states = options.max_states;
     const bool mismatch = options.inject_alphabet_mismatch;
-    t.custom = [id, variant, dilation, max_states, mismatch](CancelToken& token) {
+    const bool prune = options.prune;
+    t.custom = [id, variant, dilation, max_states, mismatch,
+                prune](CancelToken& token) {
       token.poll_now();
       auto m = ota::build_ota_model();
       ProcessRef system = dilate(m->ctx, system_of(*m, variant), dilation);
       if (mismatch) system = inject_mismatch(m->ctx, system);
-      return render(m->ctx, ota::check_requirement_on(*m, id, system,
-                                                      max_states, &token));
+      // Decompose the cell into the exact (spec, impl) the check would run,
+      // so the static pruner and the dynamic sweep see identical terms.
+      const ota::RequirementCheck rc =
+          ota::requirement_check_parts(*m, id, system);
+      if (prune && predict_vacuous_pass(m->ctx, rc.spec, rc.impl, rc.model,
+                                        max_states)) {
+        return render(m->ctx, pruned_pass());
+      }
+      return render(m->ctx, check_refinement(m->ctx, rc.spec, rc.impl,
+                                             rc.model, max_states, &token));
     };
     tasks.push_back(std::move(t));
   }

@@ -41,6 +41,10 @@ struct OtaMatrixOptions {
   /// hold trivially — their cells still PASS, but with CheckResult::vacuous
   /// set, which the matrix report surfaces as a warning.
   bool inject_alphabet_mismatch = false;
+  /// --prune=static: certify vacuous-PASS cells with the verify-layer static
+  /// analysis (verify/prune.hpp) instead of exploring them. Verdicts are
+  /// unchanged by construction; pruned cells carry CheckResult::pruned.
+  bool prune = false;
 };
 
 /// The full R01..R05 x attacker-model matrix: 15 tasks in row-major

@@ -1,0 +1,54 @@
+#include "verify/prune.hpp"
+
+#include "lint/cspm_reach.hpp"
+#include "refine/lts.hpp"
+#include "refine/normalize.hpp"
+
+namespace ecucsp::verify {
+
+bool predict_vacuous_pass(Context& ctx, ProcessRef spec, ProcessRef impl,
+                          Model model, std::size_t max_states) {
+  if (model != Model::Traces) return false;
+  try {
+    // Spec side: exact. Compile and normalize the specification the same
+    // way the sweep would; the constrained set below is then literally the
+    // one refinement_sweep's vacuity detector computes.
+    const Lts spec_lts = compile_lts(ctx, spec, max_states);
+    const NormLts norm = normalize(spec_lts, /*with_divergence=*/false);
+
+    EventSet allowed_union;
+    EventSet allowed_inter;
+    bool first = true;
+    for (const NormNode& n : norm.nodes) {
+      allowed_union = allowed_union.set_union(n.initials);
+      allowed_inter =
+          first ? n.initials : allowed_inter.set_intersection(n.initials);
+      first = false;
+    }
+    EventSet constrained = allowed_union.set_difference(allowed_inter);
+    constrained = constrained.set_difference(EventSet{TAU, TICK});
+    if (constrained.empty()) return false;  // dynamic run would not flag it
+
+    // Impl side: over-approximate. reach includes TICK when any component
+    // may terminate and never includes TAU, so the subset test against
+    // allowed_inter also covers termination (a spec that cannot always tick
+    // rejects an impl that might).
+    const EventSet reach = lint::reachable_events_over(ctx, impl);
+    if (reach.intersects(constrained)) return false;
+    return reach.subset_of(allowed_inter);
+  } catch (const std::exception&) {
+    // Spec too large for the budget, unresolved reference, cancelled — the
+    // prediction abstains and the cell runs normally.
+    return false;
+  }
+}
+
+CheckResult pruned_pass() {
+  CheckResult r;
+  r.passed = true;
+  r.vacuous = true;
+  r.pruned = true;
+  return r;
+}
+
+}  // namespace ecucsp::verify

@@ -1,0 +1,60 @@
+// Verified static pruning of refinement checks (--prune=static).
+//
+// A matrix cell whose implementation can never touch any event its
+// specification constrains is a *vacuous* PASS — the sweep explores the
+// whole product space only to report "trivially true" (see
+// CheckResult::vacuous). This module predicts exactly those cells without
+// exploring, using the term-level reachability over-approximation from
+// lint/cspm_reach.hpp, so the scheduler can skip them.
+//
+// Soundness (why pruning is verdict-preserving — DESIGN.md §14 has the full
+// argument). predict_vacuous_pass answers true only when ALL of:
+//
+//   1. the model is Traces (the only model whose refinement is decided by
+//      per-event language inclusion; Failures/FD cells are never pruned);
+//   2. the specification compiles and normalizes *exactly* within the
+//      check's own state budget (specs here are tiny; this is not an
+//      approximation on the spec side);
+//   3. the constrained set — events allowed in some but not all spec normal
+//      states, the exact set refinement_sweep uses for its vacuity flag —
+//      is non-empty;
+//   4. reach(impl), a SUPERSET of the implementation's reachable alphabet
+//      (term-level fixpoint; Hide subtracts, Rename maps, Var expands via
+//      the memoised environment), is disjoint from the constrained set; and
+//   5. reach(impl) is a subset of the events allowed in EVERY spec normal
+//      state (allowed_inter).
+//
+// (5) proves the PASS: by induction over any impl trace, every event is
+// accepted by every normal spec state, so every impl trace is a spec trace.
+// (3)+(4) prove the dynamic vacuity flag: the impl's true alphabet is
+// contained in reach, hence also disjoint from the non-empty constrained
+// set — exactly the condition under which refinement_sweep sets vacuous.
+// The prediction therefore reproduces the dynamic outcome bit for bit:
+// passed=true, vacuous=true, zero exploration stats. The proof is by
+// induction over traces, not by replaying exploration — so the certificate
+// also covers impls whose operational unfolding is infinite (recursion
+// through hiding stacks a fresh \H per step) and whose dynamic check could
+// only ever end in StateLimit. Any cell the analysis
+// cannot certify (including every FAIL) simply runs; over-approximation on
+// the impl side can only fail towards running the real check, never towards
+// a wrong verdict. The CI prune-coherence gate byte-diffs --prune=static
+// against --prune=none to keep this honest.
+#pragma once
+
+#include "core/context.hpp"
+#include "refine/check.hpp"
+
+namespace ecucsp::verify {
+
+/// True iff `spec [T= impl` is statically certified to be a vacuous PASS
+/// (conditions above). False means "run the check", not "fails". Never
+/// throws on state-limit/model errors in the analysis itself — any such
+/// condition falls back to false.
+bool predict_vacuous_pass(Context& ctx, ProcessRef spec, ProcessRef impl,
+                          Model model, std::size_t max_states);
+
+/// The verdict a pruned cell reports: PASS, vacuous, pruned, zero stats —
+/// byte-identical (minus timing) to what the sweep would have produced.
+CheckResult pruned_pass();
+
+}  // namespace ecucsp::verify

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cspm/eval.hpp"
+#include "verify/prune.hpp"
 
 namespace ecucsp::verify {
 
@@ -73,6 +74,13 @@ RenderedCheck execute(const CheckTask& task, CancelToken& token) {
     cspm::Evaluator ev(ctx);
     for (const std::string& src : task.sources) ev.load_source(src);
     const std::size_t index = task.assertion_index.value_or(0);
+    if (task.prune) {
+      if (const auto t = ev.assertion_terms(index);
+          t && predict_vacuous_pass(ctx, t->spec, t->impl, t->model,
+                                    task.max_states)) {
+        return render(ctx, pruned_pass());
+      }
+    }
     cspm::AssertionResult ar = ev.check_assertion(index, task.max_states, &token);
     RenderedCheck out = render(ctx, std::move(ar.result));
     if (!out.counterexample.empty()) {
@@ -89,6 +97,10 @@ RenderedCheck execute(const CheckTask& task, CancelToken& token) {
     case CheckKind::Refinement: {
       if (!task.spec) throw std::runtime_error("CheckTask '" + task.name + "' has no spec");
       const ProcessRef spec = task.spec(ctx);
+      if (task.prune &&
+          predict_vacuous_pass(ctx, spec, impl, task.model, task.max_states)) {
+        return render(ctx, pruned_pass());
+      }
       r = check_refinement(ctx, spec, impl, task.model, task.max_states, &token);
       break;
     }
@@ -119,6 +131,7 @@ TaskOutcome run_task(const CheckTask& task, CancelToken& token) {
     out.stats = rc.result.stats;
     out.cached = rc.result.from_cache;
     out.vacuous = rc.result.vacuous;
+    out.pruned = rc.result.pruned;
     out.counterexample = std::move(rc.counterexample);
   } catch (const CheckCancelled& c) {
     out.status = c.reason() == CheckCancelled::Reason::DeadlineExceeded

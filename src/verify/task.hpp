@@ -74,6 +74,13 @@ struct CheckTask {
   // Use render() at the end of the lambda while the Context is still alive.
   std::function<RenderedCheck(CancelToken&)> custom;
 
+  /// Opt into static pruning (--prune=static): before running a Traces
+  /// refinement, ask verify::predict_vacuous_pass whether the cell is a
+  /// statically certified vacuous PASS and, if so, report pruned_pass()
+  /// without exploring. Verdict-preserving by construction (see prune.hpp);
+  /// cells the analysis cannot certify run normally.
+  bool prune = false;
+
   /// Per-check wall-clock budget; the worker arms the task's CancelToken
   /// with it just before the check starts.
   std::optional<std::chrono::milliseconds> timeout;
@@ -111,6 +118,9 @@ struct TaskOutcome {
   /// CheckResult::vacuous: the check passed but the implementation never
   /// reaches any event the spec constrains, so the PASS is suspect.
   bool vacuous = false;
+  /// CheckResult::pruned: the verdict was statically certified by the
+  /// --prune=static analysis instead of explored. Implies vacuous.
+  bool pruned = false;
   std::chrono::nanoseconds wall{0};
   std::optional<bool> expected;
 

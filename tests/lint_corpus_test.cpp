@@ -71,6 +71,9 @@ const CorpusCase kPositive[] = {
     {"S004_unguarded_recursion.csp", "S004", 3},
     {"S005_vacuous_refinement.csp", "S005", 6},
     {"S006_unused_channel.csp", "S006", 3},
+    {"T001_taint_to_bus.can", "T001", 6},
+    {"T002_mac_bypass.can", "T002", 5},
+    {"T003_stale_freshness.can", "T003", 5},
 };
 
 TEST(LintCorpus, EveryPositiveCaseFiresItsRuleAndNothingElse) {
@@ -87,6 +90,16 @@ TEST(LintCorpus, EveryPositiveCaseFiresItsRuleAndNothingElse) {
     }
     EXPECT_GE(d.span.column, 1);
     EXPECT_GE(d.span.length, 1);
+    // Flow rules must carry a complete source→sink chain; point rules none.
+    if (c.rule[0] == 'T') {
+      EXPECT_GE(d.chain.size(), 2u) << "flow rule without a source→sink chain";
+      for (const ChainStep& step : d.chain) {
+        EXPECT_GE(step.span.line, 1);
+        EXPECT_FALSE(step.note.empty());
+      }
+    } else {
+      EXPECT_TRUE(d.chain.empty());
+    }
     // Severity comes straight from the catalogue.
     const RuleInfo* info = find_rule(d.rule);
     ASSERT_NE(info, nullptr);
@@ -96,7 +109,8 @@ TEST(LintCorpus, EveryPositiveCaseFiresItsRuleAndNothingElse) {
 }
 
 TEST(LintCorpus, CleanNegativesStaySilent) {
-  for (const char* file : {"clean.can", "corpus.dbc", "clean.csp"}) {
+  for (const char* file :
+       {"clean.can", "clean_taint.can", "corpus.dbc", "clean.csp"}) {
     SCOPED_TRACE(file);
     const LintReport report = run_lint(request_for(file));
     EXPECT_TRUE(report.diagnostics.empty())

@@ -1,0 +1,312 @@
+// The flow-analysis framework under the T0xx rules: CFG construction, the
+// worklist solvers, term-level CSPm reachability, interprocedural taint,
+// suppression baselines, and the deterministic report order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "capl/parser.hpp"
+#include "can/dbc.hpp"
+#include "conform/mutate.hpp"
+#include "core/context.hpp"
+#include "lint/baseline.hpp"
+#include "lint/cfg.hpp"
+#include "lint/cspm_reach.hpp"
+#include "lint/dataflow.hpp"
+#include "lint/lint.hpp"
+#include "ota/ota.hpp"
+
+using namespace ecucsp;
+using namespace ecucsp::lint;
+
+namespace {
+
+std::vector<Diagnostic> taint_diagnostics(std::string_view capl,
+                                          const can::DbcDatabase* db) {
+  const capl::CaplProgram prog = capl::parse_capl(capl);
+  DiagnosticSink sink;
+  lint_capl_taint(prog, db, "test.can", sink);
+  sink.finalize();
+  return sink.diagnostics();
+}
+
+bool has_rule(const std::vector<Diagnostic>& diags, std::string_view rule) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+}  // namespace
+
+// --- CFG construction --------------------------------------------------------
+
+TEST(Cfg, IfElseProducesLabelledBranchEdges) {
+  const capl::CaplProgram prog = capl::parse_capl(
+      "on message Ping {\n"
+      "  if (this.byte(0) > 3) { output(this); } else { this.byte(0) = 0; }\n"
+      "}\n");
+  ASSERT_EQ(prog.handlers.size(), 1u);
+  const Cfg cfg = build_cfg(prog.handlers[0].body.get());
+
+  std::size_t branches = 0;
+  for (std::size_t i = 0; i < cfg.node_count(); ++i) {
+    if (cfg.node(i).kind != CfgNode::Kind::Branch) continue;
+    ++branches;
+    ASSERT_EQ(cfg.successors(i).size(), 2u);
+    EXPECT_EQ(cfg.successors(i)[0].label, CfgEdgeLabel::True);
+    EXPECT_EQ(cfg.successors(i)[1].label, CfgEdgeLabel::False);
+    EXPECT_NE(cfg.node(i).cond, nullptr);
+  }
+  EXPECT_EQ(branches, 1u);
+}
+
+TEST(Cfg, WhileLoopFormsBackEdge) {
+  const capl::CaplProgram prog = capl::parse_capl(
+      "void spin() {\n"
+      "  int i = 0;\n"
+      "  while (i < 8) { i = i + 1; }\n"
+      "}\n");
+  ASSERT_EQ(prog.functions.size(), 1u);
+  const Cfg cfg = build_cfg(prog.functions[0].body.get());
+
+  // Some node must lead back to an earlier node (the loop edge), and the
+  // exit must be reachable from the branch's False side.
+  bool back_edge = false;
+  for (std::size_t i = 0; i < cfg.node_count(); ++i) {
+    for (const CfgEdge& e : cfg.successors(i)) back_edge |= e.to <= i && i > cfg.exit();
+  }
+  EXPECT_TRUE(back_edge);
+}
+
+TEST(Cfg, ProgramCfgResolvesCallGraph) {
+  const capl::CaplProgram prog = capl::parse_capl(
+      "void record(int v) { }\n"
+      "on message Ping { record(this.byte(0)); }\n");
+  const ProgramCfg pcfg = build_program_cfg(prog);
+  // Handlers first, then functions.
+  ASSERT_EQ(pcfg.procs.size(), 2u);
+  EXPECT_NE(pcfg.procs[0].handler, nullptr);
+  EXPECT_NE(pcfg.procs[1].function, nullptr);
+  ASSERT_TRUE(pcfg.function_index.count("record"));
+  const std::size_t fn = pcfg.function_index.at("record");
+  ASSERT_EQ(pcfg.callees_of[0], std::vector<std::size_t>{fn});
+  ASSERT_EQ(pcfg.callers_of[fn], std::vector<std::size_t>{0});
+  ASSERT_EQ(pcfg.procs[0].calls.size(), 1u);
+  EXPECT_EQ(pcfg.procs[0].calls[0].callee, "record");
+}
+
+// --- the worklist solver -----------------------------------------------------
+
+TEST(Dataflow, WorklistPopsLowestIndexOnce) {
+  Worklist w(5);
+  w.push(3);
+  w.push(1);
+  w.push(3);  // duplicate while queued: ignored
+  EXPECT_EQ(w.pop(), 1u);
+  EXPECT_EQ(w.pop(), 3u);
+  EXPECT_TRUE(w.empty());
+  w.push(3);  // re-queueable after pop
+  EXPECT_EQ(w.pop(), 3u);
+}
+
+TEST(Dataflow, SolveEquationsReachesFixpointOnCycles) {
+  // X0 = {a} ∪ X2, X1 = X0, X2 = X1 — a cycle; all three converge to {a}.
+  const std::vector<std::vector<std::size_t>> deps = {{1}, {2}, {0}};
+  using Set = std::set<char>;
+  const auto result = solve_equations<Set>(
+      3, deps, [](Set& into, const Set& from) { return join_union(into, from); },
+      [](std::size_t i, const std::vector<Set>& x) {
+        Set v = x[(i + 2) % 3];
+        if (i == 0) v.insert('a');
+        return v;
+      });
+  for (const Set& s : result) EXPECT_EQ(s, Set{'a'});
+}
+
+// --- term-level CSPm reachability --------------------------------------------
+
+TEST(CspmReach, CoversPrefixHideRenameAndRecursion) {
+  Context ctx;
+  const EventId a = ctx.event(ctx.channel("a"));
+  const EventId b = ctx.event(ctx.channel("b"));
+  const EventId c = ctx.event(ctx.channel("c"));
+
+  // P = a -> b -> P: reach {a, b}.
+  ctx.define("P", [a, b](Context& cx, std::span<const Value>) {
+    return cx.prefix(a, cx.prefix(b, cx.var("P")));
+  });
+  EXPECT_EQ(reachable_events_over(ctx, ctx.var("P")), (EventSet{a, b}));
+
+  // Hiding subtracts: P \ {b} reaches only {a}.
+  EXPECT_EQ(reachable_events_over(ctx, ctx.hide(ctx.var("P"), EventSet{b})),
+            EventSet{a});
+
+  // Renaming maps: P[b <- c] reaches {a, c}.
+  EXPECT_EQ(reachable_events_over(
+                ctx, ctx.rename(ctx.var("P"), {RenamePair{b, c}})),
+            (EventSet{a, c}));
+
+  // SKIP contributes TICK (termination is an observable the pruner must
+  // account for); STOP contributes nothing.
+  EXPECT_EQ(reachable_events_over(ctx, ctx.skip()), EventSet{TICK});
+  EXPECT_EQ(reachable_events_over(ctx, ctx.stop()), EventSet{});
+}
+
+TEST(CspmReach, IsASupersetOfTheCompiledAlphabet) {
+  // External choice with an unreachable-in-practice arm still counts: the
+  // result over-approximates, never under-approximates.
+  Context ctx;
+  const EventId a = ctx.event(ctx.channel("a"));
+  const EventId b = ctx.event(ctx.channel("b"));
+  const ProcessRef p =
+      ctx.ext_choice(ctx.prefix(a, ctx.stop()),
+                     ctx.hide(ctx.prefix(b, ctx.stop()), EventSet{b}));
+  const EventSet reach = reachable_events_over(ctx, p);
+  EXPECT_TRUE(EventSet{a}.subset_of(reach));
+}
+
+// --- interprocedural taint ---------------------------------------------------
+
+TEST(Taint, FlowsThroughUserFunctionToBus) {
+  // The tainted payload reaches output() only inside the callee; the report
+  // lands at the *call site* with the full source→sink chain.
+  const auto diags = taint_diagnostics(
+      "variables { message Pong reply; }\n"
+      "void forward(int v) {\n"
+      "  reply.byte(0) = v;\n"
+      "  output(reply);\n"
+      "}\n"
+      "on message Ping {\n"
+      "  forward(this.byte(0));\n"
+      "}\n",
+      nullptr);
+  ASSERT_TRUE(has_rule(diags, "T001"));
+  const auto it = std::find_if(diags.begin(), diags.end(),
+                               [](const Diagnostic& d) { return d.rule == "T001"; });
+  EXPECT_EQ(it->span.line, 7);  // the call site in the handler
+  ASSERT_GE(it->chain.size(), 2u);
+  EXPECT_EQ(it->chain.front().span.line, 7);  // source: the tainted read
+  EXPECT_EQ(it->chain.back().span.line, 4);   // sink: output() in the callee
+}
+
+TEST(Taint, ValidationInCallerSuppressesCalleeSink) {
+  const auto diags = taint_diagnostics(
+      "variables { message Pong reply; }\n"
+      "void forward(int v) {\n"
+      "  reply.byte(0) = v;\n"
+      "  output(reply);\n"
+      "}\n"
+      "on message Ping {\n"
+      "  if (this.byte(0) < 16) {\n"
+      "    forward(this.byte(0));\n"
+      "  }\n"
+      "}\n",
+      nullptr);
+  EXPECT_FALSE(has_rule(diags, "T001"));
+}
+
+// --- mutation check: the paper's MAC-drop fault ------------------------------
+
+TEST(Taint, DropGuardMutantOnEcuMacCheckTripsT002) {
+  // The shipped OTA ECU is taint-clean: its UpdApplyReq handler verifies the
+  // MacTag before acting. Dropping that guard (conform::mutate_program's
+  // DropGuard operator — the paper's unprotected ECU) must flip the handler
+  // to a T002 finding.
+  const can::DbcDatabase db = can::parse_dbc(ota::ota_dbc_text());
+  {
+    const capl::CaplProgram clean = capl::parse_capl(ota::ecu_capl_source());
+    DiagnosticSink sink;
+    lint_capl_taint(clean, &db, "<ota:ecu.can>", sink);
+    sink.finalize();
+    EXPECT_FALSE(has_rule(sink.diagnostics(), "T002"));
+  }
+
+  bool found_drop_guard = false;
+  const std::size_t points = [] {
+    capl::CaplProgram p = capl::parse_capl(ota::ecu_capl_source());
+    return conform::count_mutation_points(p);
+  }();
+  for (std::size_t seed = 0; seed < points; ++seed) {
+    capl::CaplProgram mutant = capl::parse_capl(ota::ecu_capl_source());
+    const conform::MutationInfo info = conform::mutate_program(mutant, seed);
+    if (info.description.find("DropGuard") == std::string::npos) continue;
+    found_drop_guard = true;
+    DiagnosticSink sink;
+    lint_capl_taint(mutant, &db, "<ota:ecu.can>", sink);
+    sink.finalize();
+    EXPECT_TRUE(has_rule(sink.diagnostics(), "T002"))
+        << info.description << " at line " << info.line;
+  }
+  EXPECT_TRUE(found_drop_guard);
+}
+
+// --- report-order regression (multi-file, shuffled insertion) ----------------
+
+TEST(Diagnostics, ReportOrderIsInvariantUnderInsertionOrder) {
+  // The sink's finalize() sorts with std::sort, which is unstable — the
+  // comparator must therefore be a strict total order over *all* fields so
+  // near-duplicates (same position, different rule/message/severity) cannot
+  // swap between runs or analyzer orderings.
+  std::vector<Diagnostic> diags;
+  diags.push_back({"C002", Severity::Error, "b.can", {3, 1, 2}, "beta"});
+  diags.push_back({"C001", Severity::Warning, "a.can", {3, 1, 2}, "alpha"});
+  diags.push_back({"C001", Severity::Warning, "a.can", {3, 1, 2}, "alpha"});
+  diags.push_back({"C001", Severity::Error, "a.can", {3, 1, 2}, "alpha"});
+  diags.push_back({"T001", Severity::Warning, "a.can", {3, 1, 2}, "alpha",
+                   {{{1, 2, 3}, "src"}}});
+  diags.push_back({"T001", Severity::Warning, "a.can", {3, 1, 2}, "alpha",
+                   {{{1, 2, 3}, "src"}, {{2, 2, 3}, "sink"}}});
+
+  std::vector<Diagnostic> reference;
+  std::mt19937 rng(7);
+  for (int round = 0; round < 16; ++round) {
+    std::vector<Diagnostic> shuffled = diags;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    DiagnosticSink sink;
+    for (Diagnostic& d : shuffled) sink.add(std::move(d));
+    sink.finalize();
+    if (round == 0) {
+      reference = sink.diagnostics();
+      // The exact duplicate is dropped; all distinct variants survive.
+      EXPECT_EQ(reference.size(), diags.size() - 1);
+    } else {
+      EXPECT_EQ(render_json(sink.diagnostics()), render_json(reference));
+    }
+  }
+}
+
+// --- suppression baselines ---------------------------------------------------
+
+TEST(Baseline, RoundTripsAndFilters) {
+  std::vector<Diagnostic> diags;
+  diags.push_back({"C001", Severity::Warning, "a.can", {3, 1, 2}, "alpha"});
+  diags.push_back({"C002", Severity::Error, "b.can", {9, 4, 1}, "beta"});
+  const Baseline base = Baseline::from_diagnostics(diags);
+  EXPECT_EQ(base.size(), 2u);
+
+  const Baseline back = Baseline::parse(base.serialize());
+  EXPECT_EQ(back.serialize(), base.serialize());
+  EXPECT_TRUE(back.contains(diags[0]));
+
+  // Moving a finding within its file keeps it suppressed; a new message or
+  // file does not.
+  Diagnostic moved = diags[0];
+  moved.span.line = 99;
+  EXPECT_TRUE(back.contains(moved));
+  Diagnostic renamed = diags[0];
+  renamed.message = "gamma";
+  EXPECT_FALSE(back.contains(renamed));
+
+  std::vector<Diagnostic> extended = diags;
+  extended.push_back({"T001", Severity::Warning, "c.can", {1, 1, 1}, "new"});
+  const auto filtered = filter_baselined(extended, back);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].rule, "T001");
+}
+
+TEST(Baseline, ParseRejectsMalformedLines) {
+  EXPECT_THROW(Baseline::parse("not a fingerprint\n"), std::runtime_error);
+  // Comments, blank lines and CRLF endings are fine.
+  const Baseline b = Baseline::parse("# header\n\nC001\ta.can\tmsg\r\n");
+  EXPECT_EQ(b.size(), 1u);
+}

@@ -70,6 +70,12 @@ Scenario scenario() {
                      "unexpected end of input"});
   s.diags.push_back({"S003", Severity::Note, "model.csp", {2, 1, 1},
                      "a note-severity diagnostic"});
+  // A flow diagnostic with a source→sink chain (lint_format 2).
+  Diagnostic taint{"T001", Severity::Warning, "vmg.can", {3, 2, 6},
+                   "received data reaches the bus without validation"};
+  taint.chain.push_back({{2, 11, 5}, "value read from received frame"});
+  taint.chain.push_back({{3, 2, 6}, "frame 'tx' reaches the bus via output()"});
+  s.diags.push_back(std::move(taint));
   DiagnosticSink sink;
   for (Diagnostic& d : s.diags) sink.add(std::move(d));
   sink.finalize();
@@ -125,7 +131,7 @@ TEST(LintRender, WholeFileDiagnosticsRenderWithoutCarets) {
 
 TEST(LintRender, SummaryLineCountsBySeverity) {
   const Scenario s = scenario();
-  EXPECT_EQ(summary_line(s.diags), "3 error(s), 1 warning(s), 1 note(s)");
+  EXPECT_EQ(summary_line(s.diags), "3 error(s), 2 warning(s), 1 note(s)");
 }
 
 TEST(LintRender, JsonEscapesControlAndQuoteCharacters) {

@@ -336,6 +336,23 @@ TEST(SerializeCheck, VacuousFlagRoundTrips) {
   EXPECT_FALSE(unseal_check(seal_check(ctx, res), ctx).vacuous);
 }
 
+TEST(SerializeCheck, PrunedFlagRoundTrips) {
+  // Format v3 carries the pruned bit: a verdict certified by the static
+  // pruner keeps its provenance across the store.
+  Context ctx;
+  CheckResult res;
+  res.passed = true;
+  res.vacuous = true;
+  res.pruned = true;
+  const CheckResult back = unseal_check(seal_check(ctx, res), ctx);
+  EXPECT_TRUE(back.passed);
+  EXPECT_TRUE(back.vacuous);
+  EXPECT_TRUE(back.pruned);
+
+  res.pruned = false;
+  EXPECT_FALSE(unseal_check(seal_check(ctx, res), ctx).pruned);
+}
+
 TEST(SerializeCheck, CounterexampleRoundTripsAcrossContexts) {
   // A real failing refinement, serialized and decoded into a fresh Context:
   // the rendered counterexample must be byte-identical.
