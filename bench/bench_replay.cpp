@@ -1,0 +1,176 @@
+// Offline replay throughput bench: frames/sec of the candump -> decode ->
+// chunked oracle sweep pipeline on a multi-million-frame synthetic log,
+// single-thread vs a worker scaling curve.
+//
+// Coherence is the gate, speed is the record: every (jobs, chunk)
+// configuration must render a byte-identical replay_format:1 report —
+// that is the tentpole's determinism claim measured at bench scale, not
+// just at unit-test scale. A second, violation-carrying log checks that
+// the injected attack frame is the reported first divergence at 1 and 4
+// workers. Throughput and parallel speedup are reported but not gated (a
+// single-core container degenerates to ~1.0x).
+//
+// Usage: bench_replay [million_frames] [out.json]
+// Writes a machine-readable report (default BENCH_replay.json).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "conform/harness.hpp"
+#include "ota/ota.hpp"
+#include "replay/replay.hpp"
+#include "replay/synth.hpp"
+
+using namespace ecucsp;
+
+namespace {
+
+struct Config {
+  unsigned jobs;
+  std::size_t chunk;
+};
+
+std::filesystem::path write_temp_log(const std::string& text,
+                                     const char* stem) {
+  const auto path =
+      std::filesystem::temp_directory_path() /
+      (std::string(stem) + "-" + std::to_string(::getpid()) + ".log");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t millions = 1;
+  const char* out_path = "BENCH_replay.json";
+  if (argc > 1) millions = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
+  if (argc > 2) out_path = argv[2];
+  if (millions == 0) millions = 1;
+  const std::size_t frames = millions * 1'000'000;
+
+  const can::DbcDatabase db = can::parse_dbc(ota::ota_dbc_text());
+  const conform::FrameCodec codec = conform::ota_codec(db);
+
+  std::printf("synthesizing %zu-frame honest log...\n", frames);
+  replay::SynthOptions honest_opt;
+  honest_opt.seed = 42;
+  honest_opt.frames = frames;
+  const replay::SynthLog honest = replay::synthesize_log(codec, honest_opt);
+  const auto honest_path = write_temp_log(honest.text, "bench-replay-honest");
+
+  replay::SynthOptions attack_opt = honest_opt;
+  attack_opt.attack = replay::Attack::Replay;
+  attack_opt.attack_at = frames / 2;
+  const replay::SynthLog attacked = replay::synthesize_log(codec, attack_opt);
+  const auto attack_path = write_temp_log(attacked.text, "bench-replay-attack");
+
+  const std::vector<Config> configs = {
+      {1, 0}, {1, 1u << 16}, {2, 1u << 16}, {4, 1u << 16}, {8, 1u << 16}};
+
+  bool coherence_ok = true;
+  std::string reference_json;
+  double single_fps = 0.0, best_fps = 0.0;
+  std::string results;
+  for (const Config& c : configs) {
+    replay::ReplayOptions opt;
+    opt.logs = {honest_path};
+    opt.jobs = c.jobs;
+    opt.chunk = c.chunk;
+    const auto t0 = std::chrono::steady_clock::now();
+    const replay::ReplayReport rep = replay::run_replay(opt);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double fps = secs > 0 ? static_cast<double>(rep.frames) / secs : 0;
+    if (c.jobs == 1 && c.chunk == 0) single_fps = fps;
+    if (fps > best_fps) best_fps = fps;
+
+    const std::string json = rep.render_json();
+    if (reference_json.empty()) {
+      reference_json = json;
+    } else if (json != reference_json) {
+      coherence_ok = false;
+      std::printf("  COHERENCE MISMATCH at jobs=%u chunk=%zu\n", c.jobs,
+                  c.chunk);
+    }
+    if (!rep.ok()) {
+      coherence_ok = false;
+      std::printf("  honest log rejected at jobs=%u chunk=%zu\n", c.jobs,
+                  c.chunk);
+    }
+
+    if (!results.empty()) results += ',';
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "\n  {\"jobs\":%u,\"chunk\":%zu,\"wall_ms\":%.1f,"
+                  "\"frames_per_sec\":%.0f}",
+                  c.jobs, c.chunk, secs * 1e3, fps);
+    results += buf;
+    std::printf("  jobs=%u chunk=%-6zu  %8.1f ms  %.2fM frames/s\n", c.jobs,
+                c.chunk, secs * 1e3, fps / 1e6);
+  }
+
+  // The violation log: the injected replayed UpdReport must be the first
+  // divergence R04 reports, at 1 and 4 workers, byte-identically.
+  bool violation_ok = true;
+  std::string violation_reference;
+  for (const unsigned jobs : {1u, 4u}) {
+    replay::ReplayOptions opt;
+    opt.logs = {attack_path};
+    opt.jobs = jobs;
+    const replay::ReplayReport rep = replay::run_replay(opt);
+    if (rep.ok()) violation_ok = false;
+    bool found = false;
+    for (const auto& o : rep.oracles) {
+      if (o.name == "R04" && !o.divergences.empty() &&
+          o.divergences[0].event_index == attacked.injected_index) {
+        found = true;
+      }
+    }
+    if (!found) violation_ok = false;
+    const std::string json = rep.render_json();
+    if (violation_reference.empty()) {
+      violation_reference = json;
+    } else if (json != violation_reference) {
+      violation_ok = false;
+    }
+  }
+  std::printf("violation pinning: %s (injected index %zu)\n",
+              violation_ok ? "ok" : "FAILED", attacked.injected_index);
+
+  std::filesystem::remove(honest_path);
+  std::filesystem::remove(attack_path);
+
+  const double speedup = single_fps > 0 ? best_fps / single_fps : 0;
+  const bool ok = coherence_ok && violation_ok;
+  std::string json = "{\"bench\":\"replay\"";
+  json += ",\"frames\":" + std::to_string(frames);
+  json += ",\"configs\":[" + results + "\n ]";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ",\"speedup_best\":%.2f", speedup);
+  json += buf;
+  json += ",\"coherence_ok\":";
+  json += coherence_ok ? "true" : "false";
+  json += ",\"violation_ok\":";
+  json += violation_ok ? "true" : "false";
+  json += ",\"ok\":";
+  json += ok ? "true" : "false";
+  json += "}\n";
+  std::ofstream out(out_path, std::ios::trunc);
+  out << json;
+  std::printf("wrote %s (speedup_best %.2fx, %s)\n", out_path, speedup,
+              ok ? "ok" : "FAILED");
+  return ok ? 0 : 1;
+}

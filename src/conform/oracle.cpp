@@ -1,33 +1,42 @@
 #include "conform/oracle.hpp"
 
+#include <algorithm>
+
 namespace ecucsp::conform {
 
 OracleVerdict TraceOracle::judge(const std::vector<std::string>& events) const {
-  std::uint32_t node = automaton.root;
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    const std::string& e = events[i];
+  OracleCursor cur = start();
+  return judge_resume(cur, events);
+}
+
+OracleVerdict TraceOracle::judge_resume(OracleCursor& cur,
+                                        const std::vector<std::string>& events,
+                                        std::size_t end) const {
+  const std::size_t stop = std::min(end, events.size());
+  for (; cur.next < stop; ++cur.next) {
+    const std::string& e = events[cur.next];
     if (ignored.contains(e)) continue;
     if (!alphabet.contains(e)) {
       if (!strict) continue;
       OracleVerdict v;
       v.accepted = false;
-      v.divergence_index = i;
+      v.divergence_index = cur.next;
       v.event = e;
-      v.offered = automaton.offered(node);
+      v.offered = automaton.offered(cur.node);
       v.reason = "event outside the oracle alphabet";
       return v;
     }
-    const SymEdge* edge = automaton.edge(node, e);
+    const SymEdge* edge = automaton.edge(cur.node, e);
     if (edge == nullptr) {
       OracleVerdict v;
       v.accepted = false;
-      v.divergence_index = i;
+      v.divergence_index = cur.next;
       v.event = e;
-      v.offered = automaton.offered(node);
+      v.offered = automaton.offered(cur.node);
       v.reason = "spec offers no such event here";
       return v;
     }
-    node = edge->target;
+    cur.node = edge->target;
   }
   return {};
 }

@@ -33,6 +33,19 @@ struct OracleVerdict {
   std::string reason;
 };
 
+/// Resumable oracle position: the automaton node plus the global index of
+/// the next event to judge. A cursor saved at a chunk boundary and restored
+/// on another thread reproduces one-shot judge() exactly — this is the
+/// state the offline replay sweep (src/replay) carries across chunks, and
+/// divergence indices stay global because the cursor remembers how many
+/// events precede it.
+struct OracleCursor {
+  std::uint32_t node = 0;
+  std::size_t next = 0;
+
+  friend bool operator==(const OracleCursor&, const OracleCursor&) = default;
+};
+
 struct TraceOracle {
   std::string name;
   SymAutomaton automaton;
@@ -49,6 +62,22 @@ struct TraceOracle {
   bool strict = false;
 
   OracleVerdict judge(const std::vector<std::string>& events) const;
+
+  /// Fresh cursor at the automaton root, before event 0.
+  OracleCursor start() const { return OracleCursor{automaton.root, 0}; }
+
+  /// Judge events[cur.next, min(end, events.size())) resuming from `cur`,
+  /// advancing the cursor as events are consumed. On acceptance the cursor
+  /// sits after the last judged event; on rejection it points *at* the
+  /// offending event (node unchanged), so a caller can record the
+  /// divergence, bump cur.next past the event, and resume — the
+  /// skip-and-continue discipline replay uses to report several
+  /// divergences per log. Splitting a trace at any set of indices and
+  /// resuming yields byte-identical verdicts to one-shot judge()
+  /// (tests/conform_oracle_test.cpp pins this at every split point).
+  OracleVerdict judge_resume(
+      OracleCursor& cur, const std::vector<std::string>& events,
+      std::size_t end = static_cast<std::size_t>(-1)) const;
 };
 
 /// Compile a Context-bound spec process into a portable oracle. The oracle

@@ -13,6 +13,7 @@
 #include "conform/harness.hpp"
 #include "conform/mutate.hpp"
 #include "conform/oracle.hpp"
+#include "conform/requirements.hpp"
 #include "core/context.hpp"
 #include "cspm/eval.hpp"
 #include "ota/ota.hpp"
@@ -25,76 +26,6 @@ namespace ecucsp::conform {
 namespace {
 
 using EdgeKey = std::pair<std::uint32_t, std::uint32_t>;
-
-// --- hand-built Table III requirement oracles --------------------------------
-//
-// These are the *security* oracles. The extracted model oracle cannot catch
-// a dropped MAC check (the extractor turns 'if' into internal choice, so
-// the unprotected ECU still lies inside the over-approximation); R03/R05
-// over forged-injection runs can, which is precisely the paper's argument
-// for requirement-level specs.
-
-TraceOracle oracle_r01() {
-  TraceOracle o;
-  o.name = "R01";
-  o.alphabet = {"send.SwInventoryReq", "rec.SwReport", "send.UpdApplyReq",
-                "rec.UpdReport"};
-  o.ignored = {"send.UpdApplyReqBad"};
-  o.automaton.add_edge(0, "send.SwInventoryReq", 1);
-  for (const std::string& e : o.alphabet) o.automaton.add_edge(1, e, 1);
-  o.automaton.sort_edges();
-  return o;
-}
-
-TraceOracle oracle_r02() {
-  TraceOracle o;
-  o.name = "R02";
-  o.alphabet = {"send.SwInventoryReq", "rec.SwReport"};
-  o.automaton.add_edge(0, "send.SwInventoryReq", 1);
-  o.automaton.add_edge(1, "send.SwInventoryReq", 1);
-  o.automaton.add_edge(1, "rec.SwReport", 1);
-  o.automaton.sort_edges();
-  return o;
-}
-
-TraceOracle oracle_r03() {
-  TraceOracle o;
-  o.name = "R03";
-  o.alphabet = {"send.UpdApplyReq", "rec.UpdReport"};
-  o.automaton.add_edge(0, "send.UpdApplyReq", 1);
-  o.automaton.add_edge(1, "send.UpdApplyReq", 1);
-  o.automaton.add_edge(1, "rec.UpdReport", 1);
-  o.automaton.sort_edges();
-  return o;
-}
-
-TraceOracle oracle_r04() {
-  // Counting oracle: every UpdReport consumes one outstanding genuine
-  // UpdApplyReq (saturating at 8 pending — beyond that the oracle stops
-  // distinguishing, a documented over-approximation).
-  TraceOracle o;
-  o.name = "R04";
-  o.alphabet = {"send.UpdApplyReq", "rec.UpdReport"};
-  o.ignored = {"send.UpdApplyReqBad"};
-  constexpr std::uint32_t kMax = 8;
-  for (std::uint32_t k = 0; k <= kMax; ++k) {
-    o.automaton.add_edge(k, "send.UpdApplyReq", std::min(k + 1, kMax));
-    if (k > 0) o.automaton.add_edge(k, "rec.UpdReport", k - 1);
-  }
-  o.automaton.sort_edges();
-  return o;
-}
-
-TraceOracle oracle_r05() {
-  TraceOracle o;
-  o.name = "R05";
-  o.alphabet = {"send.UpdApplyReq", "send.UpdApplyReqBad", "rec.UpdReport"};
-  o.automaton.add_edge(0, "send.UpdApplyReqBad", 0);
-  o.automaton.add_edge(0, "send.UpdApplyReq", 1);
-  for (const std::string& e : o.alphabet) o.automaton.add_edge(1, e, 1);
-  o.automaton.sort_edges();
-  return o;
-}
 
 std::vector<std::string> collect_trace(const Context& ctx,
                                        const Counterexample& cex) {
@@ -203,23 +134,16 @@ ConformReport run_ota_conformance(const ConformOptions& opt) {
                     /*rx=*/"rec");
 
   // 2. Implementation model -> automaton (doubles as strict model oracle
-  // and generation model).
+  // and generation model). Shared with offline replay via requirements.hpp.
+  const TraceOracle model_ecu = ota_model_oracle(opt.max_states);
+  const SymAutomaton& impl_auto = model_ecu.automaton;
+
+  // 3. Composed-system oracle (the dialogue scenario's spec).
   translate::ExtractorOptions ecu_opt;
   ecu_opt.node_name = "ECU";
   ecu_opt.tx_channel = "rec";  // the ECU transmits on the VMG's rx channel
   ecu_opt.rx_channel = "send";
   ecu_opt.db = &db;
-  Context ecu_ctx;
-  cspm::Evaluator ecu_ev{ecu_ctx};
-  ecu_ev.load_source(translate::extract_model(ecu_spec, ecu_opt).cspm);
-  TraceOracle model_ecu =
-      compile_oracle(ecu_ctx, "model-ecu", ecu_ev.process("ECU"),
-                     ecu_ctx.events_of({"send", "rec"}), /*strict=*/true,
-                     opt.max_states);
-  model_ecu.ignored = {"send.UpdApplyReqBad"};
-  const SymAutomaton& impl_auto = model_ecu.automaton;
-
-  // 3. Composed-system oracle (the dialogue scenario's spec).
   translate::ExtractorOptions vmg_opt;
   vmg_opt.node_name = "VMG";
   vmg_opt.db = &db;
@@ -234,11 +158,11 @@ ConformReport run_ota_conformance(const ConformOptions& opt) {
                      opt.max_states);
   model_system.ignored = {"send.UpdApplyReqBad"};
 
-  const TraceOracle r01 = oracle_r01();
-  const TraceOracle r02 = oracle_r02();
-  const TraceOracle r03 = oracle_r03();
-  const TraceOracle r04 = oracle_r04();
-  const TraceOracle r05 = oracle_r05();
+  const TraceOracle r01 = requirement_oracle("R01");
+  const TraceOracle r02 = requirement_oracle("R02");
+  const TraceOracle r03 = requirement_oracle("R03");
+  const TraceOracle r04 = requirement_oracle("R04");
+  const TraceOracle r05 = requirement_oracle("R05");
   struct OracleRef {
     const TraceOracle* oracle;
     bool dialogue_only;  // specs of VMG behaviour don't bind harness-driven runs

@@ -1,0 +1,170 @@
+#include "replay/synth.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "can/candump.hpp"
+#include "conform/generate.hpp"
+
+namespace ecucsp::replay {
+
+std::optional<can::CanFrame> frame_for_event(const conform::FrameCodec& codec,
+                                             const std::string& event) {
+  const std::size_t dot = event.find('.');
+  if (dot == std::string::npos) return std::nullopt;
+  const std::string channel = event.substr(0, dot);
+  std::string ctor = event.substr(dot + 1);
+
+  // The "Bad" twin only exists for the MAC-protected id.
+  bool bad = false;
+  if (ctor.size() > 3 && ctor.ends_with("Bad")) {
+    const std::string base = ctor.substr(0, ctor.size() - 3);
+    // Only strip the suffix when the base name is a real constructor —
+    // a message legitimately named "...Bad" must stay intact.
+    for (const auto& [id, name] : codec.ctor_of) {
+      if (name == base && codec.mac_id && id == *codec.mac_id) {
+        bad = true;
+        ctor = base;
+        break;
+      }
+    }
+  }
+
+  for (const auto& [id, name] : codec.ctor_of) {
+    if (name != ctor) continue;
+    const bool tx = std::find(codec.tx_ids.begin(), codec.tx_ids.end(), id) !=
+                    codec.tx_ids.end();
+    if (channel != (tx ? codec.tx_channel : codec.rx_channel)) return std::nullopt;
+    if (bad && (!codec.mac_id || id != *codec.mac_id)) return std::nullopt;
+    can::CanFrame f;
+    f.id = id;
+    if (codec.mac_id && id == *codec.mac_id) {
+      f.set_byte(0, 1);  // module 1
+      const auto tag = static_cast<std::uint8_t>(codec.mac_key ^ f.byte(0));
+      f.set_byte(7, bad ? static_cast<std::uint8_t>(tag ^ 0xFF) : tag);
+    }
+    return f;
+  }
+  return std::nullopt;
+}
+
+std::string render_candump(const conform::FrameCodec& codec,
+                           const std::vector<std::string>& events,
+                           std::string_view channel, std::uint64_t start_us,
+                           std::uint64_t step_us) {
+  std::string out;
+  out.reserve(events.size() * 48);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto frame = frame_for_event(codec, events[i]);
+    if (!frame) {
+      throw std::invalid_argument("render_candump: no frame realises event '" +
+                                  events[i] + "'");
+    }
+    out += can::format_candump_line(start_us + i * step_us, channel, *frame);
+    out += '\n';
+  }
+  return out;
+}
+
+SynthLog synthesize_log(const conform::FrameCodec& codec,
+                        const SynthOptions& opt) {
+  SynthLog out;
+  std::uint64_t rng = opt.seed;
+
+  const auto inventory_req = frame_for_event(codec, "send.SwInventoryReq");
+  const auto sw_report = frame_for_event(codec, "rec.SwReport");
+  const auto apply_req = frame_for_event(codec, "send.UpdApplyReq");
+  const auto apply_bad = frame_for_event(codec, "send.UpdApplyReqBad");
+  const auto upd_report = frame_for_event(codec, "rec.UpdReport");
+  if (!inventory_req || !sw_report || !apply_req || !apply_bad || !upd_report) {
+    throw std::invalid_argument(
+        "synthesize_log: codec cannot realise the OTA dialogue events");
+  }
+
+  std::vector<can::CanFrame> frames;
+  frames.reserve(opt.frames + 2);
+  const auto emit = [&](std::string event, can::CanFrame f) {
+    out.events.push_back(std::move(event));
+    frames.push_back(f);
+  };
+
+  can::CanFrame last_upd_report;  // replay source, valid once one was sent
+  bool have_upd_report = false;
+
+  // Pair boundaries are the only places R04's outstanding count is zero, so
+  // the attack lands between pairs.
+  const std::size_t inject_at =
+      opt.attack == Attack::None ? SynthLog::npos : opt.attack_at;
+
+  // Pair 0: inventory first (R01/R02). Pair 1: one update exchange, so a
+  // Replay attack always has a genuine UpdReport to copy.
+  std::size_t pair = 0;
+  while (out.events.size() < opt.frames || pair < 2) {
+    // Attack injection at this boundary?
+    if (opt.attack != Attack::None && out.injected_index == SynthLog::npos &&
+        pair >= 2 && out.events.size() >= inject_at) {
+      out.injected_index = out.events.size();
+      can::CanFrame f;
+      if (opt.attack == Attack::Replay) {
+        f = last_upd_report;  // byte-identical to a genuine report
+      } else {
+        f = *upd_report;  // fabricated: a payload the ECU never produced
+        f.set_byte(1, 0xDE);
+        f.set_byte(2, 0xAD);
+      }
+      emit("rec.UpdReport", f);
+      continue;
+    }
+
+    const std::uint64_t r = conform::splitmix64(rng);
+    if (pair == 0 || (pair != 1 && r % 4 == 0)) {
+      // Inventory pair; the report carries a varying software version.
+      emit("send.SwInventoryReq", *inventory_req);
+      can::CanFrame rep = *sw_report;
+      rep.set_byte(1, static_cast<std::uint8_t>(r >> 8));
+      rep.set_byte(2, static_cast<std::uint8_t>(r >> 16));
+      emit("rec.SwReport", rep);
+    } else if (pair >= 2 && r % 7 == 0) {
+      // A forged apply the ECU must ignore: no report follows. R04/R01
+      // skip it (ignored), R05 allows it anywhere.
+      emit("send.UpdApplyReqBad", *apply_bad);
+    } else {
+      // Update pair; reports vary in result/payload so a Replay copy is a
+      // specific frame, not a coincidence.
+      emit("send.UpdApplyReq", *apply_req);
+      can::CanFrame rep = *upd_report;
+      rep.set_byte(0, static_cast<std::uint8_t>(r % 2));
+      rep.set_byte(3, static_cast<std::uint8_t>(r >> 24));
+      emit("rec.UpdReport", rep);
+      last_upd_report = rep;
+      have_upd_report = true;
+    }
+    ++pair;
+  }
+
+  // A requested attack that never fired (attack_at beyond the log) is
+  // injected at the very end — the caller asked for a violation, it gets
+  // one.
+  if (opt.attack != Attack::None && out.injected_index == SynthLog::npos) {
+    out.injected_index = out.events.size();
+    can::CanFrame f = opt.attack == Attack::Replay && have_upd_report
+                          ? last_upd_report
+                          : *upd_report;
+    if (opt.attack == Attack::Masquerade) {
+      f.set_byte(1, 0xDE);
+      f.set_byte(2, 0xAD);
+    }
+    emit("rec.UpdReport", f);
+  }
+
+  out.frames = frames.size();
+  out.text.reserve(frames.size() * 48);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    out.text += can::format_candump_line(opt.start_us + i * opt.step_us,
+                                         opt.channel, frames[i]);
+    out.text += '\n';
+  }
+  return out;
+}
+
+}  // namespace ecucsp::replay

@@ -1,0 +1,254 @@
+// Differential property tests pinning the offline replay checker to the
+// live TraceOracle semantics: seeded random event traces are rendered to
+// synthetic candump logs, replayed offline at every --jobs x --chunk
+// combination, and the verdicts, divergence indices and full JSON reports
+// must be byte-identical to each other and equal to direct
+// TraceOracle::judge / judge_resume runs over the same events. This is the
+// tentpole's determinism contract: chunked parallel sweeping is invisible
+// in the output.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "can/dbc.hpp"
+#include "conform/generate.hpp"
+#include "conform/harness.hpp"
+#include "conform/requirements.hpp"
+#include "ota/ota.hpp"
+#include "replay/replay.hpp"
+#include "replay/synth.hpp"
+
+namespace ecucsp::replay {
+namespace {
+
+const std::vector<std::string>& vocab() {
+  static const std::vector<std::string> v = {
+      "send.SwInventoryReq", "rec.SwReport", "send.UpdApplyReq",
+      "send.UpdApplyReqBad", "rec.UpdReport"};
+  return v;
+}
+
+std::vector<std::string> random_trace(std::uint64_t& rng, std::size_t len) {
+  std::vector<std::string> out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(vocab()[conform::splitmix64(rng) % vocab().size()]);
+  }
+  return out;
+}
+
+struct TempFile {
+  std::filesystem::path path;
+  explicit TempFile(const std::string& text) {
+    static int counter = 0;
+    path = std::filesystem::temp_directory_path() /
+           ("replay-diff-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter++) + ".log");
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+  }
+  ~TempFile() { std::filesystem::remove(path); }
+};
+
+/// The reference multi-divergence walk: judge, record, skip the offending
+/// event, resume — the exact discipline the chunked sweep composes.
+struct SkipWalk {
+  std::vector<std::size_t> indices;
+  bool truncated = false;
+};
+
+SkipWalk skip_walk(const conform::TraceOracle& oracle,
+                   const std::vector<std::string>& events, std::size_t cap) {
+  SkipWalk out;
+  conform::OracleCursor cur = oracle.start();
+  for (;;) {
+    const conform::OracleVerdict v = oracle.judge_resume(cur, events);
+    if (v.accepted) break;
+    if (out.indices.size() < cap) {
+      out.indices.push_back(v.divergence_index);
+      ++cur.next;  // step over the offending event, node unchanged
+    } else {
+      out.truncated = true;
+      break;
+    }
+  }
+  return out;
+}
+
+class ReplayDiffTest : public ::testing::Test {
+ protected:
+  ReplayDiffTest()
+      : db_(can::parse_dbc(ota::ota_dbc_text())),
+        codec_(conform::ota_codec(db_)) {}
+
+  ReplayReport replay_file(const std::filesystem::path& log, unsigned jobs,
+                           std::size_t chunk, std::size_t max_diverge = 1,
+                           std::vector<std::string> specs = {}) {
+    ReplayOptions opt;
+    opt.logs = {log};
+    opt.jobs = jobs;
+    opt.chunk = chunk;
+    opt.max_diverge = max_diverge;
+    opt.specs = std::move(specs);
+    return run_replay(opt);
+  }
+
+  can::DbcDatabase db_;
+  conform::FrameCodec codec_;
+};
+
+TEST_F(ReplayDiffTest, OfflineVerdictsMatchDirectOracleAtEveryJobsByChunk) {
+  const std::vector<conform::TraceOracle> oracles =
+      conform::ota_requirement_oracles();
+  const unsigned jobs_grid[] = {1, 2, 4};
+  const std::size_t chunk_grid[] = {16, 4096, 0};
+
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    std::uint64_t rng = seed;
+    const std::size_t len = 20 + conform::splitmix64(rng) % 300;
+    const std::vector<std::string> events = random_trace(rng, len);
+    const TempFile log(render_candump(codec_, events, "can0", 1'000'000));
+
+    std::string reference_json;
+    for (const unsigned jobs : jobs_grid) {
+      for (const std::size_t chunk : chunk_grid) {
+        const ReplayReport rep = replay_file(log.path, jobs, chunk);
+        SCOPED_TRACE("seed " + std::to_string(seed) + " jobs " +
+                     std::to_string(jobs) + " chunk " + std::to_string(chunk));
+
+        // The whole rendered report is byte-identical across the grid.
+        const std::string json = rep.render_json();
+        if (reference_json.empty()) {
+          reference_json = json;
+        } else {
+          ASSERT_EQ(json, reference_json);
+        }
+
+        // And it equals the live oracle judging the same event list.
+        ASSERT_EQ(rep.events, events.size());
+        ASSERT_EQ(rep.oracles.size(), oracles.size());
+        for (std::size_t oi = 0; oi < oracles.size(); ++oi) {
+          const conform::OracleVerdict want = oracles[oi].judge(events);
+          const OracleReport& got = rep.oracles[oi];
+          ASSERT_EQ(got.name, oracles[oi].name);
+          ASSERT_EQ(got.accepted, want.accepted);
+          if (!want.accepted) {
+            ASSERT_FALSE(got.divergences.empty());
+            EXPECT_EQ(got.divergences[0].event_index, want.divergence_index);
+            EXPECT_EQ(got.divergences[0].event, want.event);
+            EXPECT_EQ(got.divergences[0].reason, want.reason);
+            EXPECT_EQ(got.divergences[0].offered, want.offered);
+            // Provenance: the divergent frame is the log line the event
+            // came from (one frame per line, one event per frame here).
+            EXPECT_EQ(got.divergences[0].frame.line,
+                      static_cast<std::uint32_t>(want.divergence_index + 1));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ReplayDiffTest, MultiDivergenceMatchesSkipAndContinueReference) {
+  const std::vector<conform::TraceOracle> oracles =
+      conform::ota_requirement_oracles();
+  constexpr std::size_t kCap = 4;
+
+  for (std::uint64_t seed = 100; seed < 108; ++seed) {
+    std::uint64_t rng = seed;
+    const std::vector<std::string> events = random_trace(rng, 200);
+    const TempFile log(render_candump(codec_, events, "can0", 1'000'000));
+
+    std::string reference_json;
+    for (const unsigned jobs : {1u, 4u}) {
+      for (const std::size_t chunk : {16u, 0u}) {
+        const ReplayReport rep = replay_file(log.path, jobs, chunk, kCap);
+        SCOPED_TRACE("seed " + std::to_string(seed) + " jobs " +
+                     std::to_string(jobs) + " chunk " + std::to_string(chunk));
+        const std::string json = rep.render_json();
+        if (reference_json.empty()) {
+          reference_json = json;
+        } else {
+          ASSERT_EQ(json, reference_json);
+        }
+        for (std::size_t oi = 0; oi < oracles.size(); ++oi) {
+          const SkipWalk want = skip_walk(oracles[oi], events, kCap);
+          const OracleReport& got = rep.oracles[oi];
+          ASSERT_EQ(got.divergences.size(), want.indices.size());
+          for (std::size_t k = 0; k < want.indices.size(); ++k) {
+            EXPECT_EQ(got.divergences[k].event_index, want.indices[k]);
+          }
+          EXPECT_EQ(got.truncated, want.truncated);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ReplayDiffTest, StrictModelOracleMatchesOffline) {
+  // One seed through the CAPL-extracted strict model oracle: the offline
+  // path must reproduce the live verdict including the strict
+  // outside-alphabet semantics.
+  const conform::TraceOracle model = conform::ota_model_oracle();
+  std::uint64_t rng = 424242;
+  const std::vector<std::string> events = random_trace(rng, 60);
+  const TempFile log(render_candump(codec_, events, "can0", 1'000'000));
+
+  const conform::OracleVerdict want = model.judge(events);
+  std::string reference_json;
+  for (const unsigned jobs : {1u, 4u}) {
+    const ReplayReport rep = replay_file(log.path, jobs, 16, 1, {"model"});
+    const std::string json = rep.render_json();
+    if (reference_json.empty()) {
+      reference_json = json;
+    } else {
+      ASSERT_EQ(json, reference_json);
+    }
+    ASSERT_EQ(rep.oracles.size(), 1u);
+    ASSERT_EQ(rep.oracles[0].accepted, want.accepted);
+    if (!want.accepted) {
+      ASSERT_FALSE(rep.oracles[0].divergences.empty());
+      EXPECT_EQ(rep.oracles[0].divergences[0].event_index,
+                want.divergence_index);
+      EXPECT_EQ(rep.oracles[0].divergences[0].reason, want.reason);
+    }
+  }
+}
+
+TEST_F(ReplayDiffTest, ChunkResumeEqualsOneShotOnLongSynthTraces) {
+  // A longer honest + attacked pair through extreme chunkings: the verdict
+  // (and the injected index) cannot depend on the chunk geometry.
+  SynthOptions sopt;
+  sopt.seed = 3;
+  sopt.frames = 5000;
+  sopt.attack = Attack::Masquerade;
+  sopt.attack_at = 2500;
+  const SynthLog synth = synthesize_log(codec_, sopt);
+  const TempFile log(synth.text);
+
+  std::string reference_json;
+  for (const std::size_t chunk : {1u, 7u, 1024u, 0u}) {
+    const ReplayReport rep = replay_file(log.path, 4, chunk);
+    const std::string json = rep.render_json();
+    if (reference_json.empty()) {
+      reference_json = json;
+    } else {
+      ASSERT_EQ(json, reference_json) << "chunk " << chunk;
+    }
+    EXPECT_FALSE(rep.ok());
+    for (const OracleReport& o : rep.oracles) {
+      if (o.name == "R04") {
+        ASSERT_FALSE(o.divergences.empty());
+        EXPECT_EQ(o.divergences[0].event_index, synth.injected_index);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecucsp::replay

@@ -1,0 +1,320 @@
+// Unit tests for candump ingestion and the synthetic log generator: the
+// per-line codec's accept/reject matrix, format round-trips, mmap'd file
+// reading, parallel-scan line accounting, the multi-file timestamp merge,
+// and the ground-truth regression "the injected attack frame is exactly
+// the first divergence the replay reports".
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "can/candump.hpp"
+#include "can/dbc.hpp"
+#include "conform/harness.hpp"
+#include "ota/ota.hpp"
+#include "replay/log.hpp"
+#include "replay/replay.hpp"
+#include "replay/synth.hpp"
+#include "verify/scheduler.hpp"
+
+namespace ecucsp::replay {
+namespace {
+
+std::filesystem::path temp_path(const char* stem) {
+  static int counter = 0;
+  return std::filesystem::temp_directory_path() /
+         (std::string(stem) + "-" + std::to_string(::getpid()) + "-" +
+          std::to_string(counter++));
+}
+
+struct TempFile {
+  std::filesystem::path path;
+  explicit TempFile(const std::string& text, const char* stem = "replay-test") {
+    path = temp_path(stem);
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+  }
+  ~TempFile() { std::filesystem::remove(path); }
+};
+
+// --- per-line codec ----------------------------------------------------------
+
+TEST(CandumpLine, ParsesStandardFrame) {
+  const auto rec = can::parse_candump_line("(1736455225.123456) can0 123#DEADBEEF");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->timestamp_us, 1736455225123456ull);
+  EXPECT_EQ(rec->channel, "can0");
+  EXPECT_EQ(rec->frame.id, 0x123u);
+  EXPECT_FALSE(rec->frame.extended);
+  EXPECT_EQ(rec->frame.dlc, 4);
+  EXPECT_EQ(rec->frame.byte(0), 0xDE);
+  EXPECT_EQ(rec->frame.byte(3), 0xEF);
+  EXPECT_EQ(rec->frame.timestamp_us, rec->timestamp_us);
+}
+
+TEST(CandumpLine, ParsesExtendedAndEmptyPayload) {
+  const auto ext =
+      can::parse_candump_line("(1.000001) vcan1 18FF10F3#0102030405060708");
+  ASSERT_TRUE(ext.has_value());
+  EXPECT_TRUE(ext->frame.extended);
+  EXPECT_EQ(ext->frame.id, 0x18FF10F3u);
+  EXPECT_EQ(ext->frame.dlc, 8);
+
+  const auto empty = can::parse_candump_line("(2.5) can0 7FF#");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->frame.dlc, 0);
+  EXPECT_EQ(empty->timestamp_us, 2'500'000ull);
+  EXPECT_FALSE(empty->frame.extended);
+}
+
+TEST(CandumpLine, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",                                   // empty
+      "(1.0) can0",                         // missing frame token
+      "(1.0)",                              // missing interface
+      "1.0 can0 123#00",                    // no parens
+      "(abc) can0 123#00",                  // bad timestamp
+      "(1.0) can0 123#00 extra",            // trailing content
+      "(1.0) can0 ZZZ#00",                  // bad id hex
+      "(1.0) can0 123456789#00",            // id too long
+      "(1.0) can0 20000000#00",             // beyond 29 bits
+      "(1.0) can0 123#0",                   // odd payload hex
+      "(1.0) can0 123#0102030405060708AA",  // > 8 bytes
+      "(1.0) can0 123#GG",                  // bad payload hex
+      "(1.0) can0 123##1AABB",              // CAN FD
+      "(1.0) can0 123#R",                   // remote
+  };
+  for (const char* line : bad) {
+    std::string error;
+    EXPECT_FALSE(can::parse_candump_line(line, &error).has_value())
+        << "accepted: " << line;
+    EXPECT_FALSE(error.empty()) << "no error message for: " << line;
+  }
+}
+
+TEST(CandumpLine, FormatRoundTrips) {
+  can::CanFrame f;
+  f.id = 0x103;
+  f.dlc = 8;
+  f.set_byte(0, 1);
+  f.set_byte(7, 0xA4);
+  const std::string line = can::format_candump_line(1736455225123456ull, "can0", f);
+  EXPECT_EQ(line, "(1736455225.123456) can0 103#01000000000000A4");
+  const auto back = can::parse_candump_line(line);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->frame, [&] {
+    can::CanFrame want = f;
+    want.timestamp_us = 1736455225123456ull;
+    return want;
+  }());
+  EXPECT_EQ(back->channel, "can0");
+
+  can::CanFrame ext;
+  ext.id = 0x18FF10F3;
+  ext.extended = true;
+  ext.dlc = 2;
+  ext.set_byte(0, 0xAB);
+  const std::string eline = can::format_candump_line(5, "vcan0", ext);
+  EXPECT_EQ(eline, "(0.000005) vcan0 18FF10F3#AB00");
+  EXPECT_TRUE(can::parse_candump_line(eline).has_value());
+}
+
+// --- file ingestion ----------------------------------------------------------
+
+TEST(MappedFile, MapsRegularFilesAndThrowsOnMissing) {
+  const TempFile f("hello candump\n");
+  const MappedFile mf(f.path);
+  EXPECT_EQ(mf.view(), "hello candump\n");
+  EXPECT_THROW(MappedFile("/ecucsp/no/such/file.log"), std::runtime_error);
+}
+
+TEST(MappedFile, EmptyFileYieldsEmptyView) {
+  const TempFile f("");
+  const MappedFile mf(f.path);
+  EXPECT_TRUE(mf.view().empty());
+}
+
+TEST(ScanCandump, RecordsDiagnosticsWithLineAndOffset) {
+  const std::string text =
+      "(1.000000) can0 100#00\n"
+      "garbage line\n"
+      "\n"
+      "# a comment\n"
+      "(1.000500) can0 101#00\n";
+  ParsedLog log;
+  scan_candump(text, 0, log);
+  EXPECT_EQ(log.lines, 5u);
+  ASSERT_EQ(log.records.size(), 2u);
+  EXPECT_EQ(log.records[0].line, 1u);
+  EXPECT_EQ(log.records[1].line, 5u);
+  EXPECT_EQ(log.records[1].byte_offset, text.find("(1.000500)"));
+  ASSERT_EQ(log.diagnostics.size(), 1u);
+  EXPECT_EQ(log.diagnostics[0].line, 2u);
+  EXPECT_EQ(log.diagnostics[0].byte_offset, text.find("garbage"));
+  EXPECT_EQ(log.diagnostics[0].severity, DiagSeverity::Error);
+}
+
+TEST(ScanCandump, ParallelScanMatchesSequential) {
+  // Big enough to split into several chunks at any worker count.
+  std::string text;
+  for (int i = 0; i < 5000; ++i) {
+    text += "(" + std::to_string(100 + i / 1000) + "." +
+            std::to_string(100000 + i % 1000) + ") can0 100#00\n";
+    if (i % 37 == 0) text += "not a frame\n";
+  }
+  ParsedLog seq;
+  scan_candump(text, 0, seq);
+
+  verify::VerifyScheduler sched{{.jobs = 4}};
+  ParsedLog par;
+  scan_candump(text, 0, par, &sched);
+
+  ASSERT_EQ(par.records.size(), seq.records.size());
+  for (std::size_t i = 0; i < seq.records.size(); ++i) {
+    EXPECT_EQ(par.records[i].line, seq.records[i].line) << i;
+    EXPECT_EQ(par.records[i].byte_offset, seq.records[i].byte_offset) << i;
+    EXPECT_EQ(par.records[i].frame, seq.records[i].frame) << i;
+  }
+  ASSERT_EQ(par.diagnostics.size(), seq.diagnostics.size());
+  for (std::size_t i = 0; i < seq.diagnostics.size(); ++i) {
+    EXPECT_EQ(par.diagnostics[i].line, seq.diagnostics[i].line) << i;
+    EXPECT_EQ(par.diagnostics[i].message, seq.diagnostics[i].message) << i;
+  }
+  EXPECT_EQ(par.lines, seq.lines);
+}
+
+TEST(FinalizeMerge, MergesFilesByTimestampStably) {
+  ParsedLog log;
+  scan_candump("(2.000000) can0 100#00\n(4.000000) can0 101#00\n", 0, log);
+  scan_candump("(1.000000) can1 103#01000000000000A4\n"
+               "(2.000000) can1 104#00\n",
+               1, log);
+  finalize_merge(log);
+  ASSERT_EQ(log.records.size(), 4u);
+  EXPECT_EQ(log.records[0].file, 1u);  // t=1
+  // Tie at t=2: file 0 scanned first stays first.
+  EXPECT_EQ(log.records[1].file, 0u);
+  EXPECT_EQ(log.records[2].file, 1u);
+  EXPECT_EQ(log.records[3].file, 0u);  // t=4
+  ASSERT_EQ(log.channels.size(), 2u);
+  EXPECT_EQ(log.channels[log.records[0].channel], "can1");
+  EXPECT_EQ(log.diagnostic_count, 0u);
+}
+
+TEST(FinalizeMerge, FlagsTimestampRegressionAsWarning) {
+  ParsedLog log;
+  scan_candump("(2.000000) can0 100#00\n"
+               "(1.500000) can0 101#00\n"
+               "(3.000000) can0 100#00\n",
+               0, log);
+  finalize_merge(log);
+  ASSERT_EQ(log.diagnostics.size(), 1u);
+  EXPECT_EQ(log.diagnostics[0].severity, DiagSeverity::Warning);
+  EXPECT_EQ(log.diagnostics[0].line, 2u);
+  EXPECT_EQ(log.records.size(), 3u);  // kept, resorted
+  EXPECT_EQ(log.records[0].frame.timestamp_us, 1'500'000ull);
+}
+
+// --- synthetic logs ----------------------------------------------------------
+
+class SynthTest : public ::testing::Test {
+ protected:
+  SynthTest()
+      : db_(can::parse_dbc(ota::ota_dbc_text())),
+        codec_(conform::ota_codec(db_)) {}
+  can::DbcDatabase db_;
+  conform::FrameCodec codec_;
+};
+
+TEST_F(SynthTest, FrameForEventInvertsAbstraction) {
+  for (const char* event :
+       {"send.SwInventoryReq", "rec.SwReport", "send.UpdApplyReq",
+        "send.UpdApplyReqBad", "rec.UpdReport"}) {
+    const auto frame = frame_for_event(codec_, event);
+    ASSERT_TRUE(frame.has_value()) << event;
+    EXPECT_EQ(codec_.abstract_frame(*frame), event);
+  }
+  EXPECT_FALSE(frame_for_event(codec_, "send.NoSuchMsg").has_value());
+  EXPECT_FALSE(frame_for_event(codec_, "rec.UpdApplyReq").has_value())
+      << "wrong direction must not concretize";
+  EXPECT_FALSE(frame_for_event(codec_, "junk").has_value());
+}
+
+TEST_F(SynthTest, HonestLogPassesEveryOracleAndRoundTrips) {
+  SynthOptions opt;
+  opt.seed = 7;
+  opt.frames = 500;
+  const SynthLog synth = synthesize_log(codec_, opt);
+  EXPECT_GE(synth.frames, opt.frames);
+  EXPECT_EQ(synth.injected_index, SynthLog::npos);
+  EXPECT_EQ(synth.events.size(), synth.frames);
+
+  // Identical options => identical log (the generator is seeded).
+  EXPECT_EQ(synthesize_log(codec_, opt).text, synth.text);
+
+  const TempFile f(synth.text, "synth-honest");
+  ReplayOptions ropt;
+  ropt.logs = {f.path};
+  ropt.strict = true;
+  const ReplayReport rep = run_replay(ropt);
+  EXPECT_TRUE(rep.ok()) << rep.render_text();
+  EXPECT_EQ(rep.frames, synth.frames);
+  EXPECT_EQ(rep.events, synth.events.size());
+  EXPECT_EQ(rep.diagnostic_count, 0u);
+}
+
+TEST_F(SynthTest, InjectedAttackIsTheFirstDivergence) {
+  for (const Attack attack : {Attack::Replay, Attack::Masquerade}) {
+    SynthOptions opt;
+    opt.seed = 11;
+    opt.frames = 400;
+    opt.attack = attack;
+    opt.attack_at = 200;
+    const SynthLog synth = synthesize_log(codec_, opt);
+    ASSERT_NE(synth.injected_index, SynthLog::npos);
+    EXPECT_GE(synth.injected_index, opt.attack_at);
+    EXPECT_EQ(synth.events[synth.injected_index], "rec.UpdReport");
+
+    const TempFile f(synth.text, "synth-attack");
+    ReplayOptions ropt;
+    ropt.logs = {f.path};
+    const ReplayReport rep = run_replay(ropt);
+    EXPECT_FALSE(rep.ok());
+    bool r04_pinned = false;
+    for (const OracleReport& o : rep.oracles) {
+      if (o.name != "R04") {
+        continue;
+      }
+      ASSERT_FALSE(o.divergences.empty());
+      EXPECT_EQ(o.divergences[0].event_index, synth.injected_index)
+          << rep.render_text();
+      EXPECT_EQ(o.divergences[0].event, "rec.UpdReport");
+      r04_pinned = true;
+    }
+    EXPECT_TRUE(r04_pinned);
+  }
+}
+
+TEST_F(SynthTest, RenderCandumpRealisesEveryEvent) {
+  const std::vector<std::string> events = {
+      "send.SwInventoryReq", "rec.SwReport", "send.UpdApplyReq",
+      "rec.UpdReport", "send.UpdApplyReqBad"};
+  const std::string text = render_candump(codec_, events, "can0", 1'000'000);
+  ParsedLog log;
+  scan_candump(text, 0, log);
+  finalize_merge(log);
+  ASSERT_EQ(log.records.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(codec_.abstract_frame(log.records[i].frame), events[i]);
+  }
+  EXPECT_THROW(render_candump(codec_, {"rec.Nonsense"}, "can0", 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecucsp::replay
