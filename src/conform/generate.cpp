@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <deque>
 
+#include "core/rng.hpp"
+
 namespace ecucsp::conform {
 
 std::uint64_t splitmix64(std::uint64_t& state) {
-  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  // Kept as a conform-namespace entry point for existing callers (suite
+  // generation, replay::synthesize_log); the definition lives in core.
+  return core::splitmix64(state);
 }
 
 namespace {

@@ -41,6 +41,42 @@ OracleVerdict TraceOracle::judge_resume(OracleCursor& cur,
   return {};
 }
 
+bool OracleSession::step(const std::string& event) {
+  if (!alive_) {
+    // Sticky rejection: count the event so cursor().next stays the number
+    // of consumed events, but do not move the node or rewrite the verdict.
+    ++cur_.next;
+    return false;
+  }
+  // One iteration of judge_resume's loop, so a stepped walk reproduces the
+  // one-shot verdict byte for byte.
+  const std::size_t at = cur_.next++;
+  const std::string& e = event;
+  if (oracle_->ignored.contains(e)) return true;
+  if (!oracle_->alphabet.contains(e)) {
+    if (!oracle_->strict) return true;
+    alive_ = false;
+    verdict_.accepted = false;
+    verdict_.divergence_index = at;
+    verdict_.event = e;
+    verdict_.offered = oracle_->automaton.offered(cur_.node);
+    verdict_.reason = "event outside the oracle alphabet";
+    return false;
+  }
+  const SymEdge* edge = oracle_->automaton.edge(cur_.node, e);
+  if (edge == nullptr) {
+    alive_ = false;
+    verdict_.accepted = false;
+    verdict_.divergence_index = at;
+    verdict_.event = e;
+    verdict_.offered = oracle_->automaton.offered(cur_.node);
+    verdict_.reason = "spec offers no such event here";
+    return false;
+  }
+  cur_.node = edge->target;
+  return true;
+}
+
 TraceOracle compile_oracle(Context& ctx, std::string name, ProcessRef spec,
                            const EventSet& keep, bool strict,
                            std::size_t max_states, CancelToken* cancel) {

@@ -80,6 +80,59 @@ struct TraceOracle {
       std::size_t end = static_cast<std::size_t>(-1)) const;
 };
 
+/// A stateful per-query session over a TraceOracle: one event at a time,
+/// with offered-set extraction at the current position. This is the shape
+/// an active learner needs — a membership query walks the oracle event by
+/// event, and on rejection the learner reads `offered()` to decompose the
+/// counterexample (which spec events were available where the trace died).
+///
+/// step() is sticky-rejecting: once an event is refused the session stays
+/// dead until reset(), mirroring the prefix-closure of trace languages
+/// (a rejected word has no accepted extensions). Stepping a trace one
+/// event at a time is byte-identical to one-shot judge() on the whole
+/// trace (pinned in tests/conform_oracle_test.cpp).
+class OracleSession {
+ public:
+  explicit OracleSession(const TraceOracle& oracle)
+      : oracle_(&oracle), cur_(oracle.start()) {}
+
+  /// Consume one event. Returns true while the oracle still accepts the
+  /// trace so far; false from the first refused event onward.
+  bool step(const std::string& event);
+
+  /// True until some stepped event was refused.
+  bool alive() const { return alive_; }
+
+  /// Events the spec offers at the current node, in automaton edge order.
+  /// After a rejection this is the offered set at the divergence point
+  /// (the node does not advance on refusal), exactly what judge() reports.
+  std::vector<std::string> offered() const {
+    return oracle_->automaton.offered(cur_.node);
+  }
+
+  /// Resumable position; next counts consumed events (accepted or not),
+  /// so after a full walk it equals the trace length judged so far.
+  const OracleCursor& cursor() const { return cur_; }
+
+  /// The rejection details once !alive(); a default verdict before that.
+  const OracleVerdict& verdict() const { return verdict_; }
+
+  const TraceOracle& oracle() const { return *oracle_; }
+
+  /// Back to the root, before event 0, alive again.
+  void reset() {
+    cur_ = oracle_->start();
+    alive_ = true;
+    verdict_ = {};
+  }
+
+ private:
+  const TraceOracle* oracle_;
+  OracleCursor cur_;
+  bool alive_ = true;
+  OracleVerdict verdict_;
+};
+
 /// Compile a Context-bound spec process into a portable oracle. The oracle
 /// alphabet is the rendered `keep` set (not just the events reachable in
 /// the automaton — an alphabet event the spec never allows must reject).

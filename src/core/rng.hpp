@@ -1,0 +1,46 @@
+// The repo-wide seeded random stream: splitmix64.
+//
+// Three layers grew their own copy of the same mixer — sim::Environment's
+// timing jitter, conformance suite generation, and the synthetic candump
+// generator — which meant three places where a constant typo would silently
+// change what a seed means. This header is now the single definition; the
+// historical entry points (sim::Environment::rng, conform::splitmix64)
+// delegate here, and tests/core_rng_test.cpp pins that every seeded trace,
+// suite and log is byte-identical to the pre-factoring output.
+//
+// splitmix64 (Steele/Lea/Flood): tiny, deterministic, and independent of
+// any std:: engine's implementation-defined behaviour, so streams are
+// identical across platforms, standard libraries and build modes.
+#pragma once
+
+#include <cstdint>
+
+namespace ecucsp::core {
+
+/// Advance `state` by the golden-ratio increment and return the mixed
+/// output. The state sequence is a plain counter, so streams never collide
+/// with themselves and any seed gives a full 2^64 period.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// The seed-to-state convention sim::Environment established: offset the
+/// user seed by one splitmix64 increment so that seed 0 does not start the
+/// counter at 0 (the all-zero state's first outputs are distinguishable).
+/// Kept as a named helper so every layer that seeds a stream applies the
+/// same convention.
+inline std::uint64_t seed_state(std::uint64_t seed) {
+  return seed + 0x9e3779b97f4a7c15ULL;
+}
+
+/// One-shot mix of a 64-bit value (a stateless splitmix64 step): the
+/// repo-wide way to derive independent sub-seeds from (seed, index) pairs
+/// without constructing a stream.
+inline std::uint64_t mix64(std::uint64_t v) {
+  return splitmix64(v);  // discards the advanced state, returns the mix
+}
+
+}  // namespace ecucsp::core

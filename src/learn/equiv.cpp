@@ -1,0 +1,116 @@
+#include "learn/equiv.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "conform/generate.hpp"
+#include "core/rng.hpp"
+#include "learn/compile.hpp"
+
+namespace ecucsp::learn {
+
+namespace {
+
+/// Sub-seed for one suite family of one round: pure (seed, round, tag).
+std::uint64_t mix_seed(std::uint64_t seed, std::size_t round,
+                       std::uint64_t tag) {
+  return core::mix64(seed ^ (0x9e3779b97f4a7c15ULL * (round + 1)) ^ tag);
+}
+
+}  // namespace
+
+std::optional<Word> approximate_counterexample(MembershipOracle& oracle,
+                                               const Hypothesis& hypothesis,
+                                               const EquivOptions& opt) {
+  const std::vector<std::string>& sigma = oracle.alphabet();
+  std::vector<Word> words;
+
+  // 1. Caller-supplied words (store-harvested attack traces) first: a
+  // counterexample that already broke a requirement is the highest-value
+  // probe the loop has.
+  for (const Word& w : opt.extra) words.push_back(w);
+
+  // 2. Random walks + cover tour over the hypothesis automaton: words the
+  // hypothesis claims are traces; the target must agree.
+  const conform::SymAutomaton hyp_auto = to_sym_automaton(hypothesis);
+  conform::GeneratorOptions gen;
+  gen.seed = mix_seed(opt.seed, opt.round, 0x77a1ULL);
+  gen.tests = opt.tests;
+  gen.max_len = opt.max_len;
+  for (const conform::TestCase& tc : generate_random(hyp_auto, gen)) {
+    words.push_back(tc.events);
+  }
+  for (const conform::TestCase& tc : generate_cover(hyp_auto, gen)) {
+    words.push_back(tc.events);
+  }
+
+  // 3. Random Sigma-words: unconstrained by the hypothesis, these probe
+  // behaviour the hypothesis thinks is dead (and vice versa) — random
+  // walks over the hypothesis alone can never leave its language.
+  std::uint64_t rng = core::seed_state(mix_seed(opt.seed, opt.round, 0x5197ULL));
+  for (std::size_t t = 0; t < opt.tests && !sigma.empty(); ++t) {
+    Word w(1 + core::splitmix64(rng) % std::max<std::size_t>(opt.max_len, 1));
+    for (std::string& e : w) {
+      e = sigma[core::splitmix64(rng) % sigma.size()];
+    }
+    words.push_back(std::move(w));
+  }
+
+  // Batched answers, sequential verdict fold: the first mismatching word
+  // in this fixed order decides, and its shortest mismatching prefix is
+  // the counterexample (prefix closure: acceptance diverges first exactly
+  // one event past the shorter accepted prefix).
+  oracle.prefetch(words);
+  for (const Word& w : words) {
+    const std::size_t h_acc = hypothesis.accepted_prefix(w);
+    const std::size_t l_acc = oracle.accepted_prefix(w);
+    if (h_acc == l_acc) continue;
+    const std::size_t cut = std::min(h_acc, l_acc) + 1;
+    return Word(w.begin(), w.begin() + static_cast<std::ptrdiff_t>(cut));
+  }
+  return std::nullopt;
+}
+
+std::optional<Word> exact_counterexample(
+    const conform::SymAutomaton& target, const conform::SymAutomaton& hyp,
+    const std::vector<std::string>& alphabet) {
+  // BFS over the product of the two walk automata, each extended with an
+  // implicit dead sink; a pair with exactly one dead side is a mismatch.
+  // BFS layer = word length and symbols are scanned in sorted order, so
+  // the first mismatch found is the shortest, lexicographically smallest
+  // counterexample — fully deterministic.
+  constexpr std::uint32_t kDead = 0xffffffffu;
+  struct Item {
+    std::uint32_t t, h;
+    Word word;
+  };
+  std::map<std::pair<std::uint32_t, std::uint32_t>, bool> seen;
+  std::deque<Item> queue{{target.root, hyp.root, {}}};
+  seen[{target.root, hyp.root}] = true;
+  while (!queue.empty()) {
+    Item it = std::move(queue.front());
+    queue.pop_front();
+    for (const std::string& a : alphabet) {
+      const conform::SymEdge* te =
+          it.t == kDead ? nullptr : target.edge(it.t, a);
+      const conform::SymEdge* he = it.h == kDead ? nullptr : hyp.edge(it.h, a);
+      const std::uint32_t tn = te ? te->target : kDead;
+      const std::uint32_t hn = he ? he->target : kDead;
+      if ((tn == kDead) != (hn == kDead)) {
+        Word w = it.word;
+        w.push_back(a);
+        return w;
+      }
+      if (tn == kDead) continue;  // both dead: no live extension either side
+      if (seen.emplace(std::pair{tn, hn}, true).second) {
+        Word w = it.word;
+        w.push_back(a);
+        queue.push_back({tn, hn, std::move(w)});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ecucsp::learn

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/rng.hpp"
+
 namespace ecucsp::sim {
 
 void Node::output(const can::CanFrame& frame) {
@@ -72,12 +74,7 @@ void Environment::inject(const can::CanFrame& frame) {
 }
 
 std::uint64_t Environment::rng() {
-  // splitmix64: tiny, deterministic, and independent of any std:: engine's
-  // implementation-defined stream.
-  std::uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  return core::splitmix64(rng_state_);
 }
 
 void Environment::run(SimTime until_us) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "can/bus.hpp"
+#include "core/rng.hpp"
 #include "sim/scheduler.hpp"
 
 namespace ecucsp::sim {
@@ -59,7 +60,7 @@ class Environment {
   /// order, so the seed is the *only* run-to-run degree of freedom.
   explicit Environment(std::uint64_t bus_window_us = 100,
                        std::uint64_t seed = 0)
-      : bus_(bus_window_us), rng_state_(seed + 0x9e3779b97f4a7c15ULL) {}
+      : bus_(bus_window_us), rng_state_(core::seed_state(seed)) {}
 
   /// Attach a node. The environment keeps a non-owning pointer; nodes must
   /// outlive the environment run.

@@ -1,7 +1,9 @@
 // Versioned binary serialization for store artifacts.
 //
-// Two artifact kinds are stored: compiled LTSes and check verdicts
-// (CheckResult incl. counterexample). Both are Context-bound in memory
+// Three artifact kinds are stored: compiled LTSes, check verdicts
+// (CheckResult incl. counterexample), and learned hypothesis automata
+// (ArtifactKind::LearnedModel; encoded by src/learn over the same
+// ByteWriter/seal envelope). The first two are Context-bound in memory
 // (EventIds, ProcessRefs), so the wire format replaces every EventId with
 // its (channel name, field values) spelling and decodes by re-interning
 // into the caller's Context — decoding into a Context whose model declares
@@ -36,6 +38,13 @@ inline constexpr std::uint32_t kStoreFormatVersion = 3;  // v3: pruned flag
 enum class ArtifactKind : std::uint8_t {
   Lts = 1,
   Verdict = 2,
+  /// A hypothesis automaton produced by the active learner (src/learn):
+  /// plain string-event edges, not Context-bound — the learner encodes and
+  /// decodes the payload itself (learn/cache.cpp) and only borrows the
+  /// envelope (magic/version/kind/digest) from seal()/unseal(). A new kind
+  /// byte is not a wire-format change for existing artifacts, so the
+  /// format version stays put.
+  LearnedModel = 3,
 };
 
 class SerializeError : public std::runtime_error {

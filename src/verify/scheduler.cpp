@@ -1,6 +1,7 @@
 #include "verify/scheduler.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "cspm/eval.hpp"
 #include "verify/prune.hpp"
@@ -265,6 +266,34 @@ void VerifyScheduler::cancel_all() {
   std::lock_guard lk(mu_);
   if (!batch_tokens_) return;
   for (CancelToken& t : *batch_tokens_) t.request_cancel();
+}
+
+std::vector<bool> run_bool_batch(
+    VerifyScheduler& sched,
+    const std::vector<std::function<bool(CancelToken&)>>& queries,
+    std::string_view label) {
+  std::vector<CheckTask> tasks(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    tasks[i].name = std::string(label) + "-" + std::to_string(i);
+    tasks[i].custom = [&queries, i](CancelToken& token) -> RenderedCheck {
+      RenderedCheck out;
+      out.result.passed = queries[i](token);
+      return out;
+    };
+  }
+  const BatchResult batch = sched.run(tasks);
+  std::vector<bool> out(queries.size());
+  for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
+    const TaskOutcome& o = batch.outcomes[i];
+    if (o.status != TaskStatus::Passed && o.status != TaskStatus::Failed) {
+      throw std::runtime_error(
+          "bool batch query '" + o.name + "' did not complete (" +
+          std::string(to_string(o.status)) +
+          (o.error.empty() ? ")" : "): " + o.error));
+    }
+    out[i] = o.passed();
+  }
+  return out;
 }
 
 }  // namespace ecucsp::verify

@@ -132,4 +132,20 @@ class VerifyScheduler {
   std::vector<std::jthread> workers_;  // last member: joins before the rest dies
 };
 
+/// Batch a set of independent boolean queries through the worker pool and
+/// return their answers in submission order — the membership-query path of
+/// the active learner (src/learn), where one round produces hundreds of
+/// independent oracle runs that are embarrassingly parallel but whose
+/// *answers* must fold deterministically. Each query becomes a custom-mode
+/// CheckTask (true == Passed); results are read back in submission order,
+/// so the answer vector is independent of worker count and scheduling.
+/// A query that throws, times out or is cancelled cannot be represented as
+/// a boolean — run_bool_batch throws std::runtime_error naming it, because
+/// a learner that silently mis-records a membership answer would construct
+/// a wrong hypothesis with no diagnostic.
+std::vector<bool> run_bool_batch(
+    VerifyScheduler& sched,
+    const std::vector<std::function<bool(CancelToken&)>>& queries,
+    std::string_view label = "query");
+
 }  // namespace ecucsp::verify

@@ -252,6 +252,55 @@ TEST(OracleCursor, RejectionLeavesCursorAtOffendingEvent) {
   EXPECT_EQ(cur.node, 0u);
 }
 
+TEST(OracleSession, SteppedWalkEqualsOneShotJudge) {
+  // The learner-facing session: stepping a trace one event at a time must
+  // reproduce judge() byte for byte — same verdict, divergence index,
+  // event, offered set and reason — and stay sticky-dead after rejection.
+  for (conform::TraceOracle& oracle : conform::ota_requirement_oracles()) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const auto events = seeded_ota_trace(seed * 1409, 40);
+      const OracleVerdict want = oracle.judge(events);
+      conform::OracleSession session(oracle);
+      bool alive = true;
+      for (const std::string& e : events) alive = session.step(e);
+      ASSERT_EQ(session.alive(), want.accepted)
+          << oracle.name << " seed " << seed;
+      EXPECT_EQ(alive, want.accepted);
+      EXPECT_EQ(session.cursor().next, events.size());
+      if (!want.accepted) {
+        const OracleVerdict& got = session.verdict();
+        EXPECT_EQ(got.divergence_index, want.divergence_index);
+        EXPECT_EQ(got.event, want.event);
+        EXPECT_EQ(got.offered, want.offered);
+        EXPECT_EQ(got.reason, want.reason);
+        // The node does not advance on refusal, so the session's offered
+        // set is still the divergence-point offer.
+        EXPECT_EQ(session.offered(), want.offered);
+      }
+      // reset() rewinds to a fresh session.
+      session.reset();
+      EXPECT_TRUE(session.alive());
+      EXPECT_EQ(session.cursor(), oracle.start());
+    }
+  }
+}
+
+TEST(OracleSession, OfferedSetTracksCurrentNode) {
+  const TraceOracle o = toy_oracle();
+  conform::OracleSession s(o);
+  EXPECT_EQ(s.offered(), std::vector<std::string>{"x"});
+  EXPECT_TRUE(s.step("x"));
+  EXPECT_EQ(s.offered(), std::vector<std::string>{"y"});
+  EXPECT_TRUE(s.step("y"));
+  EXPECT_EQ(s.offered(), std::vector<std::string>{"x"});
+  // Refusal: offered set freezes at the divergence node.
+  EXPECT_FALSE(s.step("y"));
+  EXPECT_FALSE(s.alive());
+  EXPECT_EQ(s.offered(), std::vector<std::string>{"x"});
+  // Sticky: even an event the node would accept cannot revive the session.
+  EXPECT_FALSE(s.step("x"));
+}
+
 TEST(OracleCursor, SkipAndContinueEnumeratesEveryDivergence) {
   // A trace with three spurious UpdReports: repeated judge/skip cycles
   // surface each one, in order, against R04's counting automaton.

@@ -1,0 +1,134 @@
+// Regression pins for the splitmix64 factoring (core/rng.hpp).
+//
+// sim::Environment, conform suite generation and replay::synthesize_log each
+// carried a private copy of the same mixer; this PR collapsed them onto
+// core::splitmix64. Every constant below was captured from a build *before*
+// the factoring, so these tests prove the refactor is byte-preserving: the
+// same seeds produce the same jitter streams, the same generated suites and
+// the same synthetic candump logs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "can/dbc.hpp"
+#include "capl/parser.hpp"
+#include "conform/generate.hpp"
+#include "conform/harness.hpp"
+#include "conform/requirements.hpp"
+#include "core/rng.hpp"
+#include "ota/ota.hpp"
+#include "replay/synth.hpp"
+#include "sim/environment.hpp"
+#include "store/digest.hpp"
+
+namespace {
+
+using namespace ecucsp;
+
+TEST(CoreRng, SplitmixStreamMatchesPreFactoringEnvironment) {
+  // Environment(100, 42).rng() x 4, captured pre-factoring.
+  sim::Environment env(100, 42);
+  EXPECT_EQ(env.rng(), 2949826092126892291ULL);
+  EXPECT_EQ(env.rng(), 5139283748462763858ULL);
+  EXPECT_EQ(env.rng(), 6349198060258255764ULL);
+  EXPECT_EQ(env.rng(), 701532786141963250ULL);
+
+  // The same stream must fall out of core::splitmix64 over core::seed_state.
+  std::uint64_t state = core::seed_state(42);
+  EXPECT_EQ(core::splitmix64(state), 2949826092126892291ULL);
+  EXPECT_EQ(core::splitmix64(state), 5139283748462763858ULL);
+  EXPECT_EQ(core::splitmix64(state), 6349198060258255764ULL);
+  EXPECT_EQ(core::splitmix64(state), 701532786141963250ULL);
+}
+
+TEST(CoreRng, ConformWrapperMatchesPreFactoringStream) {
+  // conform::splitmix64 from state 7 x 4, captured pre-factoring.
+  std::uint64_t state = 7;
+  EXPECT_EQ(conform::splitmix64(state), 7191089600892374487ULL);
+  EXPECT_EQ(conform::splitmix64(state), 309689372594955804ULL);
+  EXPECT_EQ(conform::splitmix64(state), 16616101746815609346ULL);
+  EXPECT_EQ(conform::splitmix64(state), 10753165928301472203ULL);
+  EXPECT_EQ(state, 8709371129873690715ULL);
+
+  // And it is the same function as core's.
+  std::uint64_t a = 7, b = 7;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(conform::splitmix64(a), core::splitmix64(b));
+  }
+}
+
+TEST(CoreRng, Mix64IsStatelessSplitmixStep) {
+  std::uint64_t state = 123456789;
+  const std::uint64_t stepped = core::splitmix64(state);
+  EXPECT_EQ(core::mix64(123456789), stepped);
+  // mix64 must not depend on hidden state: same input, same output.
+  EXPECT_EQ(core::mix64(123456789), core::mix64(123456789));
+}
+
+TEST(CoreRng, SeededHarnessObservationUnchanged) {
+  // Faithful ECU, seed 5, planned [SwInventoryReq, UpdApplyReq]: the
+  // observation captured pre-factoring. Exercises Environment::rng()'s use
+  // in stimulus-timing jitter end to end.
+  const auto db = can::parse_dbc(ota::ota_dbc_text());
+  const auto codec = conform::ota_codec(db);
+  const auto ecu = capl::parse_capl(ota::ecu_capl_source());
+  conform::HarnessOptions opt;
+  opt.seed = 5;
+  const auto run = conform::run_conformance_test(
+      ecu, nullptr, db, codec,
+      {"send.SwInventoryReq", "send.UpdApplyReq"}, opt);
+  const std::vector<std::string> want = {
+      "send.SwInventoryReq", "rec.SwReport", "send.UpdApplyReq",
+      "rec.UpdReport"};
+  EXPECT_EQ(run.observed, want);
+}
+
+TEST(CoreRng, SeededRandomSuiteUnchanged) {
+  // generate_random(model, seed 9, tests 2, max_len 6) with the standard
+  // plannable predicate, captured pre-factoring.
+  const auto db = can::parse_dbc(ota::ota_dbc_text());
+  const auto codec = conform::ota_codec(db);
+  const auto oracle = conform::ota_model_oracle();
+
+  conform::GeneratorOptions gopt;
+  gopt.seed = 9;
+  gopt.tests = 2;
+  gopt.max_len = 6;
+  gopt.plannable = [&](const std::string& e) {
+    return codec.concretize(e).has_value() || e.starts_with("rec.");
+  };
+  const auto suite = conform::generate_random(oracle.automaton, gopt);
+  ASSERT_EQ(suite.size(), 2u);
+
+  EXPECT_EQ(suite[0].name, "random-0");
+  EXPECT_EQ(suite[0].seed, 11279159836807902036ULL);
+  const std::vector<std::string> want0 = {
+      "send.SwInventoryReq", "rec.SwReport",       "send.UpdApplyReq",
+      "send.UpdApplyReq",    "send.SwInventoryReq", "rec.SwReport"};
+  EXPECT_EQ(suite[0].events, want0);
+
+  EXPECT_EQ(suite[1].name, "random-1");
+  EXPECT_EQ(suite[1].seed, 16569933224131224581ULL);
+  const std::vector<std::string> want1 = {
+      "send.SwInventoryReq", "rec.SwReport", "send.SwInventoryReq",
+      "rec.SwReport",        "send.UpdApplyReq", "send.SwInventoryReq"};
+  EXPECT_EQ(suite[1].events, want1);
+}
+
+TEST(CoreRng, SeededSyntheticLogUnchanged) {
+  // synthesize_log(codec, {seed 3, frames 12}), captured pre-factoring.
+  const auto db = can::parse_dbc(ota::ota_dbc_text());
+  const auto codec = conform::ota_codec(db);
+  replay::SynthOptions opt;
+  opt.seed = 3;
+  opt.frames = 12;
+  const auto log = replay::synthesize_log(codec, opt);
+  EXPECT_EQ(log.frames, 13u);
+  EXPECT_EQ(log.events.size(), 13u);
+  EXPECT_EQ(store::digest_bytes(log.text).hex(),
+            "fa18fe997ba08b945b42c68b71306f42");
+}
+
+}  // namespace

@@ -254,6 +254,38 @@ TEST(VerifyScheduler, AlphabetMismatchInjectionMakesPassesVacuous) {
   EXPECT_GT(vacuous_passes, 0u);
 }
 
+TEST(RunBoolBatch, AnswersArriveInSubmissionOrderAtAnyWorkerCount) {
+  // The learner's membership-query path: answers must line up with the
+  // query vector regardless of jobs, and be identical across pools.
+  std::vector<std::function<bool(CancelToken&)>> queries;
+  for (std::size_t i = 0; i < 64; ++i) {
+    queries.emplace_back([i](CancelToken&) { return i % 3 == 0; });
+  }
+  std::vector<bool> first;
+  for (unsigned jobs : {1u, 2u, 4u}) {
+    VerifyScheduler sched({.jobs = jobs});
+    const std::vector<bool> got = run_bool_batch(sched, queries, "member");
+    ASSERT_EQ(got.size(), queries.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], i % 3 == 0) << i;
+    }
+    if (first.empty()) first = got;
+    EXPECT_EQ(got, first);
+  }
+}
+
+TEST(RunBoolBatch, ThrowingQuerySurfacesAsRuntimeError) {
+  // A query that cannot produce a boolean must abort the batch loudly —
+  // a silently mis-recorded membership answer would corrupt the learner's
+  // hypothesis with no diagnostic.
+  std::vector<std::function<bool(CancelToken&)>> queries;
+  queries.emplace_back([](CancelToken&) { return true; });
+  queries.emplace_back(
+      [](CancelToken&) -> bool { throw std::runtime_error("oracle died"); });
+  VerifyScheduler sched({.jobs = 2});
+  EXPECT_THROW(run_bool_batch(sched, queries), std::runtime_error);
+}
+
 TEST(CancelToken, PollThrowsAfterRequestCancel) {
   CancelToken token;
   EXPECT_NO_THROW(token.poll());
